@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets are generated once per session at the benchmark scale controlled by
+the ``REPRO_BENCH_SCALE`` environment variable (``tiny`` / ``small`` /
+``paper``, default ``small``), so individual benchmarks only time the
+operation under study, never data generation or instance materialization.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workloads import SCALES, bench_scale_from_env
+from repro.datagen import (
+    BloggerConfig,
+    GenericConfig,
+    VideoConfig,
+    blogger_dataset,
+    generic_dataset,
+    video_dataset,
+)
+from repro.datagen.blogger import sites_per_blogger_query, words_per_blogger_query
+from repro.datagen.generic import generic_query
+from repro.datagen.videos import views_per_url_query
+from repro.olap import OLAPSession
+
+
+@pytest.fixture(scope="session")
+def scale_parameters():
+    return SCALES[bench_scale_from_env()]
+
+
+@pytest.fixture(scope="session")
+def blogger_bench_dataset(scale_parameters):
+    return blogger_dataset(BloggerConfig(bloggers=int(scale_parameters["bloggers"])))
+
+
+@pytest.fixture(scope="session")
+def blogger_bench_session(blogger_bench_dataset):
+    session = OLAPSession(blogger_bench_dataset.instance, blogger_bench_dataset.schema)
+    query = sites_per_blogger_query(blogger_bench_dataset.schema)
+    session.execute(query)
+    return session, query
+
+
+@pytest.fixture(scope="session")
+def video_bench_dataset(scale_parameters):
+    return video_dataset(VideoConfig(videos=int(scale_parameters["videos"])))
+
+
+@pytest.fixture(scope="session")
+def video_bench_session(video_bench_dataset):
+    session = OLAPSession(video_bench_dataset.instance, video_bench_dataset.schema)
+    query = views_per_url_query(video_bench_dataset.schema)
+    session.execute(query)
+    return session, query
+
+
+@pytest.fixture(scope="session")
+def generic_bench_config(scale_parameters):
+    return GenericConfig(
+        facts=int(scale_parameters["facts"]),
+        dimensions=3,
+        values_per_dimension=1.4,
+        measures_per_fact=2.0,
+        with_detail=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def generic_bench_dataset(generic_bench_config):
+    return generic_dataset(generic_bench_config)
+
+
+@pytest.fixture(scope="session")
+def generic_bench_session(generic_bench_dataset, generic_bench_config):
+    session = OLAPSession(generic_bench_dataset.instance, generic_bench_dataset.schema)
+    query = generic_query(generic_bench_config, aggregate="count", include_detail_in_classifier=True)
+    session.execute(query)
+    return session, query

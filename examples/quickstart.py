@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Quickstart: build an RDF warehouse, run a cube query, navigate it with OLAP.
+
+This walks the core workflow in ~60 lines:
+
+1. load a small RDF base graph (Turtle);
+2. define an analytical schema (the "lens" over the data);
+3. materialize the AnS instance;
+4. run an analytical query (a cube): posts per blogger city and age;
+5. apply OLAP operations — answered by *rewriting* the materialized results.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticalQuery,
+    AnalyticalSchema,
+    Dice,
+    DrillOut,
+    EX,
+    OLAPSession,
+    Slice,
+    materialize_instance,
+    parse_turtle,
+)
+from repro.bgp import parse_query
+
+TURTLE_DATA = """
+@prefix ex: <http://example.org/> .
+
+ex:user1 a ex:Blogger ; ex:hasAge 28 ; ex:livesIn ex:Madrid ;
+         ex:wrotePost ex:p1 , ex:p2 , ex:p3 .
+ex:user2 a ex:Blogger ; ex:hasAge 35 ; ex:livesIn ex:NY ;
+         ex:wrotePost ex:p4 .
+ex:user3 a ex:Blogger ; ex:hasAge 35 ; ex:livesIn ex:NY , ex:Kyoto ;
+         ex:wrotePost ex:p5 , ex:p6 .
+ex:user4 a ex:Blogger ; ex:hasAge 28 ; ex:livesIn ex:Madrid .
+
+ex:p1 a ex:BlogPost ; ex:postedOn ex:siteA ; ex:hasWordCount 100 .
+ex:p2 a ex:BlogPost ; ex:postedOn ex:siteA ; ex:hasWordCount 250 .
+ex:p3 a ex:BlogPost ; ex:postedOn ex:siteB ; ex:hasWordCount 900 .
+ex:p4 a ex:BlogPost ; ex:postedOn ex:siteB ; ex:hasWordCount 400 .
+ex:p5 a ex:BlogPost ; ex:postedOn ex:siteC ; ex:hasWordCount 150 .
+ex:p6 a ex:BlogPost ; ex:postedOn ex:siteC ; ex:hasWordCount 350 .
+
+ex:Madrid a ex:City . ex:NY a ex:City . ex:Kyoto a ex:City .
+ex:siteA a ex:Site . ex:siteB a ex:Site . ex:siteC a ex:Site .
+"""
+
+
+def build_schema() -> AnalyticalSchema:
+    """An analytical schema: which classes and properties we analyse through."""
+    schema = AnalyticalSchema(name="QuickstartAnS", namespace=EX)
+    for class_name in ("Blogger", "BlogPost", "City", "Site"):
+        schema.add_class_from_type(class_name)
+    schema.add_class("Age", parse_query("def(?o) :- ?s ex:hasAge ?o"))
+    schema.add_class("Words", parse_query("def(?o) :- ?s ex:hasWordCount ?o"))
+    schema.add_property_from_predicate("hasAge", "Blogger", "Age")
+    schema.add_property_from_predicate("livesIn", "Blogger", "City")
+    schema.add_property_from_predicate("wrotePost", "Blogger", "BlogPost")
+    schema.add_property_from_predicate("postedOn", "BlogPost", "Site")
+    schema.add_property_from_predicate("hasWordCount", "BlogPost", "Words")
+    return schema
+
+
+def build_query(schema: AnalyticalSchema) -> AnalyticalQuery:
+    """Cube: number of posts per (age, city); classifier + measure + aggregate."""
+    classifier = parse_query(
+        "c(?x, ?dage, ?dcity) :- ?x rdf:type ex:Blogger, ?x ex:hasAge ?dage, ?x ex:livesIn ?dcity"
+    )
+    measure = parse_query(
+        "m(?x, ?post) :- ?x rdf:type ex:Blogger, ?x ex:wrotePost ?post"
+    )
+    return AnalyticalQuery(classifier, measure, "count", schema=schema, name="posts_cube")
+
+
+def main() -> None:
+    base_graph = parse_turtle(TURTLE_DATA)
+    print(f"Base graph: {len(base_graph)} triples")
+
+    schema = build_schema()
+    instance = materialize_instance(schema, base_graph)
+    print(f"AnS instance: {len(instance)} triples\n")
+
+    session = OLAPSession(instance, schema)
+    cube = session.execute(build_query(schema))
+    print("Posts per (age, city):")
+    print(cube.to_text(), "\n")
+
+    sliced = session.transform("posts_cube", Slice("dage", 35), strategy="rewrite")
+    print("SLICE age=35 (rewritten from ans(Q)):")
+    print(sliced.to_text(), "\n")
+
+    diced = session.transform("posts_cube", Dice({"dage": (20, 30)}), strategy="rewrite")
+    print("DICE 20 <= age <= 30 (rewritten from ans(Q)):")
+    print(diced.to_text(), "\n")
+
+    by_city = session.transform("posts_cube", DrillOut("dage"), strategy="rewrite")
+    print("DRILL-OUT age (rewritten from pres(Q)):")
+    print(by_city.to_text(), "\n")
+
+    print("Session history:")
+    for record in session.history:
+        print(f"  {record}")
+
+
+if __name__ == "__main__":
+    main()

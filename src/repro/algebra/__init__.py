@@ -1,0 +1,85 @@
+"""Bag-relational algebra: relations, operators, predicates, aggregation.
+
+This package provides the relational machinery in which the paper states
+its OLAP rewriting algorithms:
+
+* :mod:`repro.algebra.relation` — the :class:`Relation` bag-of-rows table;
+* :mod:`repro.algebra.operators` — σ, π, δ, ⋈, ∪, rename, ... ;
+* :mod:`repro.algebra.expressions` — row predicates for σ;
+* :mod:`repro.algebra.aggregates` — ⊕ functions with distributivity metadata;
+* :mod:`repro.algebra.grouping` — the γ group-and-aggregate operator.
+"""
+
+from repro.algebra.aggregates import (
+    AVG,
+    COUNT,
+    COUNT_DISTINCT,
+    MAX,
+    MIN,
+    SUM,
+    AggregateFunction,
+    AggregateRegistry,
+    default_registry,
+    get_aggregate,
+)
+from repro.algebra.expressions import (
+    always_true,
+    between,
+    compare,
+    comparable,
+    conjunction,
+    disjunction,
+    equals,
+    is_in,
+    negation,
+)
+from repro.algebra.grouping import aggregate_column, group_aggregate, group_rows
+from repro.algebra.operators import (
+    cross_product,
+    dedup,
+    difference_all,
+    extend_column,
+    join_on,
+    natural_join,
+    project,
+    rename,
+    select,
+    union_all,
+)
+from repro.algebra.relation import Relation
+
+__all__ = [
+    "Relation",
+    "select",
+    "project",
+    "dedup",
+    "rename",
+    "natural_join",
+    "join_on",
+    "cross_product",
+    "union_all",
+    "difference_all",
+    "extend_column",
+    "group_rows",
+    "group_aggregate",
+    "aggregate_column",
+    "AggregateFunction",
+    "AggregateRegistry",
+    "default_registry",
+    "get_aggregate",
+    "COUNT",
+    "COUNT_DISTINCT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "equals",
+    "is_in",
+    "between",
+    "compare",
+    "comparable",
+    "conjunction",
+    "disjunction",
+    "negation",
+    "always_true",
+]

@@ -1,0 +1,204 @@
+"""Aggregation functions and their algebraic properties.
+
+The paper's drill-out discussion (Section 3.2) distinguishes **distributive**
+aggregation functions (``sum``, ``count``, ``min``, ``max``) — whose results
+over a union of disjoint bags can be combined from per-bag results — from
+non-distributive ones such as ``avg``, which must be recomputed from the
+detailed values.  That property drives which rewritings are possible, so each
+registered aggregate carries it as metadata.
+
+All aggregates operate on **bags** of values (Python sequences where
+duplicates matter).  Values may be RDF literals; they are converted to
+Python numbers/strings first through :func:`~repro.algebra.expressions.comparable`.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import AggregationError
+from repro.algebra.expressions import comparable
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateRegistry",
+    "default_registry",
+    "get_aggregate",
+    "COUNT",
+    "COUNT_DISTINCT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+]
+
+
+class AggregateFunction:
+    """A named aggregation function ``⊕`` over bags of values.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"sum"``.
+    distributive:
+        True when ``⊕(A ∪ B) = ⊕({⊕(A), ⊕(B)})`` for disjoint bags A, B.
+    numeric_only:
+        True when inputs must be numbers (after literal conversion).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function: Callable[[List], object],
+        distributive: bool,
+        numeric_only: bool = True,
+        combine: Optional[Callable[[List], object]] = None,
+    ):
+        self.name = name
+        self._function = function
+        self.distributive = distributive
+        self.numeric_only = numeric_only
+        self._combine = combine if combine is not None else (function if distributive else None)
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, values: Iterable) -> object:
+        """Aggregate a bag of values.
+
+        Per Definition 1 of the paper, the aggregate of an empty bag is
+        *undefined*; we signal that with :class:`AggregationError`, and the
+        evaluator simply omits the fact from the cube.
+        """
+        prepared = self._prepare(values)
+        if not prepared:
+            raise AggregationError(f"aggregate {self.name!r} is undefined on an empty bag")
+        return self._function(prepared)
+
+    def combine(self, partial_results: Iterable) -> object:
+        """Combine already-aggregated partial results (distributive functions only)."""
+        if self._combine is None:
+            raise AggregationError(
+                f"aggregate {self.name!r} is not distributive; partial results cannot be combined"
+            )
+        prepared = [comparable(value) for value in partial_results]
+        if not prepared:
+            raise AggregationError(f"aggregate {self.name!r} is undefined on an empty bag")
+        return self._combine(prepared)
+
+    def _prepare(self, values: Iterable) -> List:
+        prepared = [comparable(value) for value in values]
+        if self.numeric_only:
+            converted = []
+            for value in prepared:
+                if isinstance(value, bool):
+                    converted.append(int(value))
+                elif isinstance(value, (int, float, Decimal)):
+                    converted.append(value)
+                else:
+                    try:
+                        converted.append(float(value))
+                    except (TypeError, ValueError):
+                        raise AggregationError(
+                            f"aggregate {self.name!r} requires numeric values, got {value!r}"
+                        ) from None
+            return converted
+        return prepared
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "distributive" if self.distributive else "non-distributive"
+        return f"AggregateFunction({self.name}, {kind})"
+
+
+def _sum(values: List) -> object:
+    return sum(values)
+
+
+def _avg(values: List) -> float:
+    return float(sum(values)) / len(values)
+
+
+def _count(values: List) -> int:
+    return len(values)
+
+
+def _count_distinct(values: List) -> int:
+    return len(set(values))
+
+
+def _min(values: List) -> object:
+    return min(values)
+
+
+def _max(values: List) -> object:
+    return max(values)
+
+
+#: ``count`` is distributive: counts of disjoint sub-bags add up.
+COUNT = AggregateFunction("count", _count, distributive=True, numeric_only=False, combine=_sum)
+
+#: ``count_distinct`` is *not* distributive (distinct values may repeat across sub-bags).
+COUNT_DISTINCT = AggregateFunction(
+    "count_distinct", _count_distinct, distributive=False, numeric_only=False
+)
+
+SUM = AggregateFunction("sum", _sum, distributive=True)
+AVG = AggregateFunction("avg", _avg, distributive=False)
+MIN = AggregateFunction("min", _min, distributive=True, numeric_only=False)
+MAX = AggregateFunction("max", _max, distributive=True, numeric_only=False)
+
+
+class AggregateRegistry:
+    """Name → :class:`AggregateFunction` registry.
+
+    A fresh registry contains the six standard aggregates; applications can
+    :meth:`register` additional ones (e.g. median, stddev) and they become
+    usable in analytical queries by name.
+    """
+
+    def __init__(self, include_defaults: bool = True):
+        self._functions: Dict[str, AggregateFunction] = {}
+        if include_defaults:
+            for function in (COUNT, COUNT_DISTINCT, SUM, AVG, MIN, MAX):
+                self.register(function)
+
+    def register(self, function: AggregateFunction, replace: bool = False) -> None:
+        if function.name in self._functions and not replace:
+            raise AggregationError(f"aggregate {function.name!r} is already registered")
+        self._functions[function.name] = function
+
+    def get(self, name: str) -> AggregateFunction:
+        key = name.lower()
+        if key not in self._functions:
+            raise AggregationError(
+                f"unknown aggregate {name!r}; registered: {sorted(self._functions)}"
+            )
+        return self._functions[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def names(self) -> List[str]:
+        return sorted(self._functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+_DEFAULT_REGISTRY = AggregateRegistry()
+
+
+def default_registry() -> AggregateRegistry:
+    """The process-wide default registry used when none is supplied."""
+    return _DEFAULT_REGISTRY
+
+
+def get_aggregate(function) -> AggregateFunction:
+    """Coerce a name or an :class:`AggregateFunction` into an AggregateFunction."""
+    if isinstance(function, AggregateFunction):
+        return function
+    if isinstance(function, str):
+        return _DEFAULT_REGISTRY.get(function)
+    raise AggregationError(
+        f"expected an aggregate name or AggregateFunction, got {type(function).__name__}"
+    )

@@ -1,0 +1,190 @@
+"""Row predicates for selections (σ).
+
+A selection predicate is any callable taking a row dictionary (column name →
+value) and returning a boolean.  This module provides composable predicate
+builders covering the needs of the OLAP operations:
+
+* :func:`equals` — dimension = value (SLICE);
+* :func:`is_in` — dimension ∈ set of values (DICE);
+* :func:`between` — range restriction on a dimension (range DICE, as in the
+  paper's Example 4 where ``20 ≤ d_age ≤ 30``);
+* :func:`compare` — generic comparison against a constant;
+* boolean combinators :func:`conjunction`, :func:`disjunction`,
+  :func:`negation`.
+
+Values are compared through :func:`comparable`, which converts RDF literals
+to native Python values so that a dimension bound to ``Literal("28",
+xsd:integer)`` satisfies ``between("age", 20, 30)``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Collection, Dict, Iterable, Mapping
+
+from repro.errors import UnknownColumnError
+
+__all__ = [
+    "RowPredicate",
+    "comparable",
+    "equals",
+    "is_in",
+    "between",
+    "compare",
+    "conjunction",
+    "disjunction",
+    "negation",
+    "always_true",
+]
+
+#: Signature of a selection predicate.
+RowPredicate = Callable[[Mapping[str, object]], bool]
+
+_COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def comparable(value: object) -> object:
+    """Return a plain Python value suitable for comparisons.
+
+    RDF literals are converted with :meth:`Literal.to_python`; IRIs and
+    blank nodes compare by their string form; everything else is returned
+    unchanged.
+    """
+    to_python = getattr(value, "to_python", None)
+    if callable(to_python):
+        return to_python()
+    n3 = getattr(value, "n3", None)
+    if callable(n3) and not isinstance(value, (str, int, float, bool)):
+        return str(value)
+    return value
+
+
+def _column_value(row: Mapping[str, object], column: str) -> object:
+    try:
+        return row[column]
+    except KeyError:
+        raise UnknownColumnError(f"selection refers to unknown column {column!r}") from None
+
+
+def equals(column: str, value: object) -> RowPredicate:
+    """Predicate ``row[column] == value`` (SLICE semantics).
+
+    Equality is checked both on the raw values (so two identical RDF terms
+    match) and on their comparable forms (so ``Literal("28")`` matches the
+    integer 28).
+    """
+    target_comparable = comparable(value)
+
+    def predicate(row: Mapping[str, object]) -> bool:
+        actual = _column_value(row, column)
+        if actual == value:
+            return True
+        return comparable(actual) == target_comparable
+
+    return predicate
+
+
+def is_in(column: str, values: Collection[object]) -> RowPredicate:
+    """Predicate ``row[column] ∈ values`` (DICE semantics)."""
+    values = list(values)
+    raw_values = set()
+    comparable_values = set()
+    for value in values:
+        try:
+            raw_values.add(value)
+        except TypeError:
+            pass
+        comp = comparable(value)
+        try:
+            comparable_values.add(comp)
+        except TypeError:
+            pass
+
+    def predicate(row: Mapping[str, object]) -> bool:
+        actual = _column_value(row, column)
+        try:
+            if actual in raw_values:
+                return True
+        except TypeError:
+            pass
+        try:
+            return comparable(actual) in comparable_values
+        except TypeError:
+            return False
+
+    return predicate
+
+
+def between(column: str, low: object, high: object, inclusive: bool = True) -> RowPredicate:
+    """Predicate ``low ≤ row[column] ≤ high`` (range DICE)."""
+    low_comparable = comparable(low)
+    high_comparable = comparable(high)
+
+    def predicate(row: Mapping[str, object]) -> bool:
+        actual = comparable(_column_value(row, column))
+        try:
+            if inclusive:
+                return low_comparable <= actual <= high_comparable
+            return low_comparable < actual < high_comparable
+        except TypeError:
+            return False
+
+    return predicate
+
+
+def compare(column: str, op: str, value: object) -> RowPredicate:
+    """Generic comparison predicate, ``op`` one of ``== != < <= > >=``."""
+    if op not in _COMPARATORS:
+        raise ValueError(f"unknown comparison operator {op!r}; expected one of {sorted(_COMPARATORS)}")
+    comparator = _COMPARATORS[op]
+    target = comparable(value)
+
+    def predicate(row: Mapping[str, object]) -> bool:
+        actual = comparable(_column_value(row, column))
+        try:
+            return comparator(actual, target)
+        except TypeError:
+            return False
+
+    return predicate
+
+
+def conjunction(*predicates: RowPredicate) -> RowPredicate:
+    """Logical AND of predicates (empty conjunction is true)."""
+    predicate_list = list(predicates)
+
+    def predicate(row: Mapping[str, object]) -> bool:
+        return all(p(row) for p in predicate_list)
+
+    return predicate
+
+
+def disjunction(*predicates: RowPredicate) -> RowPredicate:
+    """Logical OR of predicates (empty disjunction is false)."""
+    predicate_list = list(predicates)
+
+    def predicate(row: Mapping[str, object]) -> bool:
+        return any(p(row) for p in predicate_list)
+
+    return predicate
+
+
+def negation(inner: RowPredicate) -> RowPredicate:
+    """Logical NOT of a predicate."""
+
+    def predicate(row: Mapping[str, object]) -> bool:
+        return not inner(row)
+
+    return predicate
+
+
+def always_true(row: Mapping[str, object]) -> bool:
+    """The trivial predicate (useful as a default)."""
+    return True

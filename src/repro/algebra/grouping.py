@@ -1,0 +1,96 @@
+"""Grouping and aggregation (γ).
+
+``group_aggregate`` implements the γ operator used throughout the paper:
+group the rows of a relation by a list of grouping columns and apply an
+aggregation function ⊕ to the bag of values of a measure column within each
+group.  Facts whose measure bag is empty simply produce no group (per
+Definition 1 the aggregated measure is then undefined); with the γ operator
+this happens naturally because such facts contribute no rows.
+
+``group_rows`` is the lower-level helper returning the groups themselves,
+used by the analytics evaluator when it needs to post-process bags (e.g. to
+deduplicate measure keys in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AggregationError, UnknownColumnError
+from repro.algebra.aggregates import AggregateFunction, get_aggregate
+from repro.algebra.relation import Relation, Row
+
+__all__ = ["group_rows", "group_aggregate", "aggregate_column"]
+
+
+def group_rows(relation: Relation, by: Sequence[str]) -> Dict[Tuple, List[Row]]:
+    """Partition rows by the values of the ``by`` columns.
+
+    Returns a mapping from group key (tuple of values, in ``by`` order) to
+    the list of full rows in that group, preserving input order within each
+    group.
+    """
+    key_indexes = relation.column_indexes(by)
+    groups: Dict[Tuple, List[Row]] = {}
+    for row in relation:
+        key = tuple(row[i] for i in key_indexes)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def group_aggregate(
+    relation: Relation,
+    by: Sequence[str],
+    measure: str,
+    function,
+    output_column: str = "v",
+) -> Relation:
+    """γ_{by, ⊕(measure)}: group and aggregate.
+
+    Parameters
+    ----------
+    relation:
+        Input bag relation.
+    by:
+        Grouping columns; they become the leading columns of the result.
+    measure:
+        Column whose values are aggregated within each group.
+    function:
+        Aggregate name (``"sum"``, ``"avg"``, ...) or
+        :class:`~repro.algebra.aggregates.AggregateFunction`.
+    output_column:
+        Name of the aggregated column in the result (default ``"v"``).
+
+    Groups whose measure bag raises "undefined on an empty bag" are omitted;
+    this cannot happen when every row carries a measure value, but it can
+    when callers pre-filter ``None`` measures.
+    """
+    aggregate: AggregateFunction = get_aggregate(function)
+    measure_index = relation.column_index(measure)
+    if output_column in by:
+        raise UnknownColumnError(
+            f"output column {output_column!r} clashes with a grouping column"
+        )
+
+    groups = group_rows(relation, by)
+    output_columns = tuple(by) + (output_column,)
+    rows: List[Row] = []
+    for key, group in groups.items():
+        values = [row[measure_index] for row in group if row[measure_index] is not None]
+        if not values:
+            continue
+        try:
+            aggregated = aggregate(values)
+        except AggregationError:
+            # Undefined aggregate (empty bag after filtering): skip the group,
+            # mirroring Definition 1's "x^j does not contribute to the cube".
+            continue
+        rows.append(key + (aggregated,))
+    return Relation(output_columns, rows)
+
+
+def aggregate_column(relation: Relation, measure: str, function) -> object:
+    """Aggregate a whole column (no grouping); raises on an empty relation."""
+    aggregate = get_aggregate(function)
+    values = [value for value in relation.column_values(measure) if value is not None]
+    return aggregate(values)

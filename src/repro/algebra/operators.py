@@ -1,0 +1,192 @@
+"""Bag-relational algebra operators: σ, π, δ, ⋈, ∪, rename.
+
+Every operator is a pure function from relations to a new relation; inputs
+are never mutated.  All operators have **bag semantics** (Section 3 of the
+paper: "all relational algebra operators are assumed to have bag
+semantics"); duplicate elimination is explicit via :func:`dedup` (δ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaMismatchError, UnknownColumnError
+from repro.algebra.expressions import RowPredicate
+from repro.algebra.relation import Relation, Row
+
+__all__ = [
+    "select",
+    "project",
+    "dedup",
+    "rename",
+    "natural_join",
+    "join_on",
+    "union_all",
+    "difference_all",
+    "extend_column",
+    "cross_product",
+]
+
+
+def select(relation: Relation, predicate: RowPredicate) -> Relation:
+    """σ: keep the rows satisfying ``predicate`` (applied to row dicts)."""
+    columns = relation.columns
+    kept: List[Row] = []
+    for row in relation:
+        if predicate(dict(zip(columns, row))):
+            kept.append(row)
+    return Relation(columns, kept)
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """π: keep only the named columns (bag semantics: duplicates are kept)."""
+    indexes = relation.column_indexes(columns)
+    return Relation(tuple(columns), (tuple(row[i] for i in indexes) for row in relation))
+
+
+def dedup(relation: Relation) -> Relation:
+    """δ: duplicate elimination, preserving first-occurrence order."""
+    seen = set()
+    kept: List[Row] = []
+    for row in relation:
+        if row not in seen:
+            seen.add(row)
+            kept.append(row)
+    return Relation(relation.columns, kept)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """ρ: rename columns according to ``mapping`` (old name → new name)."""
+    for old in mapping:
+        if not relation.has_column(old):
+            raise UnknownColumnError(f"cannot rename unknown column {old!r}")
+    new_columns = tuple(mapping.get(name, name) for name in relation.columns)
+    return Relation(new_columns, relation.rows)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """⋈: natural join on all shared column names (hash join, bag semantics).
+
+    The output schema is the left schema followed by the right's non-shared
+    columns, matching the conventional definition.
+    """
+    shared = [name for name in left.columns if right.has_column(name)]
+    return join_on(left, right, [(name, name) for name in shared])
+
+
+def join_on(
+    left: Relation,
+    right: Relation,
+    join_pairs: Sequence[Tuple[str, str]],
+) -> Relation:
+    """Equi-join on explicit column pairs ``(left_column, right_column)``.
+
+    Right-side join columns are dropped from the output when they carry the
+    same name as the corresponding left column (natural-join behaviour);
+    differently-named right join columns are kept.
+    With an empty ``join_pairs`` this degenerates to the cross product.
+    """
+    if not join_pairs:
+        return cross_product(left, right)
+
+    left_key_indexes = tuple(left.column_index(l) for l, _ in join_pairs)
+    right_key_indexes = tuple(right.column_index(r) for _, r in join_pairs)
+
+    dropped_right_columns = {
+        r for l, r in join_pairs if l == r
+    }
+    kept_right_positions = [
+        index for index, name in enumerate(right.columns) if name not in dropped_right_columns
+    ]
+    kept_right_names = [right.columns[index] for index in kept_right_positions]
+
+    overlap = set(left.columns) & set(kept_right_names)
+    if overlap:
+        raise SchemaMismatchError(
+            f"join would produce duplicate columns {sorted(overlap)}; rename one side first"
+        )
+
+    output_columns = tuple(left.columns) + tuple(kept_right_names)
+
+    # Build a hash table on the smaller input to bound memory.
+    build_on_right = len(right) <= len(left)
+    rows: List[Row] = []
+    if build_on_right:
+        table: Dict[Tuple, List[Row]] = {}
+        for row in right:
+            key = tuple(row[i] for i in right_key_indexes)
+            table.setdefault(key, []).append(row)
+        for left_row in left:
+            key = tuple(left_row[i] for i in left_key_indexes)
+            for right_row in table.get(key, ()):
+                rows.append(left_row + tuple(right_row[i] for i in kept_right_positions))
+    else:
+        table = {}
+        for row in left:
+            key = tuple(row[i] for i in left_key_indexes)
+            table.setdefault(key, []).append(row)
+        for right_row in right:
+            key = tuple(right_row[i] for i in right_key_indexes)
+            right_part = tuple(right_row[i] for i in kept_right_positions)
+            for left_row in table.get(key, ()):
+                rows.append(left_row + right_part)
+    return Relation(output_columns, rows)
+
+
+def cross_product(left: Relation, right: Relation) -> Relation:
+    """×: Cartesian product (schemas must be disjoint)."""
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise SchemaMismatchError(
+            f"cross product requires disjoint schemas; shared columns {sorted(overlap)}"
+        )
+    columns = tuple(left.columns) + tuple(right.columns)
+    rows = [left_row + right_row for left_row in left for right_row in right]
+    return Relation(columns, rows)
+
+
+def union_all(*relations: Relation) -> Relation:
+    """∪ (bag union): concatenate rows of union-compatible relations."""
+    if not relations:
+        raise SchemaMismatchError("union_all requires at least one relation")
+    first = relations[0]
+    rows: List[Row] = list(first.rows)
+    for other in relations[1:]:
+        if other.columns != first.columns:
+            if set(other.columns) != set(first.columns):
+                raise SchemaMismatchError(
+                    f"union of incompatible schemas: {first.columns} vs {other.columns}"
+                )
+            other = other.reorder(first.columns)
+        rows.extend(other.rows)
+    return Relation(first.columns, rows)
+
+
+def difference_all(left: Relation, right: Relation) -> Relation:
+    """Bag difference: each row's multiplicity is reduced by its multiplicity in ``right``."""
+    if left.columns != right.columns:
+        if set(left.columns) != set(right.columns):
+            raise SchemaMismatchError(
+                f"difference of incompatible schemas: {left.columns} vs {right.columns}"
+            )
+        right = right.reorder(left.columns)
+    remaining = right.to_multiset()
+    rows: List[Row] = []
+    for row in left:
+        count = remaining.get(row, 0)
+        if count > 0:
+            remaining[row] = count - 1
+        else:
+            rows.append(row)
+    return Relation(left.columns, rows)
+
+
+def extend_column(relation: Relation, name: str, function) -> Relation:
+    """Add a computed column: ``function`` receives the row dict and returns the value."""
+    if relation.has_column(name):
+        raise SchemaMismatchError(f"column {name!r} already exists")
+    columns = relation.columns + (name,)
+    rows = [
+        row + (function(dict(zip(relation.columns, row))),) for row in relation
+    ]
+    return Relation(columns, rows)

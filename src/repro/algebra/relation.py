@@ -1,0 +1,265 @@
+"""Bag relations: the tabular data structure the OLAP algorithms operate on.
+
+The paper phrases its rewriting algorithms (Algorithm 1 and 2, and the DICE
+selection of Proposition 1) in terms of relational algebra **with bag
+semantics** over tables such as ``pres(Q)`` and ``ans(Q)``.  A
+:class:`Relation` is exactly such a table: an ordered list of column names
+plus a list of rows (tuples), where duplicate rows are meaningful.
+
+Rows hold arbitrary hashable Python values; in this project they are RDF
+terms (for dimension and fact columns), integers (for the ``newk()`` key
+column of extended measure results) and Python numbers (for aggregated
+measures).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaMismatchError, UnknownColumnError
+
+__all__ = ["Relation", "Row"]
+
+#: A row is a tuple of values, positionally aligned with the relation schema.
+Row = Tuple
+
+
+class Relation:
+    """An ordered-schema bag of rows.
+
+    Parameters
+    ----------
+    columns:
+        Column names, in order.  Names must be unique.
+    rows:
+        Iterable of tuples (or lists), each of the same arity as ``columns``.
+
+    The class is deliberately small and explicit: the relational operators
+    live in :mod:`repro.algebra.operators` and :mod:`repro.algebra.grouping`
+    and return new relations, never mutating their inputs.
+    """
+
+    __slots__ = ("_columns", "_rows", "_index_of")
+
+    def __init__(self, columns: Sequence[str], rows: Optional[Iterable[Sequence]] = None):
+        columns = tuple(columns)
+        if len(set(columns)) != len(columns):
+            raise SchemaMismatchError(f"duplicate column names in schema: {columns}")
+        self._columns: Tuple[str, ...] = columns
+        self._index_of: Dict[str, int] = {name: index for index, name in enumerate(columns)}
+        materialized: List[Row] = []
+        if rows is not None:
+            arity = len(columns)
+            for row in rows:
+                row_tuple = tuple(row)
+                if len(row_tuple) != arity:
+                    raise SchemaMismatchError(
+                        f"row arity {len(row_tuple)} does not match schema arity {arity}: {row_tuple!r}"
+                    )
+                materialized.append(row_tuple)
+        self._rows = materialized
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, columns: Sequence[str], dicts: Iterable[Mapping[str, object]]) -> "Relation":
+        """Build a relation from mappings; missing keys become ``None``."""
+        rows = [tuple(mapping.get(column) for column in columns) for mapping in dicts]
+        return cls(columns, rows)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        """An empty relation with the given schema."""
+        return cls(columns, [])
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self._columns
+
+    @property
+    def arity(self) -> int:
+        return len(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index_of
+
+    def column_index(self, name: str) -> int:
+        """Return the position of a column; raise :class:`UnknownColumnError` otherwise."""
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise UnknownColumnError(f"unknown column {name!r}; schema is {self._columns}") from None
+
+    def column_indexes(self, names: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.column_index(name) for name in names)
+
+    # ------------------------------------------------------------------
+    # rows
+    # ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> List[Row]:
+        """The underlying row list.  Treat as read-only."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def add_row(self, row: Sequence) -> None:
+        """Append one row (used by builders; operators never mutate inputs)."""
+        row_tuple = tuple(row)
+        if len(row_tuple) != self.arity:
+            raise SchemaMismatchError(
+                f"row arity {len(row_tuple)} does not match schema arity {self.arity}"
+            )
+        self._rows.append(row_tuple)
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def column_values(self, name: str) -> List:
+        """Return the list of values in the named column (with duplicates)."""
+        index = self.column_index(name)
+        return [row[index] for row in self._rows]
+
+    def distinct_values(self, name: str) -> set:
+        """Return the set of distinct values in the named column."""
+        index = self.column_index(name)
+        return {row[index] for row in self._rows}
+
+    def row_as_dict(self, row: Row) -> Dict[str, object]:
+        return dict(zip(self._columns, row))
+
+    def iter_dicts(self) -> Iterator[Dict[str, object]]:
+        for row in self._rows:
+            yield self.row_as_dict(row)
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+
+    def to_multiset(self) -> Dict[Row, int]:
+        """Return the bag of rows as a multiplicity map."""
+        counts: Dict[Row, int] = {}
+        for row in self._rows:
+            counts[row] = counts.get(row, 0) + 1
+        return counts
+
+    def bag_equal(self, other: "Relation", ignore_column_order: bool = False) -> bool:
+        """Bag equality: same schema and same rows with the same multiplicities.
+
+        With ``ignore_column_order=True`` the comparison first aligns the
+        other relation's columns to this relation's order.
+        """
+        if not isinstance(other, Relation):
+            return False
+        if ignore_column_order:
+            if set(self._columns) != set(other._columns):
+                return False
+            other = other.reorder(self._columns)
+        elif self._columns != other._columns:
+            return False
+        return self.to_multiset() == other.to_multiset()
+
+    def set_equal(self, other: "Relation", ignore_column_order: bool = False) -> bool:
+        """Set equality: same schema and same distinct rows."""
+        if not isinstance(other, Relation):
+            return False
+        if ignore_column_order:
+            if set(self._columns) != set(other._columns):
+                return False
+            other = other.reorder(self._columns)
+        elif self._columns != other._columns:
+            return False
+        return set(self._rows) == set(other._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Relations compare by bag equality with identical schemas."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.bag_equal(other)
+
+    def __hash__(self):  # relations are mutable via add_row
+        raise TypeError("Relation objects are unhashable")
+
+    # ------------------------------------------------------------------
+    # simple reshaping (pure, returns new relations)
+    # ------------------------------------------------------------------
+
+    def reorder(self, columns: Sequence[str]) -> "Relation":
+        """Return a relation with the same rows, columns re-ordered."""
+        if set(columns) != set(self._columns) or len(columns) != len(self._columns):
+            raise SchemaMismatchError(
+                f"reorder columns {tuple(columns)} must be a permutation of {self._columns}"
+            )
+        indexes = self.column_indexes(columns)
+        return Relation(columns, (tuple(row[i] for i in indexes) for row in self._rows))
+
+    def copy(self) -> "Relation":
+        return Relation(self._columns, self._rows)
+
+    def map_rows(self, function: Callable[[Row], Row], columns: Optional[Sequence[str]] = None) -> "Relation":
+        """Apply ``function`` to every row, optionally changing the schema."""
+        new_columns = tuple(columns) if columns is not None else self._columns
+        return Relation(new_columns, (function(row) for row in self._rows))
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+
+    def head(self, count: int = 10) -> "Relation":
+        """Return the first ``count`` rows (for display)."""
+        return Relation(self._columns, self._rows[:count])
+
+    def sorted(self) -> "Relation":
+        """Return the relation with rows sorted by their repr (stable display order)."""
+        return Relation(self._columns, sorted(self._rows, key=repr))
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """Render an ASCII table of the relation (used by examples and benches)."""
+        shown = self._rows[:max_rows]
+        headers = [str(column) for column in self._columns]
+        rendered = [[_render_value(value) for value in row] for row in shown]
+        widths = [len(header) for header in headers]
+        for row in rendered:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [
+            " | ".join(header.ljust(width) for header, width in zip(headers, widths)),
+            separator,
+        ]
+        for row in rendered:
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Relation(columns={self._columns}, rows={len(self._rows)})"
+
+
+def _render_value(value: object) -> str:
+    """Human-friendly cell rendering: RDF terms use their short/N3 form."""
+    n3 = getattr(value, "n3", None)
+    if callable(n3):
+        local = getattr(value, "local_name", None)
+        if callable(local):
+            return local()
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,48 @@
+"""RDF analytics: analytical schemas, analytical queries and their evaluation.
+
+This package implements the framework of "RDF Analytics: Lenses over
+Semantic Graphs" (WWW 2014) to the extent needed by the OLAP-operations
+paper:
+
+* :mod:`repro.analytics.schema` — analytical schemas (analysis classes and
+  properties, defined by BGP queries);
+* :mod:`repro.analytics.instance` — materialization of AnS instances;
+* :mod:`repro.analytics.sigma` — the Σ dimension-restriction function of
+  extended analytical queries;
+* :mod:`repro.analytics.query` — analytical queries ⟨c, m, ⊕⟩;
+* :mod:`repro.analytics.answer` — materialized results (``ans``, ``pres``,
+  key generator);
+* :mod:`repro.analytics.evaluator` — from-scratch evaluation (Definitions
+  1, 3, 4 and Equation (3)).
+"""
+
+from repro.analytics.answer import (
+    CubeAnswer,
+    KeyGenerator,
+    MaterializedQueryResults,
+    PartialResult,
+)
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.instance import InstanceBuilder, materialize_instance
+from repro.analytics.query import KEY_COLUMN, AnalyticalQuery
+from repro.analytics.schema import AnalysisClass, AnalysisProperty, AnalyticalSchema
+from repro.analytics.sigma import DimensionRestriction, Sigma
+from repro.analytics.sparql import to_sparql
+
+__all__ = [
+    "AnalyticalSchema",
+    "AnalysisClass",
+    "AnalysisProperty",
+    "InstanceBuilder",
+    "materialize_instance",
+    "AnalyticalQuery",
+    "KEY_COLUMN",
+    "Sigma",
+    "DimensionRestriction",
+    "AnalyticalQueryEvaluator",
+    "KeyGenerator",
+    "PartialResult",
+    "CubeAnswer",
+    "MaterializedQueryResults",
+    "to_sparql",
+]

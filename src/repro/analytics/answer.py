@@ -1,0 +1,173 @@
+"""Materialized results of analytical queries: ``ans``, ``pres``, ``int``, ``mᵏ``.
+
+This module defines the result containers and the ``newk()`` key generator;
+the evaluation logic producing them lives in
+:mod:`repro.analytics.evaluator`.
+
+Column conventions (used consistently across the library, tests and
+benchmarks):
+
+* the **fact column** is named after the query's fact variable (``x`` in the
+  paper's examples);
+* **dimension columns** are named after the dimension variables
+  (``dage``, ``dcity``, ...);
+* the **key column** added by the extended measure result ``mᵏ`` is named
+  ``"k"`` (:data:`~repro.analytics.query.KEY_COLUMN`);
+* the **raw measure column** is named after the measure variable (``v``,
+  ``vsite``, ``vwords``, ...);
+* the **aggregated measure column** of ``ans(Q)`` keeps the measure
+  variable's name.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import MaterializationError
+from repro.algebra.relation import Relation
+
+__all__ = ["KeyGenerator", "PartialResult", "CubeAnswer", "MaterializedQueryResults"]
+
+
+class KeyGenerator:
+    """The ``newk()`` key-creating function.
+
+    Returns a distinct value at each call; the simple implementation used
+    here (and suggested by the paper for illustration) returns successive
+    integers 1, 2, 3, ...
+    """
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+
+    def __call__(self) -> int:
+        return next(self._counter)
+
+
+class PartialResult:
+    """``pres(Q, I)`` — the partial result of an AnQ (Definition 4).
+
+    Wraps the relation ``c(I) ⋈ₓ mᵏ(I)`` together with the column names it
+    was built with, so the OLAP rewriting algorithms can address the fact,
+    dimension, key and measure columns by role rather than by position.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        fact_column: str,
+        dimension_columns: Tuple[str, ...],
+        key_column: str,
+        measure_column: str,
+    ):
+        expected = (fact_column, *dimension_columns, key_column, measure_column)
+        if tuple(relation.columns) != expected:
+            raise MaterializationError(
+                f"partial-result relation columns {relation.columns} do not match the expected "
+                f"layout {expected}"
+            )
+        self.relation = relation
+        self.fact_column = fact_column
+        self.dimension_columns = dimension_columns
+        self.key_column = key_column
+        self.measure_column = measure_column
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.relation.columns
+
+    def facts(self) -> set:
+        """The set of distinct facts appearing in the partial result."""
+        return self.relation.distinct_values(self.fact_column)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PartialResult(fact={self.fact_column!r}, dims={self.dimension_columns}, "
+            f"{len(self.relation)} rows)"
+        )
+
+
+class CubeAnswer:
+    """``ans(Q, I)`` — the answer set of an AnQ (Definition 1).
+
+    A thin wrapper over the answer relation ``(d₁, ..., dₙ, v)`` retaining
+    the dimension/measure column roles.  The richer cube abstraction (cell
+    lookup, pretty-printing, pivoting) is :class:`repro.olap.cube.Cube`,
+    which is constructed from a ``CubeAnswer``.
+    """
+
+    def __init__(self, relation: Relation, dimension_columns: Tuple[str, ...], measure_column: str):
+        expected = (*dimension_columns, measure_column)
+        if tuple(relation.columns) != expected:
+            raise MaterializationError(
+                f"answer relation columns {relation.columns} do not match the expected layout {expected}"
+            )
+        self.relation = relation
+        self.dimension_columns = dimension_columns
+        self.measure_column = measure_column
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.relation.columns
+
+    def __iter__(self):
+        return iter(self.relation)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CubeAnswer(dims={self.dimension_columns}, {len(self.relation)} cells)"
+
+
+class MaterializedQueryResults:
+    """Everything materialized while answering a query ``Q``.
+
+    The OLAP session stores one of these per executed query; the rewriting
+    engine consumes whichever part the transformation needs (``ans`` for
+    SLICE/DICE, ``pres`` for DRILL-OUT/DRILL-IN).
+    """
+
+    def __init__(
+        self,
+        query,
+        answer: Optional[CubeAnswer] = None,
+        partial: Optional[PartialResult] = None,
+    ):
+        self.query = query
+        self._answer = answer
+        self._partial = partial
+
+    @property
+    def answer(self) -> CubeAnswer:
+        if self._answer is None:
+            raise MaterializationError(
+                f"the answer of query {self.query.name!r} has not been materialized"
+            )
+        return self._answer
+
+    @property
+    def partial(self) -> PartialResult:
+        if self._partial is None:
+            raise MaterializationError(
+                f"the partial result of query {self.query.name!r} has not been materialized"
+            )
+        return self._partial
+
+    def has_answer(self) -> bool:
+        return self._answer is not None
+
+    def has_partial(self) -> bool:
+        return self._partial is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = []
+        if self._answer is not None:
+            parts.append(f"ans: {len(self._answer)} cells")
+        if self._partial is not None:
+            parts.append(f"pres: {len(self._partial)} rows")
+        return f"MaterializedQueryResults({self.query.name}, {', '.join(parts) or 'empty'})"

@@ -1,0 +1,243 @@
+"""Analytical queries (AnQ) and extended analytical queries.
+
+An analytical query ``Q :- ⟨c(x, d₁, ..., dₙ), m(x, v), ⊕⟩`` consists of
+
+* a **classifier** ``c``: a rooted BGP query with set semantics whose head
+  lists the fact variable ``x`` followed by the dimension variables;
+* a **measure** ``m``: a rooted BGP query with bag semantics whose head is
+  ``(x, v)``, rooted in the *same* variable ``x``;
+* an **aggregation function** ⊕.
+
+An *extended* AnQ (Definition 2) additionally carries a Σ function
+restricting dimension values; a standard AnQ is simply an extended AnQ with
+the unrestricted Σ, so this module uses a single class for both.
+
+Validation performed at construction:
+
+* classifier arity ≥ 1 and measure arity = 2;
+* classifier and measure are rooted in the same (identically named) fact
+  variable;
+* the dimension names are distinct from the fact variable, from the measure
+  value variable and from the reserved key column name ``"k"``;
+* Σ ranges exactly over the classifier's dimensions;
+* the aggregation function is known to the aggregate registry;
+* optionally (when a schema is supplied) classifier and measure are checked
+  to be homomorphic to the analytical schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import QueryDefinitionError
+from repro.algebra.aggregates import AggregateFunction, get_aggregate
+from repro.rdf.terms import Variable
+from repro.bgp.query import BGPQuery
+from repro.analytics.schema import AnalyticalSchema
+from repro.analytics.sigma import DimensionRestriction, Sigma
+
+__all__ = ["AnalyticalQuery", "KEY_COLUMN"]
+
+#: Reserved column name for the ``newk()`` key of extended measure results.
+KEY_COLUMN = "k"
+
+
+class AnalyticalQuery:
+    """An (extended) analytical query ⟨c_Σ, m, ⊕⟩ over an analytical schema.
+
+    Parameters
+    ----------
+    classifier:
+        The classifier BGP query; its head is ``(x, d₁, ..., dₙ)``.
+    measure:
+        The measure BGP query; its head is ``(x, v)``.
+    aggregate:
+        Aggregation function name (``"count"``, ``"sum"``, ``"avg"``, ...)
+        or an :class:`~repro.algebra.aggregates.AggregateFunction`.
+    sigma:
+        Optional Σ restriction; defaults to the unrestricted Σ over the
+        classifier's dimensions.
+    schema:
+        Optional :class:`~repro.analytics.schema.AnalyticalSchema`; when
+        given, classifier and measure are checked to be homomorphic to it.
+    name:
+        Display name of the query (``"Q"`` by default).
+    """
+
+    def __init__(
+        self,
+        classifier: BGPQuery,
+        measure: BGPQuery,
+        aggregate: Union[str, AggregateFunction],
+        sigma: Optional[Sigma] = None,
+        schema: Optional[AnalyticalSchema] = None,
+        name: str = "Q",
+    ):
+        if classifier.arity() < 1:
+            raise QueryDefinitionError("the classifier must have at least the fact variable in its head")
+        if measure.arity() != 2:
+            raise QueryDefinitionError(
+                f"the measure query must be binary (fact, value); got arity {measure.arity()}"
+            )
+
+        fact_variable = classifier.head[0]
+        measure_fact_variable = measure.head[0]
+        if fact_variable != measure_fact_variable:
+            raise QueryDefinitionError(
+                f"classifier and measure must be rooted in the same variable; got "
+                f"?{fact_variable.name} and ?{measure_fact_variable.name}"
+            )
+        classifier.require_rooted()
+        measure.require_rooted()
+
+        dimensions = classifier.head[1:]
+        dimension_names = tuple(variable.name for variable in dimensions)
+        measure_variable = measure.head[1]
+
+        reserved = {fact_variable.name, measure_variable.name, KEY_COLUMN}
+        clashes = [name_ for name_ in dimension_names if name_ in reserved]
+        if clashes:
+            raise QueryDefinitionError(
+                f"dimension names {clashes} clash with the fact variable, the measure variable "
+                f"or the reserved key column {KEY_COLUMN!r}"
+            )
+        if measure_variable.name in (fact_variable.name, KEY_COLUMN):
+            raise QueryDefinitionError(
+                f"the measure variable ?{measure_variable.name} clashes with a reserved name"
+            )
+
+        if sigma is None:
+            sigma = Sigma(dimension_names)
+        elif tuple(sigma.dimensions) != dimension_names:
+            raise QueryDefinitionError(
+                f"Σ ranges over {tuple(sigma.dimensions)} but the classifier dimensions are "
+                f"{dimension_names}"
+            )
+
+        if schema is not None:
+            schema.check_homomorphic(classifier)
+            schema.check_homomorphic(measure)
+
+        self.name = name
+        self.classifier = classifier
+        self.measure = measure
+        self.aggregate = get_aggregate(aggregate)
+        self.sigma = sigma
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def fact_variable(self) -> Variable:
+        """The variable ``x`` to which facts are bound."""
+        return self.classifier.head[0]
+
+    @property
+    def dimensions(self) -> Tuple[Variable, ...]:
+        """The dimension variables ``d₁, ..., dₙ``."""
+        return self.classifier.head[1:]
+
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        return tuple(variable.name for variable in self.dimensions)
+
+    @property
+    def measure_variable(self) -> Variable:
+        """The measure value variable ``v``."""
+        return self.measure.head[1]
+
+    @property
+    def arity(self) -> int:
+        """The number of dimensions of the cube this query defines."""
+        return len(self.dimensions)
+
+    def is_extended(self) -> bool:
+        """True when Σ restricts at least one dimension."""
+        return not self.sigma.is_unrestricted()
+
+    # ------------------------------------------------------------------
+    # derived queries
+    # ------------------------------------------------------------------
+
+    def measure_bar(self) -> BGPQuery:
+        """The ``m̄`` query of Definition 3: same body as m, head = all body variables."""
+        return self.measure.all_variables_head()
+
+    # ------------------------------------------------------------------
+    # transformation helpers (used by the OLAP operations)
+    # ------------------------------------------------------------------
+
+    def with_sigma(self, sigma: Sigma, name: Optional[str] = None) -> "AnalyticalQuery":
+        """Return the same query with a different Σ (SLICE / DICE)."""
+        return AnalyticalQuery(
+            self.classifier,
+            self.measure,
+            self.aggregate,
+            sigma=sigma,
+            schema=self.schema,
+            name=name or self.name,
+        )
+
+    def with_dimensions(
+        self,
+        dimension_names: Sequence[str],
+        sigma: Optional[Sigma] = None,
+        name: Optional[str] = None,
+    ) -> "AnalyticalQuery":
+        """Return a query whose classifier head is ``(x, dims...)`` with the same body.
+
+        Used by DRILL-OUT (removing dimensions) and DRILL-IN (adding a body
+        variable as a new dimension).  Every requested dimension must occur
+        in the classifier body.
+        """
+        head = [self.fact_variable] + [Variable(dimension) for dimension in dimension_names]
+        body_variable_names = {variable.name for variable in self.classifier.variables()}
+        missing = [dimension for dimension in dimension_names if dimension not in body_variable_names]
+        if missing:
+            raise QueryDefinitionError(
+                f"dimensions {missing} do not occur in the classifier body"
+            )
+        classifier = self.classifier.with_head(head, name=self.classifier.name)
+        return AnalyticalQuery(
+            classifier,
+            self.measure,
+            self.aggregate,
+            sigma=sigma,
+            schema=self.schema,
+            name=name or self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line description in the paper's notation."""
+        lines = [
+            f"{self.name} :- ⟨c_Σ(?{self.fact_variable.name}, "
+            + ", ".join(f"?{name}" for name in self.dimension_names)
+            + f"), m(?{self.fact_variable.name}, ?{self.measure_variable.name}), "
+            + f"{self.aggregate.name}⟩",
+            f"  classifier: {self.classifier.to_text()}",
+            f"  measure:    {self.measure.to_text()}",
+            f"  {self.sigma.describe()}",
+        ]
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnalyticalQuery):
+            return NotImplemented
+        return (
+            self.classifier == other.classifier
+            and self.measure == other.measure
+            and self.aggregate.name == other.aggregate.name
+            and self.sigma == other.sigma
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"AnalyticalQuery({self.name}: {len(self.dimensions)} dimensions, "
+            f"aggregate={self.aggregate.name})"
+        )

@@ -1,0 +1,34 @@
+"""Benchmark harness: timing helpers, experiment workloads, Markdown reports."""
+
+from repro.bench.harness import Measurement, ResultTable, compare_callables, time_callable
+from repro.bench.reporting import report_to_markdown, table_to_markdown, write_report
+from repro.bench.workloads import (
+    SCALES,
+    experiment_aggregates,
+    experiment_dice_selectivity,
+    experiment_dimensionality,
+    experiment_multivalue_fanout,
+    experiment_operations_table,
+    experiment_pres_storage,
+    experiment_scaling,
+    run_all_experiments,
+)
+
+__all__ = [
+    "Measurement",
+    "ResultTable",
+    "time_callable",
+    "compare_callables",
+    "table_to_markdown",
+    "report_to_markdown",
+    "write_report",
+    "SCALES",
+    "experiment_operations_table",
+    "experiment_scaling",
+    "experiment_dice_selectivity",
+    "experiment_multivalue_fanout",
+    "experiment_dimensionality",
+    "experiment_pres_storage",
+    "experiment_aggregates",
+    "run_all_experiments",
+]

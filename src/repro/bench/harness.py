@@ -1,0 +1,125 @@
+"""Timing harness and result tables for the experiment suite.
+
+The pytest-benchmark files under ``benchmarks/`` measure individual
+operations; this module provides the complementary *report* layer used by
+the examples, by EXPERIMENTS.md regeneration and by the benchmark modules'
+table printing: run a set of (labelled) callables a few times, collect
+milliseconds, and render rows the way the paper's evaluation tables do
+(operation, strategy, input size, time, speedup).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Measurement", "ResultTable", "time_callable", "compare_callables"]
+
+
+@dataclass
+class Measurement:
+    """The timing result of one measured callable."""
+
+    label: str
+    seconds: List[float] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds) if self.seconds else float("nan")
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.seconds) if self.seconds else float("nan")
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.seconds) if self.seconds else float("nan")
+
+    def milliseconds(self) -> float:
+        """Median runtime in milliseconds (the figure reported in tables)."""
+        return self.median * 1000.0
+
+
+def time_callable(
+    label: str,
+    function: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 1,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Measurement:
+    """Time ``function`` ``repeats`` times after ``warmup`` unmeasured runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    for _ in range(warmup):
+        function()
+    measurement = Measurement(label=label, metadata=dict(metadata or {}))
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        measurement.seconds.append(time.perf_counter() - started)
+    return measurement
+
+
+def compare_callables(
+    cases: Sequence[tuple],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> List[Measurement]:
+    """Time several ``(label, callable)`` or ``(label, callable, metadata)`` cases."""
+    measurements = []
+    for case in cases:
+        if len(case) == 2:
+            label, function = case
+            metadata = None
+        else:
+            label, function, metadata = case
+        measurements.append(time_callable(label, function, repeats=repeats, warmup=warmup, metadata=metadata))
+    return measurements
+
+
+class ResultTable:
+    """A small column-aligned text table (the shape of the paper's tables)."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values ({self.columns}), got {len(values)}"
+            )
+        self.rows.append([self._render(value) for value in values])
+
+    @staticmethod
+    def _render(value: object) -> str:
+        if isinstance(value, float):
+            if value >= 100:
+                return f"{value:.1f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def to_text(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append("  ".join(column.ljust(width) for column, width in zip(self.columns, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.to_text())
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,37 @@
+"""Rendering experiment tables as Markdown (for EXPERIMENTS.md regeneration)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bench.harness import ResultTable
+
+__all__ = ["table_to_markdown", "report_to_markdown", "write_report"]
+
+
+def table_to_markdown(table: ResultTable) -> str:
+    """Render one :class:`ResultTable` as a GitHub-flavoured Markdown table."""
+    lines: List[str] = []
+    if table.title:
+        lines.append(f"### {table.title}")
+        lines.append("")
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def report_to_markdown(tables: Iterable[ResultTable], heading: str = "Experiment results") -> str:
+    """Render several tables as one Markdown document."""
+    parts = [f"# {heading}", ""]
+    for table in tables:
+        parts.append(table_to_markdown(table))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(tables: Iterable[ResultTable], path: str, heading: str = "Experiment results") -> None:
+    """Write a Markdown report of the given tables to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report_to_markdown(tables, heading=heading))

@@ -1,0 +1,443 @@
+"""Experiment workload definitions (the EXP-* index of DESIGN.md).
+
+Each experiment is a function returning a :class:`~repro.bench.harness.ResultTable`
+with the rows/series the corresponding table or figure of the evaluation
+reports: the OLAP operation, the answering strategy (rewriting vs. from
+scratch), instance / materialized-input sizes, the measured times and the
+speedup.  The pytest-benchmark modules under ``benchmarks/`` reuse the same
+building blocks for statistically careful per-operation timing; these
+functions are about regenerating whole tables/series in one call (used by
+``examples/`` and to fill EXPERIMENTS.md).
+
+All experiments accept a ``scale`` knob so they can be run quickly in CI
+(`scale="small"`) or at a size closer to the paper's setting
+(`scale="paper"`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.query import AnalyticalQuery
+from repro.bench.harness import Measurement, ResultTable, time_callable
+from repro.datagen.blogger import BloggerConfig, blogger_dataset, sites_per_blogger_query, words_per_blogger_query
+from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+from repro.datagen.videos import VideoConfig, video_dataset, views_per_url_query
+from repro.olap.cube import Cube
+from repro.olap.operations import Dice, DrillIn, DrillOut, OLAPOperation, Slice
+from repro.olap.rewriting import drill_out_from_answer_naive
+from repro.olap.session import OLAPSession
+
+__all__ = [
+    "SCALES",
+    "bench_scale_from_env",
+    "experiment_operations_table",
+    "experiment_scaling",
+    "experiment_dice_selectivity",
+    "experiment_multivalue_fanout",
+    "experiment_dimensionality",
+    "experiment_pres_storage",
+    "experiment_aggregates",
+    "run_all_experiments",
+]
+
+#: Named experiment scales: triple-count targets for the scaling sweeps and
+#: fact counts for the fixed-size experiments.
+SCALES: Dict[str, Dict[str, object]] = {
+    "tiny": {"facts": 200, "sweep": [100, 200, 400], "bloggers": 150, "videos": 150, "repeats": 2},
+    "small": {"facts": 1000, "sweep": [250, 500, 1000, 2000], "bloggers": 600, "videos": 500, "repeats": 3},
+    "paper": {"facts": 5000, "sweep": [1000, 2000, 5000, 10000, 20000], "bloggers": 3000, "videos": 2000, "repeats": 3},
+}
+
+
+def _scale(scale: str) -> Dict[str, object]:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+def bench_scale_from_env(default: str = "small") -> str:
+    """The benchmark scale selected via the ``REPRO_BENCH_SCALE`` environment variable."""
+    import os
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", default)
+    if scale not in SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    return scale
+
+
+def _first_dimension_value(session: OLAPSession, query: AnalyticalQuery, dimension: str):
+    """A dimension value present in the materialized answer (for SLICE/DICE)."""
+    cube = Cube(session.materialized(query).answer, query)
+    values = sorted(cube.dimension_values(dimension), key=repr)
+    if not values:
+        raise ValueError(f"dimension {dimension!r} has no values in the answer of {query.name!r}")
+    return values[0]
+
+
+def _dimension_values(session: OLAPSession, query: AnalyticalQuery, dimension: str, count: int) -> list:
+    cube = Cube(session.materialized(query).answer, query)
+    values = sorted(cube.dimension_values(dimension), key=repr)
+    return values[: max(1, count)]
+
+
+# ---------------------------------------------------------------------------
+# EXP-1: per-operation comparison on the blogger scenario (Table 1)
+# ---------------------------------------------------------------------------
+
+
+def experiment_operations_table(scale: str = "small", repeats: Optional[int] = None) -> ResultTable:
+    """EXP-1: rewriting vs. from-scratch for each OLAP operation, fixed instance."""
+    parameters = _scale(scale)
+    repeats = repeats or int(parameters["repeats"])
+    dataset = blogger_dataset(BloggerConfig(bloggers=int(parameters["bloggers"])))
+    session = OLAPSession(dataset.instance, dataset.schema)
+    query = sites_per_blogger_query(dataset.schema)
+    session.execute(query)
+
+    age = _first_dimension_value(session, query, "dage")
+    cities = _dimension_values(session, query, "dcity", 3)
+    operations: List[Tuple[str, OLAPOperation]] = [
+        ("SLICE", Slice("dage", age)),
+        ("DICE", Dice({"dage": (20, 40), "dcity": cities})),
+        ("DRILL-OUT", DrillOut("dage")),
+        ("DRILL-IN", DrillIn("p")),
+    ]
+    # DRILL-IN needs a classifier body variable; the Example 1 classifier has
+    # none beyond the dimensions, so use the words query (same classifier)
+    # drilled into via a richer classifier: instead, drill in on the video
+    # scenario below.  For the blogger table we use a classifier that walks
+    # posts.  Simpler: skip DRILL-IN here if not applicable.
+    table = ResultTable(
+        ["operation", "strategy", "input rows", "time (ms)", "speedup", "cells", "equal"],
+        title=f"EXP-1 — OLAP operations on the blogger cube ({len(dataset.instance)} instance triples)",
+    )
+    materialized = session.materialized(query)
+    for label, operation in operations:
+        try:
+            operation.validate(query)
+        except Exception:
+            continue
+        comparison = session.compare_strategies(query, operation)
+        rewrite_ms = comparison["rewrite_seconds"] * 1000
+        scratch_ms = comparison["scratch_seconds"] * 1000
+        input_rows = (
+            len(materialized.answer)
+            if label in ("SLICE", "DICE")
+            else len(materialized.partial)
+        )
+        table.add_row(label, "rewrite", input_rows, rewrite_ms, comparison["speedup"], len(comparison["rewrite_cube"]), comparison["equal"])
+        table.add_row(label, "scratch", len(dataset.instance), scratch_ms, 1.0, len(comparison["scratch_cube"]), comparison["equal"])
+
+    # DRILL-IN on the video scenario (Example 6 structure).
+    video = video_dataset(VideoConfig(videos=int(parameters["videos"])))
+    video_session = OLAPSession(video.instance, video.schema)
+    video_query = views_per_url_query(video.schema)
+    video_session.execute(video_query)
+    comparison = video_session.compare_strategies(video_query, DrillIn("d3"))
+    video_materialized = video_session.materialized(video_query)
+    table.add_row(
+        "DRILL-IN", "rewrite", len(video_materialized.partial),
+        comparison["rewrite_seconds"] * 1000, comparison["speedup"],
+        len(comparison["rewrite_cube"]), comparison["equal"],
+    )
+    table.add_row(
+        "DRILL-IN", "scratch", len(video.instance),
+        comparison["scratch_seconds"] * 1000, 1.0,
+        len(comparison["scratch_cube"]), comparison["equal"],
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# EXP-2/3/4: scaling sweeps (Figures A-C)
+# ---------------------------------------------------------------------------
+
+
+def experiment_scaling(
+    operation_kind: str = "slice",
+    scale: str = "small",
+    repeats: Optional[int] = None,
+) -> ResultTable:
+    """EXP-2/3/4: rewriting vs. scratch as the instance grows.
+
+    ``operation_kind`` is one of ``"slice"``, ``"dice"``, ``"drill-out"``,
+    ``"drill-in"``.
+    """
+    parameters = _scale(scale)
+    repeats = repeats or int(parameters["repeats"])
+    sweep: Sequence[int] = parameters["sweep"]  # type: ignore[assignment]
+    table = ResultTable(
+        ["facts", "instance triples", "pres rows", "rewrite (ms)", "scratch (ms)", "speedup", "equal"],
+        title=f"EXP scaling — {operation_kind.upper()} rewriting vs. scratch",
+    )
+    for facts in sweep:
+        config = GenericConfig(
+            facts=int(facts),
+            dimensions=3,
+            values_per_dimension=1.4,
+            measures_per_fact=2.0,
+            with_detail=True,
+        )
+        dataset = generic_dataset(config)
+        query = generic_query(config, aggregate="count", include_detail_in_classifier=(operation_kind == "drill-in"))
+        session = OLAPSession(dataset.instance, dataset.schema)
+        session.execute(query)
+        operation = _operation_for(operation_kind, session, query)
+        comparison = session.compare_strategies(query, operation)
+        table.add_row(
+            facts,
+            len(dataset.instance),
+            len(session.materialized(query).partial),
+            comparison["rewrite_seconds"] * 1000,
+            comparison["scratch_seconds"] * 1000,
+            comparison["speedup"],
+            comparison["equal"],
+        )
+    return table
+
+
+def _operation_for(kind: str, session: OLAPSession, query: AnalyticalQuery) -> OLAPOperation:
+    if kind == "slice":
+        value = _first_dimension_value(session, query, query.dimension_names[0])
+        return Slice(query.dimension_names[0], value)
+    if kind == "dice":
+        first = _dimension_values(session, query, query.dimension_names[0], 5)
+        second = _dimension_values(session, query, query.dimension_names[1], 5)
+        return Dice({query.dimension_names[0]: first, query.dimension_names[1]: second})
+    if kind == "drill-out":
+        return DrillOut(query.dimension_names[-1])
+    if kind == "drill-in":
+        return DrillIn("da")
+    raise ValueError(f"unknown operation kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# EXP-5: DICE selectivity sweep (Figure D)
+# ---------------------------------------------------------------------------
+
+
+def experiment_dice_selectivity(scale: str = "small") -> ResultTable:
+    """EXP-5: DICE cost as the retained fraction of dimension values varies."""
+    parameters = _scale(scale)
+    config = GenericConfig(facts=int(parameters["facts"]), dimensions=2, dimension_cardinality=50)
+    dataset = generic_dataset(config)
+    query = dataset.query
+    session = OLAPSession(dataset.instance, dataset.schema)
+    session.execute(query)
+    dimension = query.dimension_names[0]
+    all_values = sorted(
+        Cube(session.materialized(query).answer, query).dimension_values(dimension), key=repr
+    )
+    table = ResultTable(
+        ["selectivity", "values kept", "rewrite (ms)", "scratch (ms)", "speedup", "cells", "equal"],
+        title="EXP-5 — DICE selectivity sweep",
+    )
+    for fraction in (0.05, 0.1, 0.25, 0.5, 0.75, 1.0):
+        keep = max(1, int(len(all_values) * fraction))
+        operation = Dice({dimension: all_values[:keep]})
+        comparison = session.compare_strategies(query, operation)
+        table.add_row(
+            f"{fraction:.2f}",
+            keep,
+            comparison["rewrite_seconds"] * 1000,
+            comparison["scratch_seconds"] * 1000,
+            comparison["speedup"],
+            len(comparison["rewrite_cube"]),
+            comparison["equal"],
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# EXP-6: multi-valuedness fan-out (Figure E) + naive-ans error demonstration
+# ---------------------------------------------------------------------------
+
+
+def experiment_multivalue_fanout(scale: str = "small") -> ResultTable:
+    """EXP-6: drill-out under increasing dimension fan-out.
+
+    Reports both the performance of Algorithm 1 and the *correctness gap* of
+    the naive ans(Q)-based re-aggregation (Example 5): the number of cube
+    cells whose naive value differs from the correct one.
+    """
+    parameters = _scale(scale)
+    table = ResultTable(
+        ["fan-out", "pres rows", "rewrite (ms)", "scratch (ms)", "speedup", "naive wrong cells", "equal"],
+        title="EXP-6 — DRILL-OUT vs. dimension multi-valuedness",
+    )
+    for fanout in (1.0, 1.25, 1.5, 2.0, 3.0):
+        config = GenericConfig(
+            facts=int(parameters["facts"]),
+            dimensions=2,
+            values_per_dimension=fanout,
+            measures_per_fact=1.5,
+            with_detail=False,
+        )
+        dataset = generic_dataset(config)
+        query = generic_query(config, aggregate="sum")
+        session = OLAPSession(dataset.instance, dataset.schema)
+        session.execute(query)
+        operation = DrillOut(query.dimension_names[-1])
+        comparison = session.compare_strategies(query, operation)
+
+        transformed = operation.apply(query)
+        naive = drill_out_from_answer_naive(session.materialized(query).answer, transformed)
+        correct_cube = comparison["scratch_cube"]
+        naive_cube = Cube(naive, transformed)
+        wrong = _differing_cells(naive_cube, correct_cube)
+        table.add_row(
+            f"{fanout:.2f}",
+            len(session.materialized(query).partial),
+            comparison["rewrite_seconds"] * 1000,
+            comparison["scratch_seconds"] * 1000,
+            comparison["speedup"],
+            wrong,
+            comparison["equal"],
+        )
+    return table
+
+
+def _differing_cells(left: Cube, right: Cube) -> int:
+    from repro.algebra.expressions import comparable
+
+    left_cells = {tuple(comparable(v) for v in key): comparable(value) for key, value in left}
+    right_cells = {tuple(comparable(v) for v in key): comparable(value) for key, value in right}
+    keys = set(left_cells) | set(right_cells)
+    differing = 0
+    for key in keys:
+        if key not in left_cells or key not in right_cells:
+            differing += 1
+            continue
+        a, b = left_cells[key], right_cells[key]
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            if abs(float(a) - float(b)) > 1e-9:
+                differing += 1
+        elif a != b:
+            differing += 1
+    return differing
+
+
+# ---------------------------------------------------------------------------
+# EXP-7: dimensionality (Table 2)
+# ---------------------------------------------------------------------------
+
+
+def experiment_dimensionality(scale: str = "small") -> ResultTable:
+    """EXP-7: drill-out / drill-in cost as the number of dimensions grows."""
+    parameters = _scale(scale)
+    table = ResultTable(
+        ["dimensions", "operation", "rewrite (ms)", "scratch (ms)", "speedup", "equal"],
+        title="EXP-7 — varying the number of classifier dimensions",
+    )
+    for dimensions in (2, 3, 4, 5):
+        config = GenericConfig(
+            facts=int(parameters["facts"]),
+            dimensions=dimensions,
+            values_per_dimension=1.3,
+            with_detail=True,
+        )
+        dataset = generic_dataset(config)
+        session = OLAPSession(dataset.instance, dataset.schema)
+
+        query = generic_query(config, aggregate="count")
+        session.execute(query)
+        comparison = session.compare_strategies(query, DrillOut(query.dimension_names[-1]))
+        table.add_row(
+            dimensions, "DRILL-OUT",
+            comparison["rewrite_seconds"] * 1000, comparison["scratch_seconds"] * 1000,
+            comparison["speedup"], comparison["equal"],
+        )
+
+        detail_query = generic_query(
+            config, aggregate="count", include_detail_in_classifier=True, name="Qd"
+        )
+        session.execute(detail_query)
+        comparison = session.compare_strategies(detail_query, DrillIn("da"))
+        table.add_row(
+            dimensions, "DRILL-IN",
+            comparison["rewrite_seconds"] * 1000, comparison["scratch_seconds"] * 1000,
+            comparison["speedup"], comparison["equal"],
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# EXP-8: pres(Q) storage ablation
+# ---------------------------------------------------------------------------
+
+
+def experiment_pres_storage(scale: str = "small") -> ResultTable:
+    """EXP-8: size of the materialized inputs relative to the instance."""
+    parameters = _scale(scale)
+    sweep: Sequence[int] = parameters["sweep"]  # type: ignore[assignment]
+    table = ResultTable(
+        ["facts", "instance triples", "ans cells", "pres rows", "int rows", "pres/instance"],
+        title="EXP-8 — materialized-input sizes (ans, pres, int) vs. instance size",
+    )
+    for facts in sweep:
+        config = GenericConfig(facts=int(facts), dimensions=3, values_per_dimension=1.4)
+        dataset = generic_dataset(config)
+        evaluator = AnalyticalQueryEvaluator(dataset.instance)
+        query = dataset.query
+        partial = evaluator.partial_result(query)
+        answer = evaluator.answer_from_partial(query, partial)
+        intermediary = evaluator.intermediary_result(query)
+        ratio = len(partial) / max(len(dataset.instance), 1)
+        table.add_row(facts, len(dataset.instance), len(answer), len(partial), len(intermediary), ratio)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# EXP-9: aggregation-function ablation
+# ---------------------------------------------------------------------------
+
+
+def experiment_aggregates(scale: str = "small") -> ResultTable:
+    """EXP-9: effect of the aggregation function on drill-out rewriting."""
+    parameters = _scale(scale)
+    dataset = blogger_dataset(BloggerConfig(bloggers=int(parameters["bloggers"])))
+    table = ResultTable(
+        ["aggregate", "distributive", "rewrite (ms)", "scratch (ms)", "speedup", "equal"],
+        title="EXP-9 — DRILL-OUT under different aggregation functions",
+    )
+    for aggregate in ("count", "sum", "avg", "min", "max"):
+        query = words_per_blogger_query(dataset.schema, name=f"Q_{aggregate}")
+        query = AnalyticalQuery(
+            query.classifier, query.measure, aggregate, schema=dataset.schema, name=f"Q_{aggregate}"
+        )
+        session = OLAPSession(dataset.instance, dataset.schema)
+        session.execute(query)
+        comparison = session.compare_strategies(query, DrillOut("dage"))
+        table.add_row(
+            aggregate,
+            query.aggregate.distributive,
+            comparison["rewrite_seconds"] * 1000,
+            comparison["scratch_seconds"] * 1000,
+            comparison["speedup"],
+            comparison["equal"],
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+
+
+def run_all_experiments(scale: str = "small") -> List[ResultTable]:
+    """Run every experiment at the given scale and return their tables."""
+    tables = [
+        experiment_operations_table(scale),
+        experiment_scaling("slice", scale),
+        experiment_scaling("dice", scale),
+        experiment_scaling("drill-out", scale),
+        experiment_scaling("drill-in", scale),
+        experiment_dice_selectivity(scale),
+        experiment_multivalue_fanout(scale),
+        experiment_dimensionality(scale),
+        experiment_pres_storage(scale),
+        experiment_aggregates(scale),
+    ]
+    return tables

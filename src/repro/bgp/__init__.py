@@ -1,0 +1,24 @@
+"""BGP (conjunctive SPARQL) queries: model, parsing, ordering, evaluation.
+
+* :mod:`repro.bgp.query` — the :class:`BGPQuery` model (heads, bodies,
+  rootedness, the ``m̄`` construction);
+* :mod:`repro.bgp.parser` — the ``q(?x) :- ?x ex:p ?y`` textual syntax;
+* :mod:`repro.bgp.optimizer` — greedy selectivity-based join ordering;
+* :mod:`repro.bgp.evaluator` — set/bag-semantics evaluation over a graph.
+"""
+
+from repro.bgp.evaluator import BGPEvaluator, evaluate_query
+from repro.bgp.optimizer import estimate_pattern_cost, order_patterns
+from repro.bgp.parser import default_prefixes, parse_query, parse_triple_patterns
+from repro.bgp.query import BGPQuery
+
+__all__ = [
+    "BGPQuery",
+    "BGPEvaluator",
+    "evaluate_query",
+    "parse_query",
+    "parse_triple_patterns",
+    "default_prefixes",
+    "order_patterns",
+    "estimate_pattern_cost",
+]

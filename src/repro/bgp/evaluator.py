@@ -1,0 +1,192 @@
+"""BGP query evaluation over an RDF graph.
+
+The evaluator enumerates the homomorphisms (total variable bindings) of a
+query body into the graph by processing triple patterns one at a time in an
+optimizer-chosen order, then projects the bindings onto the query head:
+
+* with **set semantics** (default) duplicate head rows are eliminated — the
+  semantics of classifiers and of AnS node/edge definitions;
+* with **bag semantics** one output row is produced per homomorphism — the
+  semantics of measure queries, where the number of embeddings matters
+  (Section 2 of the paper).
+
+The inner loop works on dictionary-encoded term identifiers so that binding
+extension is a matter of integer index lookups; terms are only decoded when
+producing the final relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.algebra.relation import Relation
+from repro.rdf.graph import Graph
+from repro.rdf.statistics import GraphStatistics
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triples import TriplePattern
+from repro.bgp.optimizer import order_patterns
+from repro.bgp.query import BGPQuery
+
+__all__ = ["BGPEvaluator", "evaluate_query"]
+
+#: A partial binding maps variables to encoded term ids.
+_IdBinding = Dict[Variable, int]
+
+
+class BGPEvaluator:
+    """Evaluates BGP queries over one graph, reusing its statistics.
+
+    Create one evaluator per graph when several queries are evaluated (the
+    analytics layer does this); the statistics used for join ordering are
+    then computed once.
+    """
+
+    def __init__(self, graph: Graph, statistics: Optional[GraphStatistics] = None):
+        self._graph = graph
+        self._statistics = statistics if statistics is not None else GraphStatistics(graph)
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def statistics(self) -> GraphStatistics:
+        return self._statistics
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: BGPQuery,
+        semantics: str = "set",
+        initial_binding: Optional[Dict[Variable, Term]] = None,
+    ) -> Relation:
+        """Evaluate ``query`` and return a relation over its head variables.
+
+        Parameters
+        ----------
+        query:
+            The BGP query to evaluate.
+        semantics:
+            ``"set"`` (deduplicate head rows) or ``"bag"`` (one row per
+            homomorphism of the body).
+        initial_binding:
+            Optional pre-bindings of some variables to ground terms (used by
+            extended classifiers); variables bound here may also appear in
+            the head.
+        """
+        if semantics not in ("set", "bag"):
+            raise EvaluationError(f"unknown semantics {semantics!r}; expected 'set' or 'bag'")
+
+        head_names = query.head_names
+        bindings = self._solve(query, initial_binding)
+        decode = self._graph.decode_id
+
+        rows: List[Tuple] = []
+        head_variables = query.head
+        for binding in bindings:
+            try:
+                rows.append(tuple(decode(binding[variable]) for variable in head_variables))
+            except KeyError as exc:  # pragma: no cover - guarded by query safety check
+                raise EvaluationError(
+                    f"head variable {exc.args[0]!r} unbound after evaluation"
+                ) from exc
+        relation = Relation(head_names, rows)
+        if semantics == "set":
+            return _distinct(relation)
+        return relation
+
+    def count(self, query: BGPQuery, semantics: str = "set") -> int:
+        """Return the number of answers without materializing term objects."""
+        return len(self.evaluate(query, semantics=semantics))
+
+    # ------------------------------------------------------------------
+    # core solving loop (id level)
+    # ------------------------------------------------------------------
+
+    def _solve(
+        self, query: BGPQuery, initial_binding: Optional[Dict[Variable, Term]] = None
+    ) -> List[_IdBinding]:
+        graph = self._graph
+        start_binding: _IdBinding = {}
+        if initial_binding:
+            for variable, term in initial_binding.items():
+                term_id = graph.encode_term(term)
+                if term_id is None:
+                    return []  # a pre-bound constant absent from the graph: no answers
+                start_binding[variable] = term_id
+
+        ordered = order_patterns(
+            query.body, self._statistics, bound_variables=set(start_binding)
+        )
+
+        bindings: List[_IdBinding] = [start_binding]
+        for pattern in ordered:
+            if not bindings:
+                return []
+            bindings = self._extend(bindings, pattern)
+        return bindings
+
+    def _extend(self, bindings: List[_IdBinding], pattern: TriplePattern) -> List[_IdBinding]:
+        graph = self._graph
+        positions = pattern.as_tuple()
+
+        # Pre-encode constant positions once; an unknown constant means the
+        # pattern (hence the whole conjunction) has no matches.
+        constant_ids: List[Optional[int]] = []
+        for term in positions:
+            if isinstance(term, Variable):
+                constant_ids.append(None)
+            else:
+                term_id = graph.encode_term(term)
+                if term_id is None:
+                    return []
+                constant_ids.append(term_id)
+
+        variable_positions = [
+            (index, term) for index, term in enumerate(positions) if isinstance(term, Variable)
+        ]
+
+        extended: List[_IdBinding] = []
+        for binding in bindings:
+            # Build the id-level pattern for this binding.
+            lookup: List[Optional[int]] = list(constant_ids)
+            for index, variable in variable_positions:
+                bound = binding.get(variable)
+                if bound is not None:
+                    lookup[index] = bound
+            for triple_ids in graph.match_ids(lookup[0], lookup[1], lookup[2]):
+                new_binding = dict(binding)
+                consistent = True
+                for index, variable in variable_positions:
+                    value = triple_ids[index]
+                    existing = new_binding.get(variable)
+                    if existing is None:
+                        new_binding[variable] = value
+                    elif existing != value:
+                        consistent = False
+                        break
+                if consistent:
+                    extended.append(new_binding)
+        return extended
+
+
+def _distinct(relation: Relation) -> Relation:
+    seen = set()
+    rows = []
+    for row in relation:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Relation(relation.columns, rows)
+
+
+def evaluate_query(
+    query: BGPQuery,
+    graph: Graph,
+    semantics: str = "set",
+    statistics: Optional[GraphStatistics] = None,
+) -> Relation:
+    """One-shot convenience wrapper around :class:`BGPEvaluator`."""
+    return BGPEvaluator(graph, statistics).evaluate(query, semantics=semantics)

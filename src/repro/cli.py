@@ -1,0 +1,123 @@
+"""Command-line interface: generate datasets, run the experiment suite, inspect cubes.
+
+Installed as the ``repro-olap`` console script (also runnable as
+``python -m repro.cli``).  Subcommands:
+
+``generate``
+    Generate one of the synthetic scenarios (blogger / video / generic) and
+    write its base graph and AnS instance as N-Triples files.
+
+``experiments``
+    Run the EXP-1 … EXP-9 experiment workloads at a chosen scale and write a
+    Markdown report (the same harness that fills EXPERIMENTS.md).
+
+``demo``
+    Run the paper's running example end to end and print the cube, the OLAP
+    transformations and the rewriting-vs-scratch comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.reporting import write_report
+from repro.bench.workloads import SCALES, run_all_experiments
+from repro.datagen import (
+    BloggerConfig,
+    GenericConfig,
+    VideoConfig,
+    blogger_dataset,
+    generic_dataset,
+    video_dataset,
+)
+from repro.datagen.blogger import sites_per_blogger_query
+from repro.olap import Dice, DrillOut, OLAPSession, Slice
+from repro.rdf.ntriples import dump_ntriples
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-olap",
+        description="Efficient OLAP operations for RDF analytics (paper reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("scenario", choices=["blogger", "video", "generic"])
+    generate.add_argument("--size", type=int, default=500, help="facts / bloggers / videos to generate")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--base-output", default=None, help="N-Triples path for the base graph")
+    generate.add_argument("--instance-output", default=None, help="N-Triples path for the AnS instance")
+
+    experiments = subparsers.add_parser("experiments", help="run the experiment suite")
+    experiments.add_argument("--scale", choices=sorted(SCALES), default="small")
+    experiments.add_argument("--output", default="experiment_report.md", help="Markdown report path")
+
+    demo = subparsers.add_parser("demo", help="run the paper's running example end to end")
+    demo.add_argument("--bloggers", type=int, default=200)
+    return parser
+
+
+def _command_generate(arguments: argparse.Namespace) -> int:
+    if arguments.scenario == "blogger":
+        dataset = blogger_dataset(BloggerConfig(bloggers=arguments.size, seed=arguments.seed))
+    elif arguments.scenario == "video":
+        dataset = video_dataset(VideoConfig(videos=arguments.size, seed=arguments.seed))
+    else:
+        dataset = generic_dataset(GenericConfig(facts=arguments.size, seed=arguments.seed))
+    base_path = arguments.base_output or f"{arguments.scenario}_base.nt"
+    instance_path = arguments.instance_output or f"{arguments.scenario}_instance.nt"
+    dump_ntriples(dataset.base_graph, base_path)
+    dump_ntriples(dataset.instance, instance_path)
+    print(f"base graph:   {len(dataset.base_graph)} triples -> {base_path}")
+    print(f"AnS instance: {len(dataset.instance)} triples -> {instance_path}")
+    return 0
+
+
+def _command_experiments(arguments: argparse.Namespace) -> int:
+    tables = run_all_experiments(arguments.scale)
+    write_report(tables, arguments.output, heading=f"Measured results (scale: {arguments.scale})")
+    for table in tables:
+        print(table.to_text())
+        print()
+    print(f"report written to {arguments.output}")
+    return 0
+
+
+def _command_demo(arguments: argparse.Namespace) -> int:
+    dataset = blogger_dataset(BloggerConfig(bloggers=arguments.bloggers))
+    session = OLAPSession(dataset.instance, dataset.schema)
+    query = sites_per_blogger_query(dataset.schema)
+    cube = session.execute(query)
+    print(f"Instance: {len(dataset.instance)} triples; cube {query.name}: {len(cube)} cells")
+    print(cube.to_text(max_rows=10))
+    print()
+    ages = sorted(cube.dimension_values("dage"), key=repr)
+    for operation in (Slice("dage", ages[0]), Dice({"dage": (20, 40)}), DrillOut("dage")):
+        comparison = session.compare_strategies(query, operation)
+        print(
+            f"{operation.describe():<35} rewrite {comparison['rewrite_seconds'] * 1000:8.2f} ms   "
+            f"scratch {comparison['scratch_seconds'] * 1000:8.2f} ms   "
+            f"speedup {comparison['speedup']:6.1f}x   equal={comparison['equal']}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "generate":
+        return _command_generate(arguments)
+    if arguments.command == "experiments":
+        return _command_experiments(arguments)
+    if arguments.command == "demo":
+        return _command_demo(arguments)
+    return 2  # pragma: no cover - argparse enforces the choices above
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

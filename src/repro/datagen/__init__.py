@@ -1,0 +1,59 @@
+"""Synthetic dataset generators (substitute for the tech report's datasets).
+
+* :mod:`repro.datagen.blogger` — the paper's running example (Figure 1);
+* :mod:`repro.datagen.videos` — the drill-in scenario of Example 6;
+* :mod:`repro.datagen.generic` — a configurable star-shaped generator for
+  scaling / selectivity / fan-out / dimensionality sweeps;
+* :mod:`repro.datagen.distributions` — seeded random helpers.
+"""
+
+from repro.datagen.blogger import (
+    BloggerConfig,
+    BloggerDataset,
+    blogger_base_graph,
+    blogger_dataset,
+    blogger_schema,
+    sites_per_blogger_query,
+    words_per_blogger_query,
+)
+from repro.datagen.distributions import multi_valued_count, pick_uniform, pick_zipf, zipf_index
+from repro.datagen.generic import (
+    GenericConfig,
+    GenericDataset,
+    generic_dataset,
+    generic_query,
+    generic_schema,
+)
+from repro.datagen.videos import (
+    VideoConfig,
+    VideoDataset,
+    video_base_graph,
+    video_dataset,
+    video_schema,
+    views_per_url_query,
+)
+
+__all__ = [
+    "BloggerConfig",
+    "BloggerDataset",
+    "blogger_base_graph",
+    "blogger_schema",
+    "blogger_dataset",
+    "sites_per_blogger_query",
+    "words_per_blogger_query",
+    "VideoConfig",
+    "VideoDataset",
+    "video_base_graph",
+    "video_schema",
+    "video_dataset",
+    "views_per_url_query",
+    "GenericConfig",
+    "GenericDataset",
+    "generic_dataset",
+    "generic_schema",
+    "generic_query",
+    "zipf_index",
+    "pick_zipf",
+    "pick_uniform",
+    "multi_valued_count",
+]

@@ -1,0 +1,272 @@
+"""Synthetic generator for the paper's running example: bloggers and blog posts.
+
+The generated base graph instantiates the analytical schema of Figure 1:
+``Blogger`` resources with names, ages, cities and acquaintances, writing
+``BlogPost`` resources that are posted on ``Site`` resources and have word
+counts.  :func:`blogger_schema` builds the matching
+:class:`~repro.analytics.schema.AnalyticalSchema` and
+:func:`blogger_dataset` bundles base graph, schema and materialized instance.
+
+Knobs
+-----
+``bloggers``             number of bloggers (facts);
+``posts_per_blogger``    average number of posts each blogger writes;
+``sites``                number of distinct sites;
+``cities``, ``ages``     dimension cardinalities;
+``multi_city_fraction``  fraction of bloggers that live in *two* cities
+                         (multi-valued dimension — the RDF-specific
+                         behaviour that breaks naive drill-out);
+``name_variants``        average number of names per blogger (``identifiedBy``
+                         is multi-valued in the paper: user1 is both
+                         "Bill" and "William");
+``missing_age_fraction`` fraction of bloggers with no age at all
+                         (heterogeneity: AnS instances need not be complete).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import EX, RDF, Namespace
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triples import Triple
+from repro.analytics.instance import materialize_instance
+from repro.analytics.schema import AnalyticalSchema
+from repro.datagen.distributions import multi_valued_count, pick_uniform, pick_zipf
+
+__all__ = ["BloggerConfig", "BloggerDataset", "blogger_base_graph", "blogger_schema", "blogger_dataset"]
+
+_RDF_TYPE = RDF.term("type")
+
+_CITY_NAMES = [
+    "Madrid", "NY", "Kyoto", "Paris", "Berlin", "Lisbon", "Oslo", "Rome",
+    "Dublin", "Vienna", "Prague", "Athens", "Helsinki", "Warsaw", "Zagreb",
+    "Tallinn", "Riga", "Porto", "Lyon", "Munich",
+]
+
+_FIRST_NAMES = [
+    "Bill", "William", "Anna", "Maria", "Chen", "Yuki", "Omar", "Lena",
+    "Ivan", "Sofia", "Liam", "Noah", "Emma", "Mila", "Hugo", "Ines",
+]
+
+
+@dataclass
+class BloggerConfig:
+    """Parameters of the blogger data generator."""
+
+    bloggers: int = 100
+    posts_per_blogger: float = 3.0
+    sites: int = 20
+    cities: int = 8
+    ages: int = 40
+    min_age: int = 18
+    multi_city_fraction: float = 0.2
+    name_variants: float = 1.3
+    missing_age_fraction: float = 0.05
+    acquaintances_per_blogger: float = 1.5
+    word_count_max: int = 2000
+    seed: int = 7
+
+    def validate(self) -> None:
+        if self.bloggers <= 0:
+            raise ValueError("bloggers must be positive")
+        if self.sites <= 0 or self.cities <= 0 or self.ages <= 0:
+            raise ValueError("sites, cities and ages must be positive")
+        if not 0.0 <= self.multi_city_fraction <= 1.0:
+            raise ValueError("multi_city_fraction must be in [0, 1]")
+        if not 0.0 <= self.missing_age_fraction <= 1.0:
+            raise ValueError("missing_age_fraction must be in [0, 1]")
+
+
+@dataclass
+class BloggerDataset:
+    """A generated blogger scenario: base graph, schema and AnS instance."""
+
+    config: BloggerConfig
+    base_graph: Graph
+    schema: AnalyticalSchema
+    instance: Graph
+
+
+def blogger_base_graph(config: Optional[BloggerConfig] = None) -> Graph:
+    """Generate the base RDF graph of the blogger scenario."""
+    config = config or BloggerConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    graph = Graph(name=f"bloggers_{config.bloggers}")
+
+    cities: List[IRI] = []
+    for index in range(config.cities):
+        label = _CITY_NAMES[index] if index < len(_CITY_NAMES) else f"City{index}"
+        cities.append(EX.term(f"city/{label}"))
+    sites = [EX.term(f"site/site{index}") for index in range(config.sites)]
+    ages = [Literal(config.min_age + index) for index in range(config.ages)]
+
+    post_counter = 0
+    bloggers = [EX.term(f"user/user{index}") for index in range(config.bloggers)]
+    for blogger_index, blogger in enumerate(bloggers):
+        graph.add(Triple(blogger, _RDF_TYPE, EX.Blogger))
+
+        # Names: multi-valued (identifiedBy), at least one.
+        for _ in range(multi_valued_count(rng, config.name_variants, maximum=4)):
+            graph.add(Triple(blogger, EX.identifiedBy, Literal(pick_uniform(rng, _FIRST_NAMES))))
+
+        # Age: single-valued, possibly missing (heterogeneous data).
+        if rng.random() >= config.missing_age_fraction:
+            graph.add(Triple(blogger, EX.hasAge, pick_uniform(rng, ages)))
+
+        # City: multi-valued for a configurable fraction of bloggers.
+        city_count = 2 if rng.random() < config.multi_city_fraction else 1
+        for city in rng.sample(cities, min(city_count, len(cities))):
+            graph.add(Triple(blogger, EX.livesIn, city))
+
+        # Acquaintances.
+        for _ in range(multi_valued_count(rng, config.acquaintances_per_blogger, maximum=6)):
+            other = pick_uniform(rng, bloggers)
+            if other != blogger:
+                graph.add(Triple(blogger, EX.acquaintedWith, other))
+
+        # Posts, their sites and word counts.
+        post_count = multi_valued_count(rng, config.posts_per_blogger, maximum=12)
+        for _ in range(post_count):
+            post = EX.term(f"post/post{post_counter}")
+            post_counter += 1
+            graph.add(Triple(post, _RDF_TYPE, EX.BlogPost))
+            graph.add(Triple(blogger, EX.wrotePost, post))
+            graph.add(Triple(post, EX.postedOn, pick_zipf(rng, sites, exponent=0.8)))
+            graph.add(Triple(post, EX.hasWordCount, Literal(rng.randrange(50, config.word_count_max))))
+
+    for city in cities:
+        graph.add(Triple(city, _RDF_TYPE, EX.City))
+    for site in sites:
+        graph.add(Triple(site, _RDF_TYPE, EX.Site))
+    return graph
+
+
+def blogger_schema(namespace: Namespace = EX) -> AnalyticalSchema:
+    """The analytical schema of Figure 1 (bloggers, posts, sites, ages, cities...).
+
+    Classes and properties mirror the base vocabulary one-to-one (the
+    identity lens), which keeps the example close to the paper while still
+    exercising the full AnS machinery; richer lenses are shown in the tests.
+    """
+    schema = AnalyticalSchema(name="BloggerAnS", namespace=namespace)
+    schema.add_class_from_type("Blogger")
+    schema.add_class_from_type("BlogPost")
+
+    # Value classes: defined by the objects of the corresponding properties.
+    from repro.rdf.terms import Variable
+    from repro.rdf.triples import TriplePattern
+    from repro.bgp.query import BGPQuery
+
+    def object_class(class_name: str, predicate: IRI) -> None:
+        subject = Variable("s")
+        object_ = Variable("o")
+        schema.add_class(
+            class_name,
+            BGPQuery([object_], [TriplePattern(subject, predicate, object_)], name=f"def_{class_name}"),
+        )
+
+    schema.add_class_from_type("City")
+    schema.add_class_from_type("Site")
+    object_class("Age", namespace.hasAge)
+    object_class("Name", namespace.identifiedBy)
+    object_class("Value", namespace.hasWordCount)
+
+    schema.add_property_from_predicate("acquaintedWith", "Blogger", "Blogger")
+    schema.add_property_from_predicate("identifiedBy", "Blogger", "Name")
+    schema.add_property_from_predicate("hasAge", "Blogger", "Age")
+    schema.add_property_from_predicate("livesIn", "Blogger", "City")
+    schema.add_property_from_predicate("wrotePost", "Blogger", "BlogPost")
+    schema.add_property_from_predicate("postedOn", "BlogPost", "Site")
+    schema.add_property_from_predicate("hasWordCount", "BlogPost", "Value")
+    return schema
+
+
+def blogger_dataset(config: Optional[BloggerConfig] = None) -> BloggerDataset:
+    """Generate base graph + schema + materialized AnS instance in one call."""
+    config = config or BloggerConfig()
+    base_graph = blogger_base_graph(config)
+    schema = blogger_schema()
+    instance = materialize_instance(schema, base_graph, name="blogger_instance")
+    return BloggerDataset(config=config, base_graph=base_graph, schema=schema, instance=instance)
+
+
+# ---------------------------------------------------------------------------
+# The paper's example queries over this scenario
+# ---------------------------------------------------------------------------
+
+
+def sites_per_blogger_query(schema: Optional[AnalyticalSchema] = None, name: str = "Q_sites"):
+    """Example 1: the number of sites each blogger posts on, by age and city.
+
+    ``Q :- ⟨c(x, dage, dcity), m(x, vsite), count⟩``
+    """
+    from repro.rdf.terms import Variable
+    from repro.rdf.triples import TriplePattern
+    from repro.bgp.query import BGPQuery
+    from repro.analytics.query import AnalyticalQuery
+
+    x = Variable("x")
+    dage = Variable("dage")
+    dcity = Variable("dcity")
+    classifier = BGPQuery(
+        [x, dage, dcity],
+        [
+            TriplePattern(x, _RDF_TYPE, EX.Blogger),
+            TriplePattern(x, EX.hasAge, dage),
+            TriplePattern(x, EX.livesIn, dcity),
+        ],
+        name="c",
+    )
+    post = Variable("p")
+    vsite = Variable("vsite")
+    measure = BGPQuery(
+        [x, vsite],
+        [
+            TriplePattern(x, _RDF_TYPE, EX.Blogger),
+            TriplePattern(x, EX.wrotePost, post),
+            TriplePattern(post, EX.postedOn, vsite),
+        ],
+        name="m",
+    )
+    return AnalyticalQuery(classifier, measure, "count", schema=schema, name=name)
+
+
+def words_per_blogger_query(schema: Optional[AnalyticalSchema] = None, name: str = "Q_words"):
+    """Example 4: the average number of words in blog posts, by age and city.
+
+    ``Q :- ⟨c(x, dage, dcity), m(x, vwords), average⟩``
+    """
+    from repro.rdf.terms import Variable
+    from repro.rdf.triples import TriplePattern
+    from repro.bgp.query import BGPQuery
+    from repro.analytics.query import AnalyticalQuery
+
+    x = Variable("x")
+    dage = Variable("dage")
+    dcity = Variable("dcity")
+    classifier = BGPQuery(
+        [x, dage, dcity],
+        [
+            TriplePattern(x, _RDF_TYPE, EX.Blogger),
+            TriplePattern(x, EX.hasAge, dage),
+            TriplePattern(x, EX.livesIn, dcity),
+        ],
+        name="c",
+    )
+    post = Variable("p")
+    vwords = Variable("vwords")
+    measure = BGPQuery(
+        [x, vwords],
+        [
+            TriplePattern(x, _RDF_TYPE, EX.Blogger),
+            TriplePattern(x, EX.wrotePost, post),
+            TriplePattern(post, EX.hasWordCount, vwords),
+        ],
+        name="m",
+    )
+    return AnalyticalQuery(classifier, measure, "avg", schema=schema, name=name)

@@ -1,0 +1,158 @@
+"""Synthetic generator for the video-portal scenario of Example 6 (drill-in).
+
+The base graph contains ``Video`` resources posted on ``Website`` resources;
+each website has a URL and supports one or more browsers; each video has a
+view count.  The scenario is the one used by the paper to illustrate the
+DRILL-IN auxiliary query: the original cube counts views per URL, and the
+drill-in refines it by the supported browser — information absent from
+``pres(Q)`` and fetched from the instance through ``q_aux``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import EX, RDF, Namespace
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triples import Triple
+from repro.analytics.instance import materialize_instance
+from repro.analytics.schema import AnalyticalSchema
+from repro.datagen.distributions import multi_valued_count, pick_uniform, pick_zipf
+
+__all__ = ["VideoConfig", "VideoDataset", "video_base_graph", "video_schema", "video_dataset"]
+
+_RDF_TYPE = RDF.term("type")
+
+_BROWSERS = ["firefox", "chrome", "safari", "edge", "opera"]
+
+
+@dataclass
+class VideoConfig:
+    """Parameters of the video-portal data generator."""
+
+    videos: int = 200
+    websites: int = 30
+    postings_per_video: float = 1.5
+    browsers_per_website: float = 1.6
+    max_views: int = 100_000
+    seed: int = 11
+
+    def validate(self) -> None:
+        if self.videos <= 0 or self.websites <= 0:
+            raise ValueError("videos and websites must be positive")
+        if self.postings_per_video < 1.0:
+            raise ValueError("postings_per_video must be at least 1")
+
+
+@dataclass
+class VideoDataset:
+    """A generated video scenario: base graph, schema and AnS instance."""
+
+    config: VideoConfig
+    base_graph: Graph
+    schema: AnalyticalSchema
+    instance: Graph
+
+
+def video_base_graph(config: Optional[VideoConfig] = None) -> Graph:
+    """Generate the base RDF graph of the video-portal scenario."""
+    config = config or VideoConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    graph = Graph(name=f"videos_{config.videos}")
+
+    websites: List[IRI] = []
+    for index in range(config.websites):
+        website = EX.term(f"website/site{index}")
+        websites.append(website)
+        graph.add(Triple(website, _RDF_TYPE, EX.Website))
+        graph.add(Triple(website, EX.hasUrl, Literal(f"http://videos.example/{index}")))
+        for _ in range(multi_valued_count(rng, config.browsers_per_website, maximum=len(_BROWSERS))):
+            graph.add(Triple(website, EX.supportsBrowser, Literal(pick_uniform(rng, _BROWSERS))))
+
+    for index in range(config.videos):
+        video = EX.term(f"video/video{index}")
+        graph.add(Triple(video, _RDF_TYPE, EX.Video))
+        graph.add(Triple(video, EX.viewNum, Literal(rng.randrange(1, config.max_views))))
+        for _ in range(multi_valued_count(rng, config.postings_per_video, maximum=5)):
+            graph.add(Triple(video, EX.postedOn, pick_zipf(rng, websites, exponent=0.7)))
+    return graph
+
+
+def video_schema(namespace: Namespace = EX) -> AnalyticalSchema:
+    """The analytical schema of the video scenario (Videos, Websites, URLs, browsers)."""
+    from repro.rdf.terms import Variable
+    from repro.rdf.triples import TriplePattern
+    from repro.bgp.query import BGPQuery
+
+    schema = AnalyticalSchema(name="VideoAnS", namespace=namespace)
+    schema.add_class_from_type("Video")
+    schema.add_class_from_type("Website")
+
+    def object_class(class_name: str, predicate: IRI) -> None:
+        subject = Variable("s")
+        object_ = Variable("o")
+        schema.add_class(
+            class_name,
+            BGPQuery([object_], [TriplePattern(subject, predicate, object_)], name=f"def_{class_name}"),
+        )
+
+    object_class("Url", namespace.hasUrl)
+    object_class("Browser", namespace.supportsBrowser)
+    object_class("ViewCount", namespace.viewNum)
+
+    schema.add_property_from_predicate("postedOn", "Video", "Website")
+    schema.add_property_from_predicate("hasUrl", "Website", "Url")
+    schema.add_property_from_predicate("supportsBrowser", "Website", "Browser")
+    schema.add_property_from_predicate("viewNum", "Video", "ViewCount")
+    return schema
+
+
+def video_dataset(config: Optional[VideoConfig] = None) -> VideoDataset:
+    """Generate base graph + schema + materialized AnS instance in one call."""
+    config = config or VideoConfig()
+    base_graph = video_base_graph(config)
+    schema = video_schema()
+    instance = materialize_instance(schema, base_graph, name="video_instance")
+    return VideoDataset(config=config, base_graph=base_graph, schema=schema, instance=instance)
+
+
+def views_per_url_query(schema: Optional[AnalyticalSchema] = None, name: str = "Q_views"):
+    """Example 6: total views per website URL (drill-in target: the browser).
+
+    ``Q :- ⟨c(x, d2), m(x, v), sum⟩`` with the classifier body walking
+    ``postedOn`` / ``hasUrl`` / ``supportsBrowser`` so that the browser
+    variable ``d3`` is available for DRILL-IN.
+    """
+    from repro.rdf.terms import Variable
+    from repro.rdf.triples import TriplePattern
+    from repro.bgp.query import BGPQuery
+    from repro.analytics.query import AnalyticalQuery
+
+    x = Variable("x")
+    website = Variable("d1")
+    url = Variable("d2")
+    browser = Variable("d3")
+    classifier = BGPQuery(
+        [x, url],
+        [
+            TriplePattern(x, _RDF_TYPE, EX.Video),
+            TriplePattern(x, EX.postedOn, website),
+            TriplePattern(website, EX.hasUrl, url),
+            TriplePattern(website, EX.supportsBrowser, browser),
+        ],
+        name="c",
+    )
+    views = Variable("v")
+    measure = BGPQuery(
+        [x, views],
+        [
+            TriplePattern(x, _RDF_TYPE, EX.Video),
+            TriplePattern(x, EX.viewNum, views),
+        ],
+        name="m",
+    )
+    return AnalyticalQuery(classifier, measure, "sum", schema=schema, name=name)

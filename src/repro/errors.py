@@ -1,0 +1,151 @@
+"""Exception hierarchy for the :mod:`repro` RDF analytics library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  More specific subclasses are
+grouped by subsystem (RDF model, parsing, BGP queries, analytics, OLAP).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# RDF model / store
+# ---------------------------------------------------------------------------
+
+
+class RDFError(ReproError):
+    """Base class for errors related to the RDF data model or triple store."""
+
+
+class InvalidTermError(RDFError):
+    """A malformed RDF term was constructed (bad IRI, bad literal, ...)."""
+
+
+class InvalidTripleError(RDFError):
+    """A triple violates RDF positional constraints.
+
+    For instance a literal in subject position, or a literal / blank node in
+    predicate position.
+    """
+
+
+class DictionaryError(RDFError):
+    """A term-dictionary lookup failed (unknown identifier or term)."""
+
+
+class ParseError(RDFError):
+    """Raised by the N-Triples / Turtle parsers on malformed input."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+
+
+class SerializationError(RDFError):
+    """Raised when a graph cannot be serialized in the requested syntax."""
+
+
+# ---------------------------------------------------------------------------
+# Relational algebra
+# ---------------------------------------------------------------------------
+
+
+class AlgebraError(ReproError):
+    """Base class for bag-relational-algebra errors."""
+
+
+class SchemaMismatchError(AlgebraError):
+    """Two relations have incompatible schemas for the attempted operation."""
+
+
+class UnknownColumnError(AlgebraError):
+    """A referenced column does not exist in the relation's schema."""
+
+
+class AggregationError(AlgebraError):
+    """An aggregation function was misused (empty input, bad type, unknown name)."""
+
+
+# ---------------------------------------------------------------------------
+# BGP queries
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for BGP / conjunctive query errors."""
+
+
+class QueryParseError(QueryError):
+    """The textual query syntax could not be parsed."""
+
+
+class QueryNotRootedError(QueryError):
+    """A query required to be rooted (every variable reachable from the root)
+    is not rooted."""
+
+
+class HomomorphismError(QueryError):
+    """A query is not homomorphic to the analytical schema it targets."""
+
+
+class EvaluationError(QueryError):
+    """A query could not be evaluated over the given graph."""
+
+
+# ---------------------------------------------------------------------------
+# Analytics (AnS / AnQ)
+# ---------------------------------------------------------------------------
+
+
+class AnalyticsError(ReproError):
+    """Base class for analytical-schema / analytical-query errors."""
+
+
+class SchemaDefinitionError(AnalyticsError):
+    """An analytical schema is ill-formed (duplicate node, dangling edge, ...)."""
+
+
+class QueryDefinitionError(AnalyticsError):
+    """An analytical query is ill-formed.
+
+    Examples: classifier and measure rooted in different variables, unknown
+    aggregation function, dimension variables missing from the classifier head.
+    """
+
+
+class SigmaError(AnalyticsError):
+    """The Σ dimension-restriction function of an extended AnQ is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# OLAP operations and rewriting
+# ---------------------------------------------------------------------------
+
+
+class OLAPError(ReproError):
+    """Base class for OLAP-operation errors."""
+
+
+class InvalidOperationError(OLAPError):
+    """An OLAP operation is not applicable to the given query.
+
+    For instance slicing a dimension that is not in the classifier head, or
+    drilling in along a variable that is not a non-distinguished variable of
+    the classifier body.
+    """
+
+
+class RewritingError(OLAPError):
+    """The rewriting engine could not produce an equivalent rewriting."""
+
+
+class MaterializationError(OLAPError):
+    """A required materialized input (``ans(Q)`` or ``pres(Q)``) is missing."""

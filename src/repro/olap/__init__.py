@@ -1,0 +1,57 @@
+"""OLAP operations for RDF analytics and their view-based rewritings.
+
+* :mod:`repro.olap.operations` — SLICE, DICE, DRILL-OUT, DRILL-IN as query
+  transformations;
+* :mod:`repro.olap.auxiliary` — the auxiliary DRILL-IN query (Definition 6);
+* :mod:`repro.olap.rewriting` — Proposition 1, Algorithm 1, Algorithm 2, and
+  the strategy-selecting :class:`OLAPRewriter`;
+* :mod:`repro.olap.baseline` — the from-scratch baseline;
+* :mod:`repro.olap.cube` — the cube result abstraction;
+* :mod:`repro.olap.session` — :class:`OLAPSession`, the top-level API.
+"""
+
+from repro.olap.auxiliary import auxiliary_join_columns, build_auxiliary_query
+from repro.olap.baseline import answer_from_scratch, transformed_answer_from_scratch
+from repro.olap.cube import Cube
+from repro.olap.hierarchy import (
+    DimensionHierarchy,
+    roll_up_from_answer_naive,
+    roll_up_from_partial,
+)
+from repro.olap.operations import Dice, DrillIn, DrillOut, OLAPOperation, Slice, compose
+from repro.olap.rewriting import (
+    OLAPRewriter,
+    RewritingResult,
+    drill_in_from_partial,
+    drill_out_from_answer_naive,
+    drill_out_from_partial,
+    slice_dice_from_answer,
+    transform_partial,
+)
+from repro.olap.session import OLAPSession, TransformationRecord
+
+__all__ = [
+    "OLAPOperation",
+    "Slice",
+    "Dice",
+    "DrillOut",
+    "DrillIn",
+    "compose",
+    "build_auxiliary_query",
+    "auxiliary_join_columns",
+    "slice_dice_from_answer",
+    "drill_out_from_partial",
+    "drill_in_from_partial",
+    "drill_out_from_answer_naive",
+    "transform_partial",
+    "DimensionHierarchy",
+    "roll_up_from_partial",
+    "roll_up_from_answer_naive",
+    "OLAPRewriter",
+    "RewritingResult",
+    "answer_from_scratch",
+    "transformed_answer_from_scratch",
+    "Cube",
+    "OLAPSession",
+    "TransformationRecord",
+]

@@ -1,0 +1,39 @@
+"""The from-scratch baseline: answering a transformed query over the instance.
+
+The paper compares its rewritings against re-evaluating ``Q_T`` on the AnS
+instance (classifier + measure + join + aggregation).  That evaluation is
+already implemented by
+:class:`~repro.analytics.evaluator.AnalyticalQueryEvaluator`; this module
+gives it the explicit "baseline" name used by the OLAP session, the
+benchmarks and EXPERIMENTS.md, so the comparison code reads like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analytics.answer import CubeAnswer
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.query import AnalyticalQuery
+from repro.olap.operations import OLAPOperation
+
+__all__ = ["answer_from_scratch", "transformed_answer_from_scratch"]
+
+
+def answer_from_scratch(
+    evaluator: AnalyticalQueryEvaluator, query: AnalyticalQuery
+) -> CubeAnswer:
+    """Evaluate ``query`` directly on the AnS instance (no reuse)."""
+    return evaluator.answer(query)
+
+
+def transformed_answer_from_scratch(
+    evaluator: AnalyticalQueryEvaluator,
+    query: AnalyticalQuery,
+    operation: OLAPOperation,
+    transformed_query: Optional[AnalyticalQuery] = None,
+) -> CubeAnswer:
+    """Apply ``operation`` to ``query`` and evaluate the result from scratch."""
+    if transformed_query is None:
+        transformed_query = operation.apply(query)
+    return evaluator.answer(transformed_query)

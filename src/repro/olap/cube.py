@@ -1,0 +1,159 @@
+"""The :class:`Cube` abstraction over analytical-query answers.
+
+``ans(Q)`` is "a cube of n dimensions, holding in each cube cell the
+corresponding aggregate measure" (Section 2).  :class:`Cube` wraps the
+answer relation with cell-level access, dimension introspection and
+display helpers used by the examples and the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import OLAPError
+from repro.algebra.expressions import comparable
+from repro.algebra.relation import Relation
+from repro.analytics.answer import CubeAnswer
+from repro.analytics.query import AnalyticalQuery
+
+__all__ = ["Cube"]
+
+
+class Cube:
+    """An n-dimensional cube: dimension tuples mapped to aggregated measures."""
+
+    def __init__(self, answer: CubeAnswer, query: Optional[AnalyticalQuery] = None):
+        self._answer = answer
+        self.query = query
+        self._cells: Dict[Tuple, object] = {}
+        measure_index = answer.relation.column_index(answer.measure_column)
+        dimension_indexes = answer.relation.column_indexes(answer.dimension_columns)
+        for row in answer.relation:
+            key = tuple(row[index] for index in dimension_indexes)
+            self._cells[key] = row[measure_index]
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def answer(self) -> CubeAnswer:
+        return self._answer
+
+    @property
+    def relation(self) -> Relation:
+        return self._answer.relation
+
+    @property
+    def dimensions(self) -> Tuple[str, ...]:
+        return self._answer.dimension_columns
+
+    @property
+    def measure_column(self) -> str:
+        return self._answer.measure_column
+
+    @property
+    def arity(self) -> int:
+        return len(self.dimensions)
+
+    def __len__(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    def dimension_values(self, dimension: str) -> set:
+        """Distinct values appearing along one dimension."""
+        if dimension not in self.dimensions:
+            raise OLAPError(f"unknown dimension {dimension!r}; cube dimensions are {self.dimensions}")
+        return self._answer.relation.distinct_values(dimension)
+
+    # ------------------------------------------------------------------
+    # cell access
+    # ------------------------------------------------------------------
+
+    def cells(self) -> Dict[Tuple, object]:
+        """Mapping from dimension-value tuples (in dimension order) to measures."""
+        return dict(self._cells)
+
+    def cell(self, *values, **named_values) -> object:
+        """The measure of one cell, addressed positionally or by dimension name.
+
+        Raises :class:`~repro.errors.OLAPError` when the cell is empty
+        (no fact with those dimension values had a defined measure).
+        """
+        key = self._cell_key(values, named_values)
+        if key in self._cells:
+            return self._cells[key]
+        # Second chance: compare via the literal-to-Python conversion so that
+        # cube.cell(28, "Madrid") finds the cell keyed by typed literals.
+        wanted = tuple(comparable(value) for value in key)
+        for existing_key, measure in self._cells.items():
+            if tuple(comparable(value) for value in existing_key) == wanted:
+                return measure
+        raise OLAPError(f"no cell for dimension values {key!r}")
+
+    def get(self, *values, default=None, **named_values) -> object:
+        """Like :meth:`cell` but returns ``default`` for empty cells."""
+        try:
+            return self.cell(*values, **named_values)
+        except OLAPError:
+            return default
+
+    def _cell_key(self, values: Sequence, named_values: Mapping[str, object]) -> Tuple:
+        if values and named_values:
+            raise OLAPError("address a cell either positionally or by name, not both")
+        if named_values:
+            unknown = set(named_values) - set(self.dimensions)
+            if unknown:
+                raise OLAPError(f"unknown dimensions {sorted(unknown)}")
+            missing = [name for name in self.dimensions if name not in named_values]
+            if missing:
+                raise OLAPError(f"missing dimension values for {missing}")
+            return tuple(named_values[name] for name in self.dimensions)
+        if len(values) != len(self.dimensions):
+            raise OLAPError(
+                f"expected {len(self.dimensions)} dimension values, got {len(values)}"
+            )
+        return tuple(values)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple, object]]:
+        return iter(self._cells.items())
+
+    # ------------------------------------------------------------------
+    # comparison / display
+    # ------------------------------------------------------------------
+
+    def same_cells(self, other: "Cube", tolerance: float = 1e-9) -> bool:
+        """True when both cubes have the same cells with (numerically) equal measures.
+
+        Dimension values are compared through their Python conversion so a
+        cube built by rewriting (whose keys may be raw literals) compares
+        equal to one built from scratch.
+        """
+        if self.dimensions != other.dimensions:
+            return False
+
+        def normalize(cube: "Cube") -> Dict[Tuple, object]:
+            return {
+                tuple(comparable(value) for value in key): comparable(measure)
+                for key, measure in cube._cells.items()
+            }
+
+        mine = normalize(self)
+        theirs = normalize(other)
+        if set(mine) != set(theirs):
+            return False
+        for key, value in mine.items():
+            other_value = theirs[key]
+            if isinstance(value, (int, float)) and isinstance(other_value, (int, float)):
+                if abs(float(value) - float(other_value)) > tolerance:
+                    return False
+            elif value != other_value:
+                return False
+        return True
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """ASCII rendering of the cube (sorted for stable output)."""
+        return self._answer.relation.sorted().to_text(max_rows=max_rows)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Cube(dims={self.dimensions}, cells={len(self._cells)})"

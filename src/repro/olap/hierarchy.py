@@ -1,0 +1,215 @@
+"""ROLL-UP along dimension hierarchies (an extension beyond the paper).
+
+Classical OLAP rolls a cube up along a *concept hierarchy*: cities to
+countries, days to months, ages to age bands.  The paper's framework does not
+include hierarchies (its DRILL-OUT removes a dimension entirely), but its
+partial result ``pres(Q)`` supports them directly — and for the same reason
+DRILL-OUT needs ``pres(Q)``, roll-up does too: a fact carrying several
+dimension values that map to the *same* parent must not have its measures
+counted once per child value.
+
+This module provides:
+
+* :class:`DimensionHierarchy` — a mapping from dimension values to parents
+  (one level; stack several for multi-level hierarchies);
+* :func:`roll_up_from_partial` — the correct roll-up: replace the dimension
+  values by their parents in ``pres(Q)``, deduplicate on the key column
+  (Algorithm 1's δ step, generalized), then re-aggregate;
+* :func:`roll_up_from_answer_naive` — the relational shortcut over
+  ``ans(Q)``, kept for tests/benchmarks that quantify its error on
+  multi-valued data (it is correct only for distributive aggregates over
+  single-valued dimensions);
+* :meth:`repro.olap.session.OLAPSession.roll_up` wires the correct version
+  into interactive sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.errors import OLAPError, RewritingError
+from repro.algebra.aggregates import AggregateFunction, get_aggregate
+from repro.algebra.expressions import comparable
+from repro.algebra.grouping import group_aggregate
+from repro.algebra.operators import dedup, project
+from repro.algebra.relation import Relation
+from repro.analytics.answer import CubeAnswer, PartialResult
+from repro.analytics.query import AnalyticalQuery
+
+__all__ = ["DimensionHierarchy", "roll_up_from_partial", "roll_up_from_answer_naive"]
+
+
+class DimensionHierarchy:
+    """A one-level concept hierarchy: dimension value → parent value.
+
+    Parameters
+    ----------
+    mapping:
+        Explicit child → parent assignments.  Keys are compared both as
+        given and through the literal-to-Python conversion, so a mapping
+        keyed by plain ints matches ``xsd:integer`` literals.
+    classify:
+        Optional fallback function applied to values absent from ``mapping``
+        (e.g. ``lambda age: "young" if age < 30 else "senior"``).
+    default:
+        Parent assigned when neither ``mapping`` nor ``classify`` covers a
+        value; with the default ``None`` such values raise
+        :class:`~repro.errors.OLAPError`, which surfaces incomplete
+        hierarchies instead of silently mis-grouping.
+    name:
+        Display name (used by session history records).
+    """
+
+    def __init__(
+        self,
+        mapping: Optional[Mapping[object, object]] = None,
+        classify: Optional[Callable[[object], object]] = None,
+        default: Optional[object] = None,
+        name: str = "hierarchy",
+    ):
+        self.name = name
+        self._mapping: Dict[object, object] = {}
+        self._comparable_mapping: Dict[object, object] = {}
+        if mapping:
+            for child, parent in mapping.items():
+                self._mapping[child] = parent
+                try:
+                    self._comparable_mapping[comparable(child)] = parent
+                except TypeError:
+                    pass
+        self._classify = classify
+        self._default = default
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[object, object]], name: str = "hierarchy") -> "DimensionHierarchy":
+        """Build a hierarchy from ``(child, parent)`` pairs."""
+        return cls(mapping=dict(pairs), name=name)
+
+    @classmethod
+    def banded(
+        cls,
+        bands: Iterable[Tuple[object, object, object]],
+        name: str = "bands",
+        default: Optional[object] = None,
+    ) -> "DimensionHierarchy":
+        """Build a numeric banding hierarchy from ``(low, high, label)`` triples.
+
+        Bounds are inclusive; bands are tried in the given order.
+        """
+        band_list = [(comparable(low), comparable(high), label) for low, high, label in bands]
+
+        def classify(value: object) -> object:
+            candidate = comparable(value)
+            for low, high, label in band_list:
+                try:
+                    if low <= candidate <= high:
+                        return label
+                except TypeError:
+                    continue
+            if default is not None:
+                return default
+            raise OLAPError(f"value {value!r} falls outside every band of hierarchy {name!r}")
+
+        return cls(classify=classify, name=name)
+
+    def parent(self, value: object) -> object:
+        """Return the parent of a dimension value."""
+        if value in self._mapping:
+            return self._mapping[value]
+        try:
+            key = comparable(value)
+        except TypeError:
+            key = None
+        if key is not None and key in self._comparable_mapping:
+            return self._comparable_mapping[key]
+        if self._classify is not None:
+            return self._classify(value)
+        if self._default is not None:
+            return self._default
+        raise OLAPError(f"hierarchy {self.name!r} has no parent for value {value!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DimensionHierarchy({self.name}, {len(self._mapping)} explicit mappings)"
+
+
+def _rolled_relation(relation: Relation, dimension: str, hierarchy: DimensionHierarchy) -> Relation:
+    """Replace one column's values by their hierarchy parents."""
+    index = relation.column_index(dimension)
+
+    def roll(row):
+        return row[:index] + (hierarchy.parent(row[index]),) + row[index + 1 :]
+
+    return relation.map_rows(roll)
+
+
+def roll_up_from_partial(
+    partial: PartialResult,
+    query: AnalyticalQuery,
+    dimension: str,
+    hierarchy: DimensionHierarchy,
+    aggregate: Optional[Union[str, AggregateFunction]] = None,
+) -> CubeAnswer:
+    """Roll ``pres(Q)`` up along a hierarchy on ``dimension`` and re-aggregate.
+
+    Mirrors Algorithm 1 with a value substitution instead of a projection:
+
+    1. replace the dimension values by their parents;
+    2. δ-deduplicate — a fact that had several children of the same parent
+       (multi-valued dimension) now contributes each measure key once per
+       parent, not once per child;
+    3. γ-aggregate over the (unchanged) other dimensions and the parents.
+    """
+    if dimension not in partial.dimension_columns:
+        raise RewritingError(
+            f"pres({query.name}) has no dimension column {dimension!r}; "
+            f"its dimensions are {partial.dimension_columns}"
+        )
+    aggregate_function = get_aggregate(aggregate if aggregate is not None else query.aggregate)
+
+    rolled = _rolled_relation(partial.relation, dimension, hierarchy)
+    rolled = dedup(rolled)
+    aggregated = group_aggregate(
+        rolled,
+        by=partial.dimension_columns,
+        measure=partial.measure_column,
+        function=aggregate_function,
+        output_column=partial.measure_column,
+    )
+    return CubeAnswer(aggregated, partial.dimension_columns, partial.measure_column)
+
+
+def roll_up_from_answer_naive(
+    answer: CubeAnswer,
+    query: AnalyticalQuery,
+    dimension: str,
+    hierarchy: DimensionHierarchy,
+) -> CubeAnswer:
+    """The relational shortcut: combine already-aggregated cells per parent.
+
+    Provided for comparison only; requires a distributive aggregate and is
+    wrong whenever a fact is multi-valued along the rolled-up dimension
+    (exactly the Example-5 situation).
+    """
+    if not query.aggregate.distributive:
+        raise RewritingError(
+            f"aggregate {query.aggregate.name!r} is not distributive; "
+            "ans(Q)-based roll-up is impossible"
+        )
+    if dimension not in answer.dimension_columns:
+        raise RewritingError(f"the answer has no dimension column {dimension!r}")
+
+    rolled = _rolled_relation(answer.relation, dimension, hierarchy)
+    combining = AggregateFunction(
+        name=f"{query.aggregate.name}_combine",
+        function=lambda values: query.aggregate.combine(values),
+        distributive=True,
+        numeric_only=False,
+    )
+    aggregated = group_aggregate(
+        rolled,
+        by=answer.dimension_columns,
+        measure=answer.measure_column,
+        function=combining,
+        output_column=answer.measure_column,
+    )
+    return CubeAnswer(aggregated, answer.dimension_columns, answer.measure_column)

@@ -1,0 +1,387 @@
+"""View-based rewriting of OLAP operations (the paper's core contribution).
+
+Given a query ``Q`` whose results have been materialized (its answer
+``ans(Q)`` and/or its partial result ``pres(Q)``), and an OLAP
+transformation ``T`` with ``Q_T = T(Q)``, this module computes
+``ans(Q_T)`` *without re-evaluating the classifier and measure over the AnS
+instance* — except for the small auxiliary query needed by DRILL-IN.
+
+Implemented algorithms:
+
+* :func:`slice_dice_from_answer` — Proposition 1: σ_dice over ``ans(Q)``;
+* :func:`drill_out_from_partial` — Algorithm 1: project ``pres(Q)``,
+  deduplicate (δ), re-aggregate (γ);
+* :func:`drill_in_from_partial` — Algorithm 2: join ``pres(Q)`` with the
+  auxiliary query's answer over the instance, then aggregate;
+* :func:`drill_out_from_answer_naive` — the *incorrect* relational-style
+  re-aggregation of ``ans(Q)`` discussed in Example 5, kept for the
+  benchmark that demonstrates why ``pres(Q)`` is needed.
+
+:class:`OLAPRewriter` packages these together with strategy selection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import InvalidOperationError, MaterializationError, RewritingError
+from repro.algebra.grouping import group_aggregate
+from repro.algebra.operators import dedup, join_on, project, select
+from repro.algebra.relation import Relation
+from repro.bgp.evaluator import BGPEvaluator
+from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
+from repro.analytics.query import AnalyticalQuery
+from repro.olap.auxiliary import auxiliary_join_columns, build_auxiliary_query
+from repro.olap.operations import Dice, DrillIn, DrillOut, OLAPOperation, Slice
+
+__all__ = [
+    "slice_dice_from_answer",
+    "drill_out_from_partial",
+    "drill_in_from_partial",
+    "drill_out_from_answer_naive",
+    "transform_partial",
+    "OLAPRewriter",
+    "RewritingResult",
+]
+
+
+# ---------------------------------------------------------------------------
+# Proposition 1: SLICE / DICE by selection over ans(Q)
+# ---------------------------------------------------------------------------
+
+
+def slice_dice_from_answer(answer: CubeAnswer, transformed_query: AnalyticalQuery) -> CubeAnswer:
+    """σ_dice(ans(Q)) = ans(Q_DICE) (Definition 5 / Proposition 1).
+
+    ``transformed_query`` carries the Σ′ of the SLICE/DICE; the selection
+    keeps the answer rows whose dimension values all belong to their Σ′
+    sets.
+    """
+    sigma = transformed_query.sigma
+    selected = select(answer.relation, sigma.allows_row)
+    return CubeAnswer(selected, answer.dimension_columns, answer.measure_column)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1: DRILL-OUT from pres(Q)
+# ---------------------------------------------------------------------------
+
+
+def drill_out_from_partial(
+    partial: PartialResult,
+    query: AnalyticalQuery,
+    transformed_query: AnalyticalQuery,
+) -> CubeAnswer:
+    """Algorithm 1: answer ``Q_DRILL-OUT`` from ``pres(Q)``.
+
+    Steps (lines of Algorithm 1):
+
+    2. ``T ← Π_{root, d₁..d_{i-1}, d_{i+1}..dₙ, k, v}(pres(Q))``
+    3. ``T ← δ(T)`` — the deduplication is what prevents facts that are
+       multi-valued along the removed dimension(s) from being counted
+       several times;
+    4. ``T ← γ_{remaining dims, ⊕(v)}(T)``.
+    """
+    remaining = transformed_query.dimension_names
+    unknown = [name for name in remaining if name not in partial.dimension_columns]
+    if unknown:
+        raise RewritingError(
+            f"the materialized pres({query.name}) does not contain dimensions {unknown}"
+        )
+    kept_columns = (
+        partial.fact_column,
+        *remaining,
+        partial.key_column,
+        partial.measure_column,
+    )
+    table = project(partial.relation, kept_columns)
+    table = dedup(table)
+    aggregated = group_aggregate(
+        table,
+        by=remaining,
+        measure=partial.measure_column,
+        function=transformed_query.aggregate,
+        output_column=partial.measure_column,
+    )
+    return CubeAnswer(aggregated, tuple(remaining), partial.measure_column)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2: DRILL-IN from pres(Q) + the instance
+# ---------------------------------------------------------------------------
+
+
+def drill_in_from_partial(
+    partial: PartialResult,
+    query: AnalyticalQuery,
+    transformed_query: AnalyticalQuery,
+    instance_evaluator: BGPEvaluator,
+) -> CubeAnswer:
+    """Algorithm 2: answer ``Q_DRILL-IN`` from ``pres(Q)`` and the instance.
+
+    Steps (lines of Algorithm 2):
+
+    2. build the auxiliary query ``q_aux(dvars, d_{n+1})`` (Definition 6);
+    3. ``T ← pres(Q) ⋈_{dvars} q_aux(I)`` — the instance is consulted only
+       through ``q_aux``, which touches a small part of it;
+    4. ``T ← γ_{d₁..dₙ, d_{n+1}, ⊕(v)}(T)``.
+    """
+    original_dimensions = set(query.dimension_names)
+    new_dimensions = [
+        name for name in transformed_query.dimension_names if name not in original_dimensions
+    ]
+    if not new_dimensions:
+        raise RewritingError(
+            "the transformed query adds no new dimension; nothing to drill in"
+        )
+    auxiliary = build_auxiliary_query(query.classifier, new_dimensions)
+    join_columns = auxiliary_join_columns(query.classifier, auxiliary)
+    auxiliary_answer = instance_evaluator.evaluate(auxiliary, semantics="set")
+
+    joined = join_on(
+        partial.relation,
+        auxiliary_answer,
+        [(column, column) for column in join_columns],
+    )
+    output_dimensions = tuple(transformed_query.dimension_names)
+    aggregated = group_aggregate(
+        joined,
+        by=output_dimensions,
+        measure=partial.measure_column,
+        function=transformed_query.aggregate,
+        output_column=partial.measure_column,
+    )
+    return CubeAnswer(aggregated, output_dimensions, partial.measure_column)
+
+
+# ---------------------------------------------------------------------------
+# The naive (incorrect in general) drill-out over ans(Q) — Example 5
+# ---------------------------------------------------------------------------
+
+
+def drill_out_from_answer_naive(
+    answer: CubeAnswer,
+    transformed_query: AnalyticalQuery,
+) -> CubeAnswer:
+    """Re-aggregate ``ans(Q)`` directly, the relational-DW way.
+
+    This is what a classical OLAP engine would do for a distributive ⊕: drop
+    the removed dimension columns and combine the already-aggregated
+    values.  In the RDF setting it is **incorrect in general** (Example 5):
+    facts that are multi-valued along a removed dimension are counted once
+    per value.  It is provided only so benchmarks/tests can quantify that
+    error; :func:`drill_out_from_partial` is the correct algorithm.
+    """
+    aggregate = transformed_query.aggregate
+    if not aggregate.distributive:
+        raise RewritingError(
+            f"aggregate {aggregate.name!r} is not distributive; ans(Q)-based drill-out is impossible"
+        )
+    remaining = transformed_query.dimension_names
+    projected = project(answer.relation, (*remaining, answer.measure_column))
+    grouped = group_aggregate(
+        projected,
+        by=remaining,
+        measure=answer.measure_column,
+        function=_combiner(aggregate),
+        output_column=answer.measure_column,
+    )
+    return CubeAnswer(grouped, tuple(remaining), answer.measure_column)
+
+
+def _combiner(aggregate):
+    """Wrap a distributive aggregate so γ combines partial aggregates."""
+    from repro.algebra.aggregates import AggregateFunction
+
+    return AggregateFunction(
+        name=f"{aggregate.name}_combine",
+        function=lambda values: aggregate.combine(values),
+        distributive=True,
+        numeric_only=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rewriting the partial result itself (enables chains of OLAP operations)
+# ---------------------------------------------------------------------------
+
+
+def transform_partial(
+    partial: PartialResult,
+    query: AnalyticalQuery,
+    transformed_query: AnalyticalQuery,
+    operation: OLAPOperation,
+    instance_evaluator: Optional[BGPEvaluator] = None,
+) -> PartialResult:
+    """Derive ``pres(Q_T)`` from ``pres(Q)`` for an OLAP transformation T.
+
+    The paper's algorithms produce ``ans(Q_T)``; the tables they build along
+    the way are (up to the key column's concrete values) exactly
+    ``pres(Q_T)``, so materializing them lets OLAP *chains* — slice, then
+    drill-out, then dice, ... — stay on the rewriting path throughout:
+
+    * SLICE / DICE: the Σ′ row selection applied to ``pres(Q)``;
+    * DRILL-OUT: the projected and deduplicated table T of Algorithm 1
+      (before the final aggregation);
+    * DRILL-IN: the join of ``pres(Q)`` with the auxiliary query's answer
+      (Algorithm 2's T before aggregation), which needs the instance.
+    """
+    if isinstance(operation, (Slice, Dice)):
+        selected = select(partial.relation, transformed_query.sigma.allows_row)
+        return PartialResult(
+            selected,
+            fact_column=partial.fact_column,
+            dimension_columns=partial.dimension_columns,
+            key_column=partial.key_column,
+            measure_column=partial.measure_column,
+        )
+    if isinstance(operation, DrillOut):
+        remaining = tuple(transformed_query.dimension_names)
+        kept = (partial.fact_column, *remaining, partial.key_column, partial.measure_column)
+        table = dedup(project(partial.relation, kept))
+        return PartialResult(
+            table,
+            fact_column=partial.fact_column,
+            dimension_columns=remaining,
+            key_column=partial.key_column,
+            measure_column=partial.measure_column,
+        )
+    if isinstance(operation, DrillIn):
+        if instance_evaluator is None:
+            raise RewritingError(
+                "deriving pres(Q_DRILL-IN) needs access to the AnS instance for the auxiliary query"
+            )
+        original_dimensions = set(query.dimension_names)
+        new_dimensions = [
+            name for name in transformed_query.dimension_names if name not in original_dimensions
+        ]
+        auxiliary = build_auxiliary_query(query.classifier, new_dimensions)
+        join_columns = auxiliary_join_columns(query.classifier, auxiliary)
+        auxiliary_answer = instance_evaluator.evaluate(auxiliary, semantics="set")
+        joined = join_on(
+            partial.relation, auxiliary_answer, [(column, column) for column in join_columns]
+        )
+        layout = (
+            partial.fact_column,
+            *transformed_query.dimension_names,
+            partial.key_column,
+            partial.measure_column,
+        )
+        return PartialResult(
+            joined.reorder(layout),
+            fact_column=partial.fact_column,
+            dimension_columns=tuple(transformed_query.dimension_names),
+            key_column=partial.key_column,
+            measure_column=partial.measure_column,
+        )
+    raise InvalidOperationError(
+        f"no partial-result rewriting is defined for operation {type(operation).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Strategy selection
+# ---------------------------------------------------------------------------
+
+
+class RewritingResult:
+    """Outcome of answering a transformed query through rewriting."""
+
+    def __init__(
+        self,
+        answer: CubeAnswer,
+        strategy: str,
+        used_answer: bool,
+        used_partial: bool,
+        used_instance: bool,
+        partial: Optional[PartialResult] = None,
+    ):
+        self.answer = answer
+        self.strategy = strategy
+        self.used_answer = used_answer
+        self.used_partial = used_partial
+        self.used_instance = used_instance
+        #: ``pres(Q_T)`` derived from ``pres(Q)`` when requested (see
+        #: :meth:`OLAPRewriter.answer`'s ``materialize_partial``).
+        self.partial = partial
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RewritingResult({self.strategy}, {len(self.answer)} cells)"
+
+
+class OLAPRewriter:
+    """Answers transformed queries from materialized results of the original.
+
+    Parameters
+    ----------
+    instance_evaluator:
+        BGP evaluator over the AnS instance, needed by DRILL-IN's auxiliary
+        query (and only by it).
+    """
+
+    def __init__(self, instance_evaluator: Optional[BGPEvaluator] = None):
+        self._instance_evaluator = instance_evaluator
+
+    def answer(
+        self,
+        materialized: MaterializedQueryResults,
+        operation: OLAPOperation,
+        transformed_query: Optional[AnalyticalQuery] = None,
+        materialize_partial: bool = False,
+    ) -> RewritingResult:
+        """Answer ``T(Q)`` using the materialized results of ``Q``.
+
+        ``transformed_query`` may be supplied when the caller has already
+        built it (e.g. the OLAP session); otherwise it is derived by
+        applying ``operation`` to the materialized query.
+
+        With ``materialize_partial=True`` the result also carries
+        ``pres(Q_T)`` (derived from ``pres(Q)`` when it is available), so the
+        transformed query can itself be the input of further rewritten OLAP
+        operations.
+        """
+        query = materialized.query
+        if transformed_query is None:
+            transformed_query = operation.apply(query)
+
+        if isinstance(operation, (Slice, Dice)):
+            if not materialized.has_answer():
+                raise MaterializationError(
+                    f"SLICE/DICE rewriting needs ans({query.name}) to be materialized"
+                )
+            answer = slice_dice_from_answer(materialized.answer, transformed_query)
+            result = RewritingResult(answer, "slice-dice/ans", True, False, False)
+        elif isinstance(operation, DrillOut):
+            if not materialized.has_partial():
+                raise MaterializationError(
+                    f"DRILL-OUT rewriting needs pres({query.name}) to be materialized"
+                )
+            answer = drill_out_from_partial(materialized.partial, query, transformed_query)
+            result = RewritingResult(answer, "drill-out/pres", False, True, False)
+        elif isinstance(operation, DrillIn):
+            if not materialized.has_partial():
+                raise MaterializationError(
+                    f"DRILL-IN rewriting needs pres({query.name}) to be materialized"
+                )
+            if self._instance_evaluator is None:
+                raise RewritingError(
+                    "DRILL-IN rewriting needs access to the AnS instance for the auxiliary query"
+                )
+            answer = drill_in_from_partial(
+                materialized.partial, query, transformed_query, self._instance_evaluator
+            )
+            result = RewritingResult(answer, "drill-in/pres+aux", False, True, True)
+        else:
+            raise InvalidOperationError(
+                f"no rewriting is defined for operation {type(operation).__name__}"
+            )
+
+        if materialize_partial and materialized.has_partial():
+            result.partial = transform_partial(
+                materialized.partial,
+                query,
+                transformed_query,
+                operation,
+                self._instance_evaluator,
+            )
+        return result

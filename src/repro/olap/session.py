@@ -1,0 +1,328 @@
+"""Interactive OLAP sessions over an analytical-schema instance.
+
+:class:`OLAPSession` is the top-level convenience API tying everything
+together — the object a data analyst (or an example script) works with:
+
+* it owns the AnS instance and its evaluator;
+* :meth:`execute` answers an analytical query from scratch and *materializes*
+  its answer and partial result, exactly as the paper assumes ("pres(Q) ...
+  has been materialized and stored as part of the evaluation of the original
+  query Q");
+* :meth:`transform` applies an OLAP operation to a previously executed query
+  and answers the transformed query, either by **rewriting** (reusing the
+  materialized results — the paper's contribution), from **scratch** (the
+  baseline), or **auto** (rewrite when the needed inputs are materialized,
+  otherwise scratch);
+* every transformed query is materialized in turn (its answer always; its
+  partial result when it was computed), so OLAP navigations can chain:
+  slice, then drill-out, then dice, ...
+
+The session also records simple timing and input-size statistics per
+operation, which the examples print and the benchmark harness aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import MaterializationError, OLAPError
+from repro.rdf.graph import Graph
+from repro.analytics.answer import CubeAnswer, MaterializedQueryResults
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.query import AnalyticalQuery
+from repro.analytics.schema import AnalyticalSchema
+from repro.olap.baseline import transformed_answer_from_scratch
+from repro.olap.cube import Cube
+from repro.olap.operations import OLAPOperation
+from repro.olap.rewriting import OLAPRewriter
+
+__all__ = ["OLAPSession", "TransformationRecord"]
+
+
+@dataclass
+class TransformationRecord:
+    """Bookkeeping for one executed query or OLAP transformation."""
+
+    query_name: str
+    operation: str
+    strategy: str
+    seconds: float
+    input_rows: int
+    output_cells: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.query_name}: {self.operation} via {self.strategy} "
+            f"({self.input_rows} input rows -> {self.output_cells} cells, {self.seconds * 1000:.2f} ms)"
+        )
+
+
+class OLAPSession:
+    """A cube-navigation session over one AnS instance."""
+
+    def __init__(
+        self,
+        instance: Graph,
+        schema: Optional[AnalyticalSchema] = None,
+        materialize_partial: bool = True,
+    ):
+        self.schema = schema
+        self.instance = instance
+        self.evaluator = AnalyticalQueryEvaluator(instance)
+        self._rewriter = OLAPRewriter(self.evaluator.bgp_evaluator)
+        self._materialize_partial = materialize_partial
+        self._materialized: Dict[str, MaterializedQueryResults] = {}
+        self.history: List[TransformationRecord] = []
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+
+    def execute(self, query: AnalyticalQuery, materialize_partial: Optional[bool] = None) -> Cube:
+        """Answer ``query`` from scratch and materialize its results."""
+        keep_partial = (
+            self._materialize_partial if materialize_partial is None else materialize_partial
+        )
+        started = time.perf_counter()
+        materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
+        elapsed = time.perf_counter() - started
+        self._materialized[query.name] = materialized
+        answer = materialized.answer
+        self.history.append(
+            TransformationRecord(
+                query_name=query.name,
+                operation="execute",
+                strategy="scratch",
+                seconds=elapsed,
+                input_rows=len(self.instance),
+                output_cells=len(answer),
+            )
+        )
+        return Cube(answer, query)
+
+    def materialized(self, query: Union[str, AnalyticalQuery]) -> MaterializedQueryResults:
+        """The materialized results of a previously executed query."""
+        name = query if isinstance(query, str) else query.name
+        if name not in self._materialized:
+            raise MaterializationError(
+                f"query {name!r} has not been executed in this session; call execute() first"
+            )
+        return self._materialized[name]
+
+    def executed_queries(self) -> Tuple[str, ...]:
+        return tuple(self._materialized)
+
+    def forget(self, query: Union[str, AnalyticalQuery]) -> None:
+        """Drop the materialized results of a query (frees memory)."""
+        name = query if isinstance(query, str) else query.name
+        self._materialized.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # persistence of materialized results
+    # ------------------------------------------------------------------
+
+    def save_materialized(self, query: Union[str, AnalyticalQuery], directory: str) -> None:
+        """Persist a query's materialized results (see :mod:`repro.persistence`)."""
+        from repro.persistence import save_materialized_results
+
+        save_materialized_results(self.materialized(query), directory)
+
+    def restore_materialized(self, query: AnalyticalQuery, directory: str) -> MaterializedQueryResults:
+        """Load previously saved materialized results and register them in this session.
+
+        After restoring, OLAP transformations on ``query`` can be answered by
+        rewriting without re-executing it against the instance.
+        """
+        from repro.persistence import load_materialized_results
+
+        materialized = load_materialized_results(directory, query)
+        self._materialized[query.name] = materialized
+        return materialized
+
+    # ------------------------------------------------------------------
+    # OLAP transformations
+    # ------------------------------------------------------------------
+
+    def transform(
+        self,
+        query: Union[str, AnalyticalQuery],
+        operation: OLAPOperation,
+        strategy: str = "auto",
+        materialize: bool = True,
+    ) -> Cube:
+        """Apply an OLAP operation to an executed query and answer the result.
+
+        Parameters
+        ----------
+        query:
+            The original query (or its name) whose results are reused.
+        operation:
+            The OLAP operation (SLICE / DICE / DRILL-OUT / DRILL-IN).
+        strategy:
+            ``"rewrite"`` — use the paper's rewriting algorithms (raises when
+            the needed materialized input is missing);
+            ``"scratch"`` — re-evaluate the transformed query on the instance;
+            ``"auto"`` — rewrite when possible, otherwise scratch.
+        materialize:
+            Whether to store the transformed query's answer for further
+            navigation (its partial result is additionally stored only when
+            the scratch path computed one).
+        """
+        if strategy not in ("auto", "rewrite", "scratch"):
+            raise OLAPError(f"unknown strategy {strategy!r}; expected auto, rewrite or scratch")
+        materialized = self.materialized(query)
+        original_query = materialized.query
+        transformed_query = operation.apply(original_query)
+
+        started = time.perf_counter()
+        transformed_partial = None
+        if strategy == "scratch":
+            answer, used, input_rows = self._scratch(original_query, operation, transformed_query)
+        elif strategy == "rewrite":
+            answer, used, input_rows, transformed_partial = self._rewrite(
+                materialized, operation, transformed_query, materialize_partial=materialize
+            )
+        else:
+            try:
+                answer, used, input_rows, transformed_partial = self._rewrite(
+                    materialized, operation, transformed_query, materialize_partial=materialize
+                )
+            except (MaterializationError, OLAPError):
+                answer, used, input_rows = self._scratch(original_query, operation, transformed_query)
+        elapsed = time.perf_counter() - started
+
+        if materialize:
+            self._store_transformed(transformed_query, answer, transformed_partial)
+
+        self.history.append(
+            TransformationRecord(
+                query_name=transformed_query.name,
+                operation=operation.describe(),
+                strategy=used,
+                seconds=elapsed,
+                input_rows=input_rows,
+                output_cells=len(answer),
+            )
+        )
+        return Cube(answer, transformed_query)
+
+    def _rewrite(
+        self,
+        materialized: MaterializedQueryResults,
+        operation: OLAPOperation,
+        transformed_query: AnalyticalQuery,
+        materialize_partial: bool = False,
+    ):
+        result = self._rewriter.answer(
+            materialized, operation, transformed_query, materialize_partial=materialize_partial
+        )
+        if result.used_partial:
+            input_rows = len(materialized.partial)
+        elif result.used_answer:
+            input_rows = len(materialized.answer)
+        else:  # pragma: no cover - every current rewriting uses one of the two
+            input_rows = 0
+        return result.answer, f"rewrite[{result.strategy}]", input_rows, result.partial
+
+    def _scratch(
+        self,
+        original_query: AnalyticalQuery,
+        operation: OLAPOperation,
+        transformed_query: AnalyticalQuery,
+    ) -> Tuple[CubeAnswer, str, int]:
+        answer = transformed_answer_from_scratch(
+            self.evaluator, original_query, operation, transformed_query
+        )
+        return answer, "scratch", len(self.instance)
+
+    def _store_transformed(
+        self, transformed_query: AnalyticalQuery, answer: CubeAnswer, partial=None
+    ) -> None:
+        self._materialized[transformed_query.name] = MaterializedQueryResults(
+            transformed_query, answer=answer, partial=partial
+        )
+
+    # ------------------------------------------------------------------
+    # roll-up along dimension hierarchies (extension beyond the paper)
+    # ------------------------------------------------------------------
+
+    def roll_up(
+        self,
+        query: Union[str, AnalyticalQuery],
+        dimension: str,
+        hierarchy,
+        aggregate: Optional[str] = None,
+    ) -> Cube:
+        """Roll a materialized cube up along a dimension hierarchy.
+
+        Uses ``pres(Q)`` (required) via
+        :func:`repro.olap.hierarchy.roll_up_from_partial`; the result keeps
+        the same dimensions with the rolled-up dimension's values replaced by
+        their parents.
+        """
+        from repro.olap.hierarchy import roll_up_from_partial
+
+        materialized = self.materialized(query)
+        original_query = materialized.query
+        started = time.perf_counter()
+        answer = roll_up_from_partial(
+            materialized.partial, original_query, dimension, hierarchy, aggregate
+        )
+        elapsed = time.perf_counter() - started
+        self.history.append(
+            TransformationRecord(
+                query_name=original_query.name,
+                operation=f"roll-up {dimension} by {getattr(hierarchy, 'name', 'hierarchy')}",
+                strategy="rewrite[roll-up/pres]",
+                seconds=elapsed,
+                input_rows=len(materialized.partial),
+                output_cells=len(answer),
+            )
+        )
+        return Cube(answer, original_query)
+
+    # ------------------------------------------------------------------
+    # comparisons (used by examples / tests / benches)
+    # ------------------------------------------------------------------
+
+    def compare_strategies(
+        self, query: Union[str, AnalyticalQuery], operation: OLAPOperation
+    ) -> Dict[str, object]:
+        """Answer the transformed query with both strategies and compare.
+
+        Returns a dictionary with both cubes, their timings and whether the
+        cell contents agree — the building block of the experiment harness.
+        """
+        materialized = self.materialized(query)
+        original_query = materialized.query
+        transformed_query = operation.apply(original_query)
+
+        started = time.perf_counter()
+        rewritten, rewrite_strategy, _, _ = self._rewrite(materialized, operation, transformed_query)
+        rewrite_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        scratch, _, _ = self._scratch(original_query, operation, transformed_query)
+        scratch_seconds = time.perf_counter() - started
+
+        rewritten_cube = Cube(rewritten, transformed_query)
+        scratch_cube = Cube(scratch, transformed_query)
+        return {
+            "operation": operation.describe(),
+            "rewrite_cube": rewritten_cube,
+            "scratch_cube": scratch_cube,
+            "rewrite_seconds": rewrite_seconds,
+            "scratch_seconds": scratch_seconds,
+            "speedup": (scratch_seconds / rewrite_seconds) if rewrite_seconds > 0 else float("inf"),
+            "equal": rewritten_cube.same_cells(scratch_cube),
+            "strategy": rewrite_strategy,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"OLAPSession({len(self.instance)} instance triples, "
+            f"{len(self._materialized)} materialized queries)"
+        )

@@ -1,0 +1,190 @@
+"""Persistence of materialized query results (``ans(Q)`` and ``pres(Q)``).
+
+The whole point of the paper's approach is to *reuse* materialized results;
+in a real deployment those results outlive the process that computed them.
+This module stores relations, cube answers, partial results and whole
+:class:`~repro.analytics.answer.MaterializedQueryResults` bundles on disk and
+loads them back, so an :class:`~repro.olap.session.OLAPSession` can be
+re-hydrated without touching the AnS instance.
+
+Format
+------
+A *result directory* contains:
+
+* ``manifest.json`` — the query name, column roles (fact / dimensions / key /
+  measure), aggregate name and which parts are present;
+* ``answer.tsv`` / ``partial.tsv`` — one relation each, tab-separated, one
+  header line with the column names, one line per row.
+
+Cell encoding: RDF terms are written in their N-Triples form (``<iri>``,
+``"literal"^^<datatype>``, ``_:label``); Python ints/floats/bools are written
+as JSON scalars; ``None`` as an empty field.  This keeps files human-readable
+and diff-able while round-tripping exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import MaterializationError, ParseError
+from repro.algebra.relation import Relation
+from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
+from repro.rdf.ntriples import _parse_term  # reuse the strict N-Triples term grammar
+from repro.rdf.terms import Term
+
+__all__ = [
+    "save_relation",
+    "load_relation",
+    "save_materialized_results",
+    "load_materialized_results",
+]
+
+_MANIFEST_NAME = "manifest.json"
+_ANSWER_NAME = "answer.tsv"
+_PARTIAL_NAME = "partial.tsv"
+
+
+# ---------------------------------------------------------------------------
+# cell encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, Term):
+        return value.n3()
+    if isinstance(value, bool):
+        return "json:true" if value else "json:false"
+    if isinstance(value, (int, float)):
+        return f"json:{json.dumps(value)}"
+    if isinstance(value, str):
+        return "str:" + value
+    raise MaterializationError(
+        f"cannot persist value {value!r} of type {type(value).__name__}"
+    )
+
+
+def _decode_cell(text: str) -> object:
+    if text == "":
+        return None
+    if text.startswith("json:"):
+        return json.loads(text[len("json:") :])
+    if text.startswith("str:"):
+        return text[len("str:") :]
+    term, _ = _parse_term(text, 0, 0)
+    return term
+
+
+# ---------------------------------------------------------------------------
+# relations
+# ---------------------------------------------------------------------------
+
+
+def save_relation(relation: Relation, path: str) -> None:
+    """Write a relation to a TSV file (header line + one line per row)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\t".join(relation.columns) + "\n")
+        for row in relation:
+            handle.write("\t".join(_encode_cell(value) for value in row) + "\n")
+
+
+def load_relation(path: str) -> Relation:
+    """Read a relation previously written by :func:`save_relation`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if not header:
+            raise MaterializationError(f"{path} is empty; expected a TSV header line")
+        columns = header.split("\t")
+        rows: List[tuple] = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line and line_number == 2 and not rows:
+                continue
+            cells = line.split("\t")
+            if len(cells) != len(columns):
+                raise MaterializationError(
+                    f"{path}:{line_number}: expected {len(columns)} cells, found {len(cells)}"
+                )
+            try:
+                rows.append(tuple(_decode_cell(cell) for cell in cells))
+            except ParseError as exc:
+                raise MaterializationError(f"{path}:{line_number}: {exc}") from exc
+    return Relation(columns, rows)
+
+
+# ---------------------------------------------------------------------------
+# materialized query results
+# ---------------------------------------------------------------------------
+
+
+def save_materialized_results(materialized: MaterializedQueryResults, directory: str) -> None:
+    """Persist a query's materialized results into ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    query = materialized.query
+    manifest: Dict[str, object] = {
+        "query_name": query.name,
+        "aggregate": query.aggregate.name,
+        "fact_column": query.fact_variable.name,
+        "dimension_columns": list(query.dimension_names),
+        "measure_column": query.measure_variable.name,
+        "has_answer": materialized.has_answer(),
+        "has_partial": materialized.has_partial(),
+    }
+    if materialized.has_answer():
+        save_relation(materialized.answer.relation, os.path.join(directory, _ANSWER_NAME))
+    if materialized.has_partial():
+        partial = materialized.partial
+        manifest["partial_key_column"] = partial.key_column
+        manifest["partial_dimension_columns"] = list(partial.dimension_columns)
+        save_relation(partial.relation, os.path.join(directory, _PARTIAL_NAME))
+    with open(os.path.join(directory, _MANIFEST_NAME), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_materialized_results(directory: str, query) -> MaterializedQueryResults:
+    """Load materialized results saved by :func:`save_materialized_results`.
+
+    ``query`` is the :class:`~repro.analytics.query.AnalyticalQuery` the
+    results belong to; the manifest is checked against it (name, aggregate
+    and column roles) so stale directories are rejected rather than silently
+    producing wrong cubes.
+    """
+    manifest_path = os.path.join(directory, _MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise MaterializationError(f"no manifest found in {directory!r}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+
+    expected = {
+        "query_name": query.name,
+        "aggregate": query.aggregate.name,
+        "fact_column": query.fact_variable.name,
+        "dimension_columns": list(query.dimension_names),
+        "measure_column": query.measure_variable.name,
+    }
+    for key, value in expected.items():
+        if manifest.get(key) != value:
+            raise MaterializationError(
+                f"materialized results in {directory!r} were saved for "
+                f"{key}={manifest.get(key)!r}, but the query has {key}={value!r}"
+            )
+
+    answer: Optional[CubeAnswer] = None
+    partial: Optional[PartialResult] = None
+    if manifest.get("has_answer"):
+        relation = load_relation(os.path.join(directory, _ANSWER_NAME))
+        answer = CubeAnswer(relation, tuple(manifest["dimension_columns"]), manifest["measure_column"])
+    if manifest.get("has_partial"):
+        relation = load_relation(os.path.join(directory, _PARTIAL_NAME))
+        partial = PartialResult(
+            relation,
+            fact_column=manifest["fact_column"],
+            dimension_columns=tuple(manifest["partial_dimension_columns"]),
+            key_column=manifest["partial_key_column"],
+            measure_column=manifest["measure_column"],
+        )
+    return MaterializedQueryResults(query, answer=answer, partial=partial)

@@ -1,0 +1,89 @@
+"""Term dictionary: bidirectional mapping between RDF terms and integer ids.
+
+RDF stores conventionally encode terms into fixed-size integers so that the
+triple indexes and join processing operate on machine words instead of
+strings.  :class:`TermDictionary` provides that encoding layer for
+:class:`~repro.rdf.graph.Graph`.
+
+Identifiers are dense, starting at 0, and are assigned in first-seen order,
+which makes encoded datasets deterministic for a deterministic insertion
+order — a property the benchmarks rely on for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import DictionaryError
+from repro.rdf.terms import Term
+
+__all__ = ["TermDictionary"]
+
+
+class TermDictionary:
+    """Bidirectional term <-> integer id mapping.
+
+    The dictionary is append-only: terms are never removed, even when the
+    triples mentioning them are deleted from the graph.  This keeps encoded
+    relations valid across graph mutations.
+    """
+
+    def __init__(self):
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def encode(self, term: Term) -> int:
+        """Return the id of ``term``, assigning a fresh id when unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def encode_existing(self, term: Term) -> int:
+        """Return the id of ``term``; raise when the term was never encoded."""
+        existing = self._term_to_id.get(term)
+        if existing is None:
+            raise DictionaryError(f"term not in dictionary: {term.n3()}")
+        return existing
+
+    def lookup(self, term: Term) -> int | None:
+        """Return the id of ``term`` or None when unknown (no assignment)."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """Return the term with the given id."""
+        if not 0 <= term_id < len(self._id_to_term):
+            raise DictionaryError(f"unknown term id: {term_id}")
+        return self._id_to_term[term_id]
+
+    def decode_many(self, ids: Tuple[int, ...]) -> Tuple[Term, ...]:
+        """Decode a tuple of ids in one call (hot path of result decoding)."""
+        table = self._id_to_term
+        try:
+            return tuple(table[i] for i in ids)
+        except IndexError as exc:
+            raise DictionaryError(f"unknown term id in {ids!r}") from exc
+
+    def items(self) -> Iterator[Tuple[Term, int]]:
+        return iter(self._term_to_id.items())
+
+    def terms(self) -> Iterator[Term]:
+        return iter(self._id_to_term)
+
+    def copy(self) -> "TermDictionary":
+        clone = TermDictionary()
+        clone._term_to_id = dict(self._term_to_id)
+        clone._id_to_term = list(self._id_to_term)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TermDictionary({len(self)} terms)"

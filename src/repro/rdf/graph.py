@@ -1,0 +1,400 @@
+"""In-memory RDF graph (triple store) with dictionary encoding and indexes.
+
+The store keeps every triple as a tuple of integer term identifiers and
+maintains three permutation indexes (SPO, POS, OSP), so that any triple
+pattern with at least one constant can be answered by index lookup rather
+than a scan.  This is the classical design of in-memory RDF engines and is
+sufficient for the workloads of the paper's evaluation (hundreds of
+thousands of triples).
+
+Two access levels are offered:
+
+* a **term-level API** (:meth:`Graph.add`, :meth:`Graph.triples`,
+  :meth:`Graph.subjects`, ...) convenient for data loading and tests;
+* an **id-level API** (:meth:`Graph.match_ids`, :meth:`Graph.encode_term`,
+  ...) used by the BGP evaluator's hot loops to avoid re-encoding terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import InvalidTripleError
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import IRI, BlankNode, Literal, Term, TermOrVariable, Variable
+from repro.rdf.triples import Triple, TriplePattern
+
+__all__ = ["Graph"]
+
+#: Encoded triple: (subject id, predicate id, object id).
+EncodedTriple = Tuple[int, int, int]
+
+_RDF_TYPE = RDF.term("type")
+
+
+class Graph:
+    """A mutable set of RDF triples with pattern-matching access paths.
+
+    Parameters
+    ----------
+    triples:
+        Optional iterable of :class:`Triple` (or ``(s, p, o)`` term tuples)
+        to load at construction time.
+    name:
+        Optional human-readable name, used in ``repr`` and benchmark reports.
+    """
+
+    def __init__(self, triples: Optional[Iterable] = None, name: str | None = None):
+        self.name = name
+        self._dictionary = TermDictionary()
+        self._triples: Set[EncodedTriple] = set()
+        # Permutation indexes. Each maps first-component id to a dict of
+        # second-component id to a set of third-component ids.
+        self._spo: Dict[int, Dict[int, Set[int]]] = {}
+        self._pos: Dict[int, Dict[int, Set[int]]] = {}
+        self._osp: Dict[int, Dict[int, Set[int]]] = {}
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------
+    # dictionary access
+    # ------------------------------------------------------------------
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary backing this graph."""
+        return self._dictionary
+
+    def encode_term(self, term: Term) -> Optional[int]:
+        """Return the id of ``term`` in this graph, or None when unseen."""
+        return self._dictionary.lookup(term)
+
+    def decode_id(self, term_id: int) -> Term:
+        """Return the term for an id previously produced by this graph."""
+        return self._dictionary.decode(term_id)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple) -> bool:
+        """Add a triple; return True when it was not already present.
+
+        ``triple`` may be a :class:`Triple` or a plain ``(s, p, o)`` tuple of
+        terms (converted, with positional validation).
+        """
+        if not isinstance(triple, Triple):
+            try:
+                subject, predicate, object_ = triple
+            except (TypeError, ValueError) as exc:
+                raise InvalidTripleError(f"cannot interpret {triple!r} as a triple") from exc
+            triple = Triple(subject, predicate, object_)
+        encode = self._dictionary.encode
+        encoded = (encode(triple.subject), encode(triple.predicate), encode(triple.object))
+        if encoded in self._triples:
+            return False
+        self._triples.add(encoded)
+        self._index_add(encoded)
+        return True
+
+    def add_all(self, triples: Iterable) -> int:
+        """Add every triple from ``triples``; return the number actually added."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def remove(self, triple) -> bool:
+        """Remove a triple; return True when it was present."""
+        if not isinstance(triple, Triple):
+            subject, predicate, object_ = triple
+            triple = Triple(subject, predicate, object_)
+        lookup = self._dictionary.lookup
+        ids = (lookup(triple.subject), lookup(triple.predicate), lookup(triple.object))
+        if None in ids:
+            return False
+        encoded = (ids[0], ids[1], ids[2])  # type: ignore[assignment]
+        if encoded not in self._triples:
+            return False
+        self._triples.discard(encoded)
+        self._index_remove(encoded)
+        return True
+
+    def clear(self) -> None:
+        """Remove all triples (the term dictionary is kept)."""
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+
+    def _index_add(self, encoded: EncodedTriple) -> None:
+        s, p, o = encoded
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+
+    def _index_remove(self, encoded: EncodedTriple) -> None:
+        s, p, o = encoded
+        self._discard_from_index(self._spo, s, p, o)
+        self._discard_from_index(self._pos, p, o, s)
+        self._discard_from_index(self._osp, o, s, p)
+
+    @staticmethod
+    def _discard_from_index(index: Dict[int, Dict[int, Set[int]]], a: int, b: int, c: int) -> None:
+        second = index.get(a)
+        if second is None:
+            return
+        third = second.get(b)
+        if third is None:
+            return
+        third.discard(c)
+        if not third:
+            del second[b]
+            if not second:
+                del index[a]
+
+    # ------------------------------------------------------------------
+    # size / membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple) -> bool:
+        if not isinstance(triple, Triple):
+            subject, predicate, object_ = triple
+            triple = Triple(subject, predicate, object_)
+        lookup = self._dictionary.lookup
+        s = lookup(triple.subject)
+        p = lookup(triple.predicate)
+        o = lookup(triple.object)
+        if s is None or p is None or o is None:
+            return False
+        return (s, p, o) in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        decode = self._dictionary.decode
+        for s, p, o in self._triples:
+            yield Triple(decode(s), decode(p), decode(o))  # type: ignore[arg-type]
+
+    def __bool__(self) -> bool:
+        return bool(self._triples)
+
+    # ------------------------------------------------------------------
+    # pattern matching (term level)
+    # ------------------------------------------------------------------
+
+    def triples(
+        self,
+        subject: Optional[TermOrVariable] = None,
+        predicate: Optional[TermOrVariable] = None,
+        object: Optional[TermOrVariable] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over triples matching the given (possibly open) pattern.
+
+        ``None`` or a :class:`Variable` in a position means "any term".
+        """
+        decode = self._dictionary.decode
+        for s, p, o in self.match_ids(
+            self._position_id(subject), self._position_id(predicate), self._position_id(object)
+        ):
+            yield Triple(decode(s), decode(p), decode(o))  # type: ignore[arg-type]
+
+    def match_pattern(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Iterate over triples matching a :class:`TriplePattern`.
+
+        Repeated variables in the pattern (e.g. ``?x ?p ?x``) are honoured.
+        """
+        seen_vars = {}
+        positions = pattern.as_tuple()
+        for index, term in enumerate(positions):
+            if isinstance(term, Variable):
+                seen_vars.setdefault(term, []).append(index)
+        for triple in self.triples(*(None if isinstance(t, Variable) else t for t in positions)):
+            components = triple.as_tuple()
+            if all(
+                len({components[i] for i in occurrences}) == 1
+                for occurrences in seen_vars.values()
+            ):
+                yield triple
+
+    def _position_id(self, term: Optional[TermOrVariable]) -> Optional[int]:
+        """Map a pattern position to an id constraint (None = unconstrained).
+
+        A constant term that is not in the dictionary yields ``-1``, a
+        sentinel id matching nothing, so that patterns over unknown terms
+        return empty results instead of raising.
+        """
+        if term is None or isinstance(term, Variable):
+            return None
+        term_id = self._dictionary.lookup(term)
+        return -1 if term_id is None else term_id
+
+    # ------------------------------------------------------------------
+    # pattern matching (id level) — the BGP evaluator's entry point
+    # ------------------------------------------------------------------
+
+    def match_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> Iterator[EncodedTriple]:
+        """Iterate over encoded triples matching the id-level pattern.
+
+        Each position is either an integer id, ``-1`` (a constant unknown to
+        the dictionary: matches nothing) or ``None`` (unconstrained).  The
+        most selective available index is used.
+        """
+        if s == -1 or p == -1 or o == -1:
+            return
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                    return
+                for obj in objects:
+                    yield (s, p, obj)
+                return
+            if o is not None:
+                predicates = self._osp.get(o, {}).get(s)
+                if predicates is None:
+                    return
+                for pred in predicates:
+                    yield (s, pred, o)
+                return
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield (s, pred, obj)
+            return
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return
+            if o is not None:
+                subjects = by_object.get(o)
+                if subjects is None:
+                    return
+                for subj in subjects:
+                    yield (subj, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subj in subjects:
+                    yield (subj, p, obj)
+            return
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield (subj, pred, o)
+            return
+        yield from self._triples
+
+    def count_ids(self, s: Optional[int], p: Optional[int], o: Optional[int]) -> int:
+        """Return the number of triples matching the id-level pattern.
+
+        Cheap (index-size based) for the common shapes used by the join
+        optimizer; falls back to counting matches otherwise.
+        """
+        if s == -1 or p == -1 or o == -1:
+            return 0
+        if s is None and p is None and o is None:
+            return len(self._triples)
+        if s is not None and p is None and o is None:
+            return sum(len(objects) for objects in self._spo.get(s, {}).values())
+        if p is not None and s is None and o is None:
+            return sum(len(subjects) for subjects in self._pos.get(p, {}).values())
+        if o is not None and s is None and p is None:
+            return sum(len(predicates) for predicates in self._osp.get(o, {}).values())
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        return sum(1 for _ in self.match_ids(s, p, o))
+
+    # ------------------------------------------------------------------
+    # navigation helpers
+    # ------------------------------------------------------------------
+
+    def subjects(self, predicate: Optional[Term] = None, object: Optional[Term] = None) -> Iterator[Term]:
+        """Iterate over distinct subjects of triples matching ``(_, p, o)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(None, predicate, object):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(self, subject: Optional[Term] = None, object: Optional[Term] = None) -> Iterator[Term]:
+        """Iterate over distinct predicates of triples matching ``(s, _, o)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(subject, None, object):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[Term] = None) -> Iterator[Term]:
+        """Iterate over distinct objects of triples matching ``(s, p, _)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(self, subject: Term, predicate: Term) -> Optional[Term]:
+        """Return one object of ``(subject, predicate, _)`` or None."""
+        for obj in self.objects(subject, predicate):
+            return obj
+        return None
+
+    def instances_of(self, klass: IRI) -> Iterator[Term]:
+        """Iterate over subjects with ``rdf:type klass``."""
+        return self.subjects(_RDF_TYPE, klass)
+
+    # ------------------------------------------------------------------
+    # set-style operations
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Graph":
+        """Return an independent copy of this graph (shared nothing)."""
+        clone = Graph(name=name or self.name)
+        clone.add_all(self)
+        return clone
+
+    def union(self, other: "Graph", name: str | None = None) -> "Graph":
+        """Return a new graph holding the triples of both graphs."""
+        result = self.copy(name=name)
+        result.add_all(other)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        """Graphs are equal when they hold the same set of (ground) triples.
+
+        Note: blank nodes are compared by label, not by graph isomorphism;
+        this is sufficient for the deterministic generators and tests used
+        in this project.
+        """
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(triple in other for triple in self)
+
+    def __hash__(self):  # graphs are mutable
+        raise TypeError("Graph objects are unhashable")
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover
+        label = f" {self.name!r}" if self.name else ""
+        return f"Graph({label} {len(self)} triples)"

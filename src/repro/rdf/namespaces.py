@@ -1,0 +1,139 @@
+"""Namespace helpers and well-known vocabularies (RDF, RDFS, XSD).
+
+A :class:`Namespace` builds :class:`~repro.rdf.terms.IRI` terms by attribute
+or item access::
+
+    EX = Namespace("http://example.org/")
+    EX.Blogger            # IRI("http://example.org/Blogger")
+    EX["hasAge"]          # IRI("http://example.org/hasAge")
+
+A :class:`PrefixMap` maintains prefix -> namespace bindings for parsing and
+serializing prefixed names (``ex:Blogger``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import InvalidTermError
+from repro.rdf.terms import IRI
+
+__all__ = ["Namespace", "PrefixMap", "RDF", "RDFS", "XSD", "EX", "ANS"]
+
+
+class Namespace:
+    """A factory of IRIs sharing a common prefix string."""
+
+    def __init__(self, base: str):
+        if not base:
+            raise InvalidTermError("namespace base must be a non-empty string")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local: str) -> IRI:
+        """Return the IRI obtained by appending ``local`` to the base."""
+        return IRI(self._base + local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def local_part(self, iri: IRI) -> str:
+        """Return the part of ``iri`` after the namespace base.
+
+        Raises :class:`InvalidTermError` when the IRI is not in this namespace.
+        """
+        if iri not in self:
+            raise InvalidTermError(f"{iri.n3()} is not in namespace {self._base}")
+        return iri.value[len(self._base) :]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self._base))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: Default namespace used by the examples and synthetic data generators.
+EX = Namespace("http://example.org/")
+
+#: Namespace in which analytical-schema classes and properties live.
+ANS = Namespace("http://example.org/ans/")
+
+
+class PrefixMap:
+    """Mutable mapping of prefixes to namespaces, with CURIE expansion.
+
+    The default construction binds ``rdf``, ``rdfs`` and ``xsd``.
+    """
+
+    def __init__(self, bind_defaults: bool = True):
+        self._prefixes: Dict[str, Namespace] = {}
+        if bind_defaults:
+            self.bind("rdf", RDF)
+            self.bind("rdfs", RDFS)
+            self.bind("xsd", XSD)
+
+    def bind(self, prefix: str, namespace: Namespace | str) -> None:
+        """Bind ``prefix`` to ``namespace`` (replacing any previous binding)."""
+        if isinstance(namespace, str):
+            namespace = Namespace(namespace)
+        self._prefixes[prefix] = namespace
+
+    def namespace(self, prefix: str) -> Namespace:
+        if prefix not in self._prefixes:
+            raise InvalidTermError(f"unknown prefix: {prefix!r}")
+        return self._prefixes[prefix]
+
+    def expand(self, curie: str) -> IRI:
+        """Expand a ``prefix:local`` compact IRI into a full IRI."""
+        if ":" not in curie:
+            raise InvalidTermError(f"not a prefixed name: {curie!r}")
+        prefix, _, local = curie.partition(":")
+        return self.namespace(prefix).term(local)
+
+    def shrink(self, iri: IRI) -> str | None:
+        """Return the shortest prefixed form of ``iri``, or None if unbound.
+
+        The longest matching namespace wins so that e.g. a sub-namespace
+        binding takes precedence over its parent.
+        """
+        best: Tuple[int, str] | None = None
+        for prefix, namespace in self._prefixes.items():
+            if iri in namespace:
+                length = len(namespace.base)
+                if best is None or length > best[0]:
+                    best = (length, f"{prefix}:{namespace.local_part(iri)}")
+        return best[1] if best else None
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefixes
+
+    def __iter__(self) -> Iterator[Tuple[str, Namespace]]:
+        return iter(self._prefixes.items())
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def copy(self) -> "PrefixMap":
+        clone = PrefixMap(bind_defaults=False)
+        for prefix, namespace in self._prefixes.items():
+            clone.bind(prefix, namespace)
+        return clone

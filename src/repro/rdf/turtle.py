@@ -1,0 +1,318 @@
+"""Parser and serializer for a practical Turtle subset.
+
+Supported Turtle features:
+
+* ``@prefix`` / ``PREFIX`` declarations and prefixed names (``ex:Blogger``);
+* ``@base`` declarations and relative IRIs resolved against the base;
+* the ``a`` keyword for ``rdf:type``;
+* predicate lists (``;``) and object lists (``,``);
+* numeric (integer, decimal, double), boolean and string literal shorthand,
+  with ``@lang`` and ``^^`` datatype annotations;
+* ``_:label`` blank nodes;
+* comments (``#``).
+
+Not supported (raises :class:`~repro.errors.ParseError`): collections
+``( ... )``, anonymous blank nodes ``[ ... ]``, triple-quoted strings.
+These are not needed by the datasets and examples in this project; the
+error message says exactly what was rejected so users are not surprised.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError, SerializationError
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import PrefixMap, RDF
+from repro.rdf.terms import IRI, BlankNode, Literal, Term, XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf.triples import Triple
+
+__all__ = ["parse_turtle", "serialize_turtle", "load_turtle", "dump_turtle"]
+
+_RDF_TYPE = RDF.term("type")
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>\#[^\n]*)
+    | (?P<iri><[^>]*>)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<prefix_decl>@prefix|@base|PREFIX|BASE)
+    | (?P<langtag>@[a-zA-Z]{1,8}(?:-[a-zA-Z0-9]{1,8})*)
+    | (?P<datatype>\^\^)
+    | (?P<boolean>\btrue\b|\bfalse\b)
+    | (?P<double>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+    | (?P<decimal>[+-]?\d*\.\d+)
+    | (?P<integer>[+-]?\d+)
+    | (?P<bnode>_:[A-Za-z0-9_][A-Za-z0-9_.-]*)
+    | (?P<a>\ba\b)
+    | (?P<pname>[A-Za-z_][A-Za-z0-9_.-]*)?:(?:[A-Za-z0-9_][A-Za-z0-9_.-]*)?
+    | (?P<punct>[.;,\[\]()])
+    | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_UNESCAPES = {
+    "\\\\": "\\",
+    '\\"': '"',
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+}
+
+
+def _unescape(value: str) -> str:
+    result = value
+    for escaped, plain in _UNESCAPES.items():
+        result = result.replace(escaped, plain)
+    return result
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise ParseError(f"unexpected character {text[position]!r}", line=line)
+        kind = match.lastgroup or "pname"
+        value = match.group(0)
+        if kind not in ("ws", "comment"):
+            if kind == "punct" and value in "[]()":
+                raise ParseError(
+                    f"Turtle construct {value!r} (collections / anonymous nodes) is not supported",
+                    line=line,
+                )
+            # The pname alternative has no named group when only the colon part
+            # matches; normalise its kind.
+            if match.group("pname") is not None or (kind == "pname"):
+                kind = "pname" if ":" in value and not value.startswith("_:") else kind
+            tokens.append(_Token(kind, value, line))
+        line += value.count("\n")
+        position = match.end()
+    return tokens
+
+
+class _TurtleParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token], graph: Graph, prefixes: PrefixMap):
+        self._tokens = tokens
+        self._index = 0
+        self._graph = graph
+        self._prefixes = prefixes
+        self._base: Optional[str] = None
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != char:
+            raise ParseError(f"expected {char!r}, found {token.text!r}", line=token.line)
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Graph:
+        while self._peek() is not None:
+            token = self._peek()
+            if token.kind == "prefix_decl":
+                self._parse_directive()
+            else:
+                self._parse_triples_block()
+        return self._graph
+
+    def _parse_directive(self) -> None:
+        directive = self._next()
+        keyword = directive.text.lstrip("@").upper()
+        if keyword == "PREFIX":
+            name_token = self._next()
+            if name_token.kind != "pname" or not name_token.text.endswith(":"):
+                raise ParseError(
+                    f"expected a prefix name ending with ':', found {name_token.text!r}",
+                    line=name_token.line,
+                )
+            prefix = name_token.text[:-1]
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise ParseError("expected an IRI in prefix declaration", line=iri_token.line)
+            self._prefixes.bind(prefix, self._resolve_iri(iri_token.text[1:-1]))
+        elif keyword == "BASE":
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise ParseError("expected an IRI in base declaration", line=iri_token.line)
+            self._base = iri_token.text[1:-1]
+        else:  # pragma: no cover - the tokenizer only produces the two kinds
+            raise ParseError(f"unknown directive {directive.text!r}", line=directive.line)
+        if directive.text.startswith("@"):
+            self._expect_punct(".")
+
+    def _parse_triples_block(self) -> None:
+        subject = self._parse_term(position="subject")
+        self._parse_predicate_object_list(subject)
+        self._expect_punct(".")
+
+    def _parse_predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self._parse_verb()
+            self._parse_object_list(subject, predicate)
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.text == ";":
+                self._next()
+                # A ';' may be followed directly by '.', meaning an empty tail.
+                token = self._peek()
+                if token is not None and token.kind == "punct" and token.text == ".":
+                    return
+                continue
+            return
+
+    def _parse_verb(self) -> IRI:
+        token = self._peek()
+        if token is not None and token.kind == "a":
+            self._next()
+            return _RDF_TYPE
+        term = self._parse_term(position="predicate")
+        if not isinstance(term, IRI):
+            raise ParseError("predicate must be an IRI", line=token.line if token else None)
+        return term
+
+    def _parse_object_list(self, subject: Term, predicate: IRI) -> None:
+        while True:
+            object_ = self._parse_term(position="object")
+            self._graph.add(Triple(subject, predicate, object_))  # type: ignore[arg-type]
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.text == ",":
+                self._next()
+                continue
+            return
+
+    def _parse_term(self, position: str) -> Term:
+        token = self._next()
+        if token.kind == "iri":
+            return IRI(self._resolve_iri(_unescape(token.text[1:-1])))
+        if token.kind == "pname":
+            try:
+                return self._prefixes.expand(token.text)
+            except Exception as exc:
+                raise ParseError(str(exc), line=token.line) from exc
+        if token.kind == "bnode":
+            return BlankNode(token.text[2:])
+        if token.kind == "a" and position == "predicate":
+            return _RDF_TYPE
+        if position in ("subject", "predicate"):
+            raise ParseError(f"invalid {position} term: {token.text!r}", line=token.line)
+        if token.kind == "string":
+            lexical = _unescape(token.text[1:-1])
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "langtag":
+                self._next()
+                return Literal(lexical, language=nxt.text[1:])
+            if nxt is not None and nxt.kind == "datatype":
+                self._next()
+                datatype_term = self._parse_term(position="predicate")
+                if not isinstance(datatype_term, IRI):
+                    raise ParseError("datatype must be an IRI", line=token.line)
+                return Literal(lexical, datatype=datatype_term)
+            return Literal(lexical)
+        if token.kind == "integer":
+            return Literal(token.text, datatype=XSD_INTEGER)
+        if token.kind == "decimal":
+            return Literal(token.text, datatype=XSD_DECIMAL)
+        if token.kind == "double":
+            return Literal(token.text, datatype=XSD_DOUBLE)
+        if token.kind == "boolean":
+            return Literal(token.text, datatype=XSD_BOOLEAN)
+        raise ParseError(f"invalid {position} term: {token.text!r}", line=token.line)
+
+    def _resolve_iri(self, iri: str) -> str:
+        if self._base and "://" not in iri and not iri.startswith("urn:"):
+            return self._base + iri
+        return iri
+
+
+def parse_turtle(text: str, graph: Graph | None = None, prefixes: PrefixMap | None = None) -> Graph:
+    """Parse a Turtle document (see module docstring for the supported subset)."""
+    if graph is None:
+        graph = Graph()
+    if prefixes is None:
+        prefixes = PrefixMap()
+    tokens = _tokenize(text)
+    return _TurtleParser(tokens, graph, prefixes).parse()
+
+
+def serialize_turtle(graph: Graph, prefixes: PrefixMap | None = None) -> str:
+    """Serialize a graph to Turtle, grouping triples by subject.
+
+    Blank-node subjects/objects are written with ``_:`` labels; literals use
+    shorthand where Turtle allows it.
+    """
+    prefixes = prefixes or PrefixMap()
+
+    def render(term: Term) -> str:
+        if isinstance(term, IRI):
+            if term == _RDF_TYPE:
+                return "a"
+            short = prefixes.shrink(term)
+            return short if short else term.n3()
+        if isinstance(term, Literal):
+            if term.datatype in (XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE, XSD_BOOLEAN) and term.language is None:
+                return term.lexical
+            return term.n3()
+        if isinstance(term, BlankNode):
+            return term.n3()
+        raise SerializationError(f"cannot serialize term {term!r}")
+
+    lines: List[str] = []
+    for prefix, namespace in sorted(prefixes, key=lambda item: item[0]):
+        lines.append(f"@prefix {prefix}: <{namespace.base}> .")
+    if lines:
+        lines.append("")
+
+    by_subject: dict[Term, List[Tuple[Term, Term]]] = {}
+    for triple in graph:
+        by_subject.setdefault(triple.subject, []).append((triple.predicate, triple.object))
+
+    for subject in sorted(by_subject, key=lambda term: term.n3()):
+        pairs = sorted(by_subject[subject], key=lambda pair: (pair[0].n3(), pair[1].n3()))
+        entries = [f"{render(predicate)} {render(object_)}" for predicate, object_ in pairs]
+        body = " ;\n    ".join(entries)
+        lines.append(f"{render(subject)} {body} .")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_turtle(path: str, graph: Graph | None = None) -> Graph:
+    """Load a Turtle file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_turtle(handle.read(), graph)
+
+
+def dump_turtle(graph: Graph, path: str, prefixes: PrefixMap | None = None) -> None:
+    """Write a graph to a Turtle file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_turtle(graph, prefixes))

@@ -1,0 +1,118 @@
+"""Unit tests for aggregation functions and their registry."""
+
+import pytest
+
+from repro.errors import AggregationError
+from repro.algebra.aggregates import (
+    AVG,
+    COUNT,
+    COUNT_DISTINCT,
+    MAX,
+    MIN,
+    SUM,
+    AggregateFunction,
+    AggregateRegistry,
+    default_registry,
+    get_aggregate,
+)
+from repro.rdf import Literal
+
+
+class TestStandardAggregates:
+    def test_count(self):
+        assert COUNT([1, 1, 2]) == 3
+        assert COUNT(["a", "b"]) == 2
+
+    def test_count_distinct(self):
+        assert COUNT_DISTINCT([1, 1, 2]) == 2
+
+    def test_sum_avg_min_max(self):
+        values = [10, 20, 30]
+        assert SUM(values) == 60
+        assert AVG(values) == pytest.approx(20.0)
+        assert MIN(values) == 10
+        assert MAX(values) == 30
+
+    def test_aggregates_accept_rdf_literals(self):
+        values = [Literal(100), Literal(120)]
+        assert SUM(values) == 220
+        assert AVG(values) == pytest.approx(110.0)
+        assert COUNT(values) == 2
+
+    def test_empty_bag_is_undefined(self):
+        for aggregate in (COUNT, SUM, AVG, MIN, MAX, COUNT_DISTINCT):
+            with pytest.raises(AggregationError):
+                aggregate([])
+
+    def test_numeric_only_aggregates_reject_text(self):
+        with pytest.raises(AggregationError):
+            SUM(["not a number"])
+        with pytest.raises(AggregationError):
+            AVG([Literal("Madrid")])
+
+    def test_min_max_work_on_strings(self):
+        assert MIN(["b", "a", "c"]) == "a"
+        assert MAX(["b", "a", "c"]) == "c"
+
+    def test_boolean_values_count_as_integers(self):
+        assert SUM([True, True, False]) == 2
+
+
+class TestDistributivity:
+    def test_distributive_flags(self):
+        assert COUNT.distributive and SUM.distributive and MIN.distributive and MAX.distributive
+        assert not AVG.distributive
+        assert not COUNT_DISTINCT.distributive
+
+    def test_combine_for_distributive_functions(self):
+        # sum of partial sums, count combined by summing partial counts.
+        assert SUM.combine([10, 20]) == 30
+        assert COUNT.combine([2, 3]) == 5
+        assert MIN.combine([4, 2, 9]) == 2
+        assert MAX.combine([4, 2, 9]) == 9
+
+    def test_combine_rejected_for_non_distributive(self):
+        with pytest.raises(AggregationError):
+            AVG.combine([10, 20])
+
+    def test_combine_matches_direct_aggregation_on_disjoint_bags(self):
+        left = [1, 2, 3]
+        right = [10, 20]
+        assert SUM.combine([SUM(left), SUM(right)]) == SUM(left + right)
+        assert COUNT.combine([COUNT(left), COUNT(right)]) == COUNT(left + right)
+        assert MIN.combine([MIN(left), MIN(right)]) == MIN(left + right)
+
+
+class TestRegistry:
+    def test_default_registry_contains_standard_functions(self):
+        registry = default_registry()
+        for name in ("count", "count_distinct", "sum", "avg", "min", "max"):
+            assert name in registry
+        assert len(registry.names()) >= 6
+
+    def test_lookup_is_case_insensitive(self):
+        assert default_registry().get("SUM") is SUM
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(AggregationError):
+            default_registry().get("median")
+
+    def test_register_custom_aggregate(self):
+        registry = AggregateRegistry()
+        median = AggregateFunction("median", lambda values: sorted(values)[len(values) // 2], distributive=False)
+        registry.register(median)
+        assert registry.get("median")([3, 1, 2]) == 2
+
+    def test_duplicate_registration_requires_replace(self):
+        registry = AggregateRegistry()
+        clone = AggregateFunction("sum", lambda values: 0, distributive=True)
+        with pytest.raises(AggregationError):
+            registry.register(clone)
+        registry.register(clone, replace=True)
+        assert registry.get("sum")([1, 2]) == 0
+
+    def test_get_aggregate_coercion(self):
+        assert get_aggregate("avg") is AVG
+        assert get_aggregate(SUM) is SUM
+        with pytest.raises(AggregationError):
+            get_aggregate(42)

@@ -1,0 +1,119 @@
+"""Unit tests for selection predicates."""
+
+import pytest
+
+from repro.errors import UnknownColumnError
+from repro.algebra.expressions import (
+    always_true,
+    between,
+    compare,
+    comparable,
+    conjunction,
+    disjunction,
+    equals,
+    is_in,
+    negation,
+)
+from repro.rdf import EX, Literal
+
+
+class TestComparable:
+    def test_literal_conversion(self):
+        assert comparable(Literal(28)) == 28
+        assert comparable(Literal("Madrid")) == "Madrid"
+        assert comparable(Literal(2.5)) == pytest.approx(2.5)
+
+    def test_iri_converts_to_string(self):
+        assert comparable(EX.Madrid) == "http://example.org/Madrid"
+
+    def test_plain_python_passthrough(self):
+        assert comparable(42) == 42
+        assert comparable("text") == "text"
+        assert comparable(None) is None
+
+
+class TestEquals:
+    def test_matches_identical_terms(self):
+        predicate = equals("dcity", EX.Madrid)
+        assert predicate({"dcity": EX.Madrid})
+        assert not predicate({"dcity": EX.Kyoto})
+
+    def test_matches_literal_against_python_value(self):
+        predicate = equals("dage", 28)
+        assert predicate({"dage": Literal(28)})
+        assert not predicate({"dage": Literal(29)})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            equals("nope", 1)({"dage": 1})
+
+
+class TestIsIn:
+    def test_membership_with_terms_and_values(self):
+        predicate = is_in("dcity", [EX.Madrid, EX.Kyoto])
+        assert predicate({"dcity": EX.Madrid})
+        assert not predicate({"dcity": EX.term("NY")})
+
+    def test_membership_via_comparable_values(self):
+        predicate = is_in("dage", [28, 35])
+        assert predicate({"dage": Literal(35)})
+        assert not predicate({"dage": Literal(40)})
+
+    def test_empty_collection_matches_nothing(self):
+        assert not is_in("dage", [])({"dage": 1})
+
+
+class TestBetween:
+    def test_inclusive_range(self):
+        predicate = between("dage", 20, 30)
+        assert predicate({"dage": Literal(20)})
+        assert predicate({"dage": Literal(28)})
+        assert predicate({"dage": Literal(30)})
+        assert not predicate({"dage": Literal(31)})
+
+    def test_exclusive_range(self):
+        predicate = between("dage", 20, 30, inclusive=False)
+        assert not predicate({"dage": Literal(20)})
+        assert predicate({"dage": Literal(25)})
+
+    def test_non_comparable_values_fail_closed(self):
+        assert not between("dage", 20, 30)({"dage": Literal("unknown")})
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op, value, expected",
+        [("==", 28, True), ("!=", 28, False), ("<", 30, True), ("<=", 28, True), (">", 28, False), (">=", 29, False)],
+    )
+    def test_operators(self, op, value, expected):
+        assert compare("dage", op, value)({"dage": Literal(28)}) is expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            compare("dage", "<>", 1)
+
+    def test_type_mismatch_fails_closed(self):
+        assert not compare("dage", "<", 10)({"dage": Literal("abc")})
+
+
+class TestCombinators:
+    def test_conjunction_and_disjunction(self):
+        young = compare("dage", "<", 30)
+        in_madrid = equals("dcity", "Madrid")
+        row_yes = {"dage": 25, "dcity": "Madrid"}
+        row_no = {"dage": 40, "dcity": "Madrid"}
+        assert conjunction(young, in_madrid)(row_yes)
+        assert not conjunction(young, in_madrid)(row_no)
+        assert disjunction(young, in_madrid)(row_no)
+        assert not disjunction(young)(row_no)
+
+    def test_empty_combinators(self):
+        assert conjunction()({})
+        assert not disjunction()({})
+
+    def test_negation(self):
+        assert negation(equals("a", 1))({"a": 2})
+        assert not negation(equals("a", 1))({"a": 1})
+
+    def test_always_true(self):
+        assert always_true({})

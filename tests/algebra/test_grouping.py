@@ -1,0 +1,92 @@
+"""Unit tests for the γ group-and-aggregate operator."""
+
+import pytest
+
+from repro.errors import UnknownColumnError
+from repro.algebra.grouping import aggregate_column, group_aggregate, group_rows
+from repro.algebra.relation import Relation
+from repro.rdf import Literal
+
+
+@pytest.fixture()
+def word_counts() -> Relation:
+    """The projected pres(Q) of Example 4 (x, dage, dcity, vwords)."""
+    return Relation(
+        ["x", "dage", "dcity", "vwords"],
+        [
+            ("user1", 28, "Madrid", 100),
+            ("user1", 28, "Madrid", 120),
+            ("user3", 35, "NY", 570),
+            ("user4", 28, "Madrid", 410),
+        ],
+    )
+
+
+class TestGroupRows:
+    def test_partitioning(self, word_counts):
+        groups = group_rows(word_counts, ["dage", "dcity"])
+        assert set(groups) == {(28, "Madrid"), (35, "NY")}
+        assert len(groups[(28, "Madrid")]) == 3
+
+    def test_empty_by_creates_single_group(self, word_counts):
+        groups = group_rows(word_counts, [])
+        assert set(groups) == {()}
+        assert len(groups[()]) == 4
+
+    def test_unknown_column(self, word_counts):
+        with pytest.raises(UnknownColumnError):
+            group_rows(word_counts, ["nope"])
+
+
+class TestGroupAggregate:
+    def test_example4_average(self, word_counts):
+        result = group_aggregate(word_counts, ["dage", "dcity"], "vwords", "avg", output_column="v")
+        assert result.columns == ("dage", "dcity", "v")
+        cells = {row[:2]: row[2] for row in result}
+        assert cells[(28, "Madrid")] == pytest.approx(210.0)
+        assert cells[(35, "NY")] == pytest.approx(570.0)
+
+    def test_count_and_sum(self, word_counts):
+        counts = group_aggregate(word_counts, ["dcity"], "vwords", "count")
+        sums = group_aggregate(word_counts, ["dcity"], "vwords", "sum")
+        assert dict((row[0], row[1]) for row in counts) == {"Madrid": 3, "NY": 1}
+        assert dict((row[0], row[1]) for row in sums) == {"Madrid": 630, "NY": 570}
+
+    def test_global_aggregation_with_empty_by(self, word_counts):
+        result = group_aggregate(word_counts, [], "vwords", "sum")
+        assert result.columns == ("v",)
+        assert result.rows == [(1200,)]
+
+    def test_none_measures_are_ignored(self):
+        relation = Relation(["g", "v"], [("a", 1), ("a", None), ("b", None)])
+        result = group_aggregate(relation, ["g"], "v", "count")
+        assert dict(result.rows) == {"a": 1}
+
+    def test_rdf_literal_measures(self):
+        relation = Relation(["g", "v"], [("a", Literal(2)), ("a", Literal(3))])
+        result = group_aggregate(relation, ["g"], "v", "sum")
+        assert result.rows == [("a", 5)]
+
+    def test_output_column_name_can_be_customized(self, word_counts):
+        result = group_aggregate(word_counts, ["dage"], "vwords", "max", output_column="longest")
+        assert result.columns == ("dage", "longest")
+
+    def test_output_column_clash_with_grouping_column(self, word_counts):
+        with pytest.raises(UnknownColumnError):
+            group_aggregate(word_counts, ["dage"], "vwords", "max", output_column="dage")
+
+    def test_empty_relation_produces_empty_result(self):
+        relation = Relation(["g", "v"])
+        assert len(group_aggregate(relation, ["g"], "v", "sum")) == 0
+
+
+class TestAggregateColumn:
+    def test_whole_column(self, word_counts):
+        assert aggregate_column(word_counts, "vwords", "sum") == 1200
+        assert aggregate_column(word_counts, "vwords", "min") == 100
+
+    def test_empty_column_raises(self):
+        from repro.errors import AggregationError
+
+        with pytest.raises(AggregationError):
+            aggregate_column(Relation(["v"]), "v", "sum")

@@ -1,0 +1,151 @@
+"""Unit tests for Σ (dimension restrictions of extended analytical queries)."""
+
+import pytest
+
+from repro.errors import SigmaError
+from repro.rdf import EX, Literal
+from repro.analytics.sigma import DimensionRestriction, Sigma
+
+
+class TestDimensionRestriction:
+    def test_full_restriction_allows_everything(self):
+        full = DimensionRestriction.full()
+        assert full.is_full
+        assert full.allows(Literal(28))
+        assert full.allows("anything")
+
+    def test_value_set_restriction(self):
+        restriction = DimensionRestriction.to_values([Literal(28), Literal(35)])
+        assert not restriction.is_full
+        assert restriction.allows(Literal(28))
+        assert restriction.allows(28)  # via comparable conversion
+        assert not restriction.allows(Literal(40))
+
+    def test_single_value_restriction(self):
+        restriction = DimensionRestriction.to_value(EX.Madrid)
+        assert restriction.allows(EX.Madrid)
+        assert not restriction.allows(EX.Kyoto)
+        assert restriction.values == (EX.Madrid,)
+
+    def test_empty_value_set_rejected(self):
+        with pytest.raises(SigmaError):
+            DimensionRestriction.to_values([])
+
+    def test_range_restriction(self):
+        restriction = DimensionRestriction.to_range(20, 30)
+        assert restriction.allows(Literal(20)) and restriction.allows(Literal(30))
+        assert not restriction.allows(Literal(31))
+        exclusive = DimensionRestriction.to_range(20, 30, inclusive=False)
+        assert not exclusive.allows(Literal(20))
+
+    def test_range_fails_closed_on_non_comparable(self):
+        restriction = DimensionRestriction.to_range(20, 30)
+        assert not restriction.allows(Literal("Madrid"))
+
+    def test_predicate_restriction(self):
+        restriction = DimensionRestriction.to_predicate(lambda value: str(value).startswith("M"), "starts with M")
+        assert restriction.allows("Madrid")
+        assert not restriction.allows("Kyoto")
+        assert restriction.description == "starts with M"
+
+    def test_values_and_predicate_mutually_exclusive(self):
+        with pytest.raises(SigmaError):
+            DimensionRestriction(values=[1], predicate=lambda v: True)
+
+    def test_intersection_of_value_sets(self):
+        a = DimensionRestriction.to_values([1, 2, 3])
+        b = DimensionRestriction.to_values([2, 3, 4])
+        both = a.intersect(b)
+        assert both.allows(2) and both.allows(3)
+        assert not both.allows(1) and not both.allows(4)
+
+    def test_intersection_with_full_is_identity(self):
+        values = DimensionRestriction.to_values([1])
+        assert values.intersect(DimensionRestriction.full()) is values
+        assert DimensionRestriction.full().intersect(values) is values
+
+    def test_empty_intersection_rejected(self):
+        with pytest.raises(SigmaError):
+            DimensionRestriction.to_values([1]).intersect(DimensionRestriction.to_values([2]))
+
+    def test_intersection_with_predicate(self):
+        values = DimensionRestriction.to_values([1, 25, 40])
+        in_range = DimensionRestriction.to_range(20, 30)
+        both = values.intersect(in_range)
+        assert both.allows(25)
+        assert not both.allows(1) and not both.allows(40)
+
+    def test_equality(self):
+        assert DimensionRestriction.full() == DimensionRestriction.full()
+        assert DimensionRestriction.to_values([1, 2]) == DimensionRestriction.to_values([2, 1])
+        assert DimensionRestriction.to_values([1]) != DimensionRestriction.full()
+
+
+class TestSigma:
+    def test_default_is_unrestricted(self):
+        sigma = Sigma(["dage", "dcity"])
+        assert sigma.is_unrestricted()
+        assert sigma.dimensions == ("dage", "dcity")
+        assert sigma["dage"].is_full
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(SigmaError):
+            Sigma(["d", "d"])
+
+    def test_restrict_returns_new_sigma(self):
+        sigma = Sigma(["dage", "dcity"])
+        restricted = sigma.restrict("dage", DimensionRestriction.to_value(35))
+        assert sigma.is_unrestricted()
+        assert not restricted.is_unrestricted()
+        assert restricted.restricted_dimensions() == ("dage",)
+
+    def test_restrict_unknown_dimension(self):
+        with pytest.raises(SigmaError):
+            Sigma(["dage"]).restrict("nope", DimensionRestriction.full())
+
+    def test_restrictions_must_be_dimension_restrictions(self):
+        with pytest.raises(SigmaError):
+            Sigma(["d"], {"d": [1, 2, 3]})  # type: ignore[dict-item]
+
+    def test_allows_row_implements_sigma_dice(self):
+        sigma = Sigma(["dage", "dcity"]).restrict_many(
+            {
+                "dage": DimensionRestriction.to_range(20, 30),
+                "dcity": DimensionRestriction.to_values([EX.Madrid, EX.Kyoto]),
+            }
+        )
+        assert sigma.allows_row({"dage": Literal(28), "dcity": EX.Madrid, "v": 7})
+        assert not sigma.allows_row({"dage": Literal(35), "dcity": EX.Madrid})
+        assert not sigma.allows_row({"dage": Literal(28), "dcity": EX.term("NY")})
+
+    def test_allows_row_ignores_absent_dimensions(self):
+        sigma = Sigma(["dage", "dcity"]).restrict("dage", DimensionRestriction.to_value(28))
+        assert sigma.allows_row({"dcity": EX.Madrid})
+
+    def test_without_drops_dimensions(self):
+        sigma = Sigma(["dage", "dcity"]).restrict("dage", DimensionRestriction.to_value(28))
+        reduced = sigma.without(["dage"])
+        assert reduced.dimensions == ("dcity",)
+        with pytest.raises(SigmaError):
+            sigma.without(["nope"])
+
+    def test_with_new_adds_full_dimensions(self):
+        sigma = Sigma(["dage"]).with_new(["dcity"])
+        assert sigma.dimensions == ("dage", "dcity")
+        assert sigma["dcity"].is_full
+        with pytest.raises(SigmaError):
+            sigma.with_new(["dage"])
+
+    def test_reorder(self):
+        sigma = Sigma(["dage", "dcity"]).restrict("dage", DimensionRestriction.to_value(28))
+        reordered = sigma.reorder(["dcity", "dage"])
+        assert reordered.dimensions == ("dcity", "dage")
+        assert not reordered["dage"].is_full
+        with pytest.raises(SigmaError):
+            sigma.reorder(["dage"])
+
+    def test_equality_and_describe(self):
+        a = Sigma(["dage"]).restrict("dage", DimensionRestriction.to_values([28]))
+        b = Sigma(["dage"]).restrict("dage", DimensionRestriction.to_values([28]))
+        assert a == b
+        assert "dage" in a.describe()

@@ -1,0 +1,67 @@
+"""Unit tests for the timing harness and result tables."""
+
+import pytest
+
+from repro.bench.harness import Measurement, ResultTable, compare_callables, time_callable
+from repro.bench.reporting import report_to_markdown, table_to_markdown, write_report
+
+
+class TestTiming:
+    def test_time_callable_runs_warmup_and_repeats(self):
+        calls = []
+        measurement = time_callable("case", lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(measurement.seconds) == 3
+        assert measurement.best <= measurement.mean
+        assert measurement.milliseconds() >= 0
+
+    def test_time_callable_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable("case", lambda: None, repeats=0)
+
+    def test_metadata_is_kept(self):
+        measurement = time_callable("case", lambda: None, repeats=1, metadata={"size": 10})
+        assert measurement.metadata == {"size": 10}
+
+    def test_compare_callables(self):
+        measurements = compare_callables(
+            [("a", lambda: None), ("b", lambda: None, {"note": 1})], repeats=1, warmup=0
+        )
+        assert [m.label for m in measurements] == ["a", "b"]
+        assert measurements[1].metadata == {"note": 1}
+
+    def test_empty_measurement_statistics_are_nan(self):
+        measurement = Measurement("empty")
+        assert measurement.mean != measurement.mean  # NaN
+
+
+class TestResultTable:
+    def test_add_row_and_render(self):
+        table = ResultTable(["operation", "time (ms)"], title="demo")
+        table.add_row("SLICE", 1.234)
+        table.add_row("DICE", 250.0)
+        text = table.to_text()
+        assert "demo" in text and "SLICE" in text
+        assert "1.234" in text and "250.0" in text
+
+    def test_row_arity_checked(self):
+        table = ResultTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_markdown_rendering(self):
+        table = ResultTable(["a", "b"], title="t")
+        table.add_row(1, 2)
+        markdown = table_to_markdown(table)
+        assert "| a | b |" in markdown
+        assert "| 1 | 2 |" in markdown
+        assert markdown.startswith("### t")
+
+    def test_report_rendering_and_writing(self, tmp_path):
+        table = ResultTable(["a"], title="t")
+        table.add_row(1)
+        report = report_to_markdown([table], heading="Results")
+        assert report.startswith("# Results")
+        path = tmp_path / "report.md"
+        write_report([table], str(path), heading="Results")
+        assert path.read_text().startswith("# Results")

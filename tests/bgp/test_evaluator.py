@@ -1,0 +1,146 @@
+"""Unit tests for BGP query evaluation (set and bag semantics)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.rdf import EX, Graph, Literal, RDF, Triple
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.bgp.evaluator import BGPEvaluator, evaluate_query
+from repro.bgp.parser import parse_query
+from repro.bgp.query import BGPQuery
+
+RDF_TYPE = RDF.term("type")
+
+
+@pytest.fixture()
+def example2_like_graph() -> Graph:
+    """user1 posts twice on s1 and once on s2; user3 once on s2."""
+    graph = Graph()
+    for user in (EX.user1, EX.user3):
+        graph.add(Triple(user, RDF_TYPE, EX.Blogger))
+    graph.add(Triple(EX.user1, EX.hasAge, Literal(28)))
+    graph.add(Triple(EX.user3, EX.hasAge, Literal(35)))
+    posts = {"p1": (EX.user1, "s1"), "p2": (EX.user1, "s1"), "p3": (EX.user1, "s2"), "p4": (EX.user3, "s2")}
+    for name, (author, site) in posts.items():
+        post = EX.term(name)
+        graph.add(Triple(author, EX.wrotePost, post))
+        graph.add(Triple(post, EX.postedOn, EX.term(site)))
+    return graph
+
+
+class TestSetSemantics:
+    def test_single_pattern(self, example2_like_graph):
+        query = parse_query("q(?x) :- ?x rdf:type ex:Blogger")
+        result = evaluate_query(query, example2_like_graph)
+        assert result.columns == ("x",)
+        assert set(result.column_values("x")) == {EX.user1, EX.user3}
+
+    def test_join_on_shared_variable(self, example2_like_graph):
+        query = parse_query("q(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s")
+        result = evaluate_query(query, example2_like_graph)
+        # Set semantics collapses the two embeddings of (user1, s1).
+        assert result.to_multiset() == {
+            (EX.user1, EX.term("s1")): 1,
+            (EX.user1, EX.term("s2")): 1,
+            (EX.user3, EX.term("s2")): 1,
+        }
+
+    def test_projection_deduplicates(self, example2_like_graph):
+        query = parse_query("q(?x) :- ?x wrotePost ?p, ?p postedOn ?s")
+        result = evaluate_query(query, example2_like_graph)
+        assert len(result) == 2
+
+    def test_constant_in_pattern(self, example2_like_graph):
+        query = parse_query("q(?x) :- ?x hasAge 28")
+        result = evaluate_query(query, example2_like_graph)
+        assert result.column_values("x") == [EX.user1]
+
+    def test_unknown_constant_gives_empty_result(self, example2_like_graph):
+        query = parse_query("q(?x) :- ?x hasAge 99")
+        assert len(evaluate_query(query, example2_like_graph)) == 0
+        query2 = parse_query("q(?x) :- ?x unknownProperty ?y")
+        assert len(evaluate_query(query2, example2_like_graph)) == 0
+
+    def test_empty_graph(self):
+        query = parse_query("q(?x) :- ?x rdf:type ex:Blogger")
+        assert len(evaluate_query(query, Graph())) == 0
+
+
+class TestBagSemantics:
+    def test_bag_counts_embeddings(self, example2_like_graph):
+        query = parse_query("m(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s")
+        result = evaluate_query(query, example2_like_graph, semantics="bag")
+        # user1 posts twice on s1 (two embeddings through p1 and p2).
+        assert result.to_multiset() == {
+            (EX.user1, EX.term("s1")): 2,
+            (EX.user1, EX.term("s2")): 1,
+            (EX.user3, EX.term("s2")): 1,
+        }
+
+    def test_set_is_dedup_of_bag(self, example2_like_graph):
+        query = parse_query("m(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s")
+        bag = evaluate_query(query, example2_like_graph, semantics="bag")
+        set_result = evaluate_query(query, example2_like_graph, semantics="set")
+        assert set(bag.rows) == set(set_result.rows)
+        assert len(bag) >= len(set_result)
+
+    def test_invalid_semantics(self, example2_like_graph):
+        query = parse_query("q(?x) :- ?x rdf:type ex:Blogger")
+        evaluator = BGPEvaluator(example2_like_graph)
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(query, semantics="multiset")
+
+
+class TestEvaluatorFeatures:
+    def test_initial_binding_restricts_results(self, example2_like_graph):
+        evaluator = BGPEvaluator(example2_like_graph)
+        query = parse_query("q(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s")
+        result = evaluator.evaluate(query, initial_binding={Variable("x"): EX.user3})
+        assert result.rows == [(EX.user3, EX.term("s2"))]
+
+    def test_initial_binding_with_unknown_term(self, example2_like_graph):
+        evaluator = BGPEvaluator(example2_like_graph)
+        query = parse_query("q(?x) :- ?x rdf:type ex:Blogger")
+        result = evaluator.evaluate(query, initial_binding={Variable("x"): EX.term("ghost")})
+        assert len(result) == 0
+
+    def test_count_matches_len(self, example2_like_graph):
+        evaluator = BGPEvaluator(example2_like_graph)
+        query = parse_query("q(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s")
+        assert evaluator.count(query) == len(evaluator.evaluate(query))
+        assert evaluator.count(query, semantics="bag") == 4
+
+    def test_repeated_variable_within_pattern(self):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.knows, EX.a))
+        graph.add(Triple(EX.a, EX.knows, EX.b))
+        query = BGPQuery(["x"], [TriplePattern(Variable("x"), EX.knows, Variable("x"))])
+        result = evaluate_query(query, graph)
+        assert result.rows == [(EX.a,)]
+
+    def test_cyclic_join_shape(self):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.p, EX.b))
+        graph.add(Triple(EX.b, EX.q, EX.a))
+        graph.add(Triple(EX.b, EX.q, EX.c))
+        x, y = Variable("x"), Variable("y")
+        query = BGPQuery([x, y], [TriplePattern(x, EX.p, y), TriplePattern(y, EX.q, x)])
+        result = evaluate_query(query, graph)
+        assert result.rows == [(EX.a, EX.b)]
+
+    def test_cross_product_of_disconnected_patterns(self, example2_like_graph):
+        query = parse_query("q(?x, ?y) :- ?x rdf:type ex:Blogger, ?y postedOn ?s")
+        result = evaluate_query(query, example2_like_graph)
+        # 2 bloggers x 4 posts (p1..p4) = 8 distinct (x, y) combinations.
+        assert len(result) == 8
+
+    def test_literal_results_are_decoded(self, example2_like_graph):
+        query = parse_query("q(?x, ?a) :- ?x hasAge ?a")
+        ages = dict(evaluate_query(query, example2_like_graph).rows)
+        assert ages[EX.user1] == Literal(28)
+
+    def test_statistics_are_reused(self, example2_like_graph):
+        evaluator = BGPEvaluator(example2_like_graph)
+        assert evaluator.statistics.triple_count == len(example2_like_graph)
+        assert evaluator.graph is example2_like_graph

@@ -1,0 +1,102 @@
+"""Unit tests for the greedy join-order optimizer."""
+
+import pytest
+
+from repro.rdf import EX, Graph, Literal, RDF, Triple
+from repro.rdf.statistics import GraphStatistics
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.bgp.optimizer import estimate_pattern_cost, order_patterns
+
+RDF_TYPE = RDF.term("type")
+
+
+@pytest.fixture()
+def skewed_graph() -> Graph:
+    """Many bloggers, very few sites: the optimizer should start from Site."""
+    graph = Graph()
+    for index in range(50):
+        user = EX.term(f"user{index}")
+        graph.add(Triple(user, RDF_TYPE, EX.Blogger))
+        graph.add(Triple(user, EX.hasAge, Literal(20 + index % 10)))
+    for index in range(2):
+        graph.add(Triple(EX.term(f"site{index}"), RDF_TYPE, EX.Site))
+    return graph
+
+
+class TestEstimates:
+    def test_with_statistics_uses_counts(self, skewed_graph):
+        statistics = GraphStatistics(skewed_graph)
+        blogger = TriplePattern(Variable("x"), RDF_TYPE, EX.Blogger)
+        site = TriplePattern(Variable("s"), RDF_TYPE, EX.Site)
+        assert estimate_pattern_cost(site, statistics) < estimate_pattern_cost(blogger, statistics)
+
+    def test_without_statistics_prefers_more_constants(self):
+        open_pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        typed = TriplePattern(Variable("s"), RDF_TYPE, EX.Blogger)
+        grounded = TriplePattern(EX.user1, RDF_TYPE, EX.Blogger)
+        assert estimate_pattern_cost(grounded, None) < estimate_pattern_cost(typed, None)
+        assert estimate_pattern_cost(typed, None) < estimate_pattern_cost(open_pattern, None)
+
+
+class TestOrdering:
+    def test_trivial_cases(self):
+        assert order_patterns([]) == []
+        single = [TriplePattern(Variable("x"), RDF_TYPE, EX.Blogger)]
+        assert order_patterns(single) == single
+
+    def test_most_selective_pattern_first(self, skewed_graph):
+        statistics = GraphStatistics(skewed_graph)
+        blogger = TriplePattern(Variable("x"), RDF_TYPE, EX.Blogger)
+        age = TriplePattern(Variable("x"), EX.hasAge, Variable("a"))
+        site = TriplePattern(Variable("s"), RDF_TYPE, EX.Site)
+        ordered = order_patterns([blogger, age, site], statistics)
+        assert ordered[0] == site
+
+    def test_connected_patterns_preferred_over_cheaper_disconnected(self, skewed_graph):
+        statistics = GraphStatistics(skewed_graph)
+        blogger = TriplePattern(Variable("x"), RDF_TYPE, EX.Blogger)
+        age = TriplePattern(Variable("x"), EX.hasAge, Variable("a"))
+        site = TriplePattern(Variable("s"), RDF_TYPE, EX.Site)
+        ordered = order_patterns([blogger, age, site], statistics)
+        # After the first (site) pattern, the remaining two are connected to
+        # each other; they must be adjacent rather than interleaved with a
+        # disconnected pattern (there is none left, so check the pair order
+        # is by selectivity).
+        assert set(ordered[1:]) == {blogger, age}
+
+    def test_connected_chain_follows_shared_variables(self, skewed_graph):
+        statistics = GraphStatistics(skewed_graph)
+        x, p, s = Variable("x"), Variable("p"), Variable("s")
+        chain = [
+            TriplePattern(x, RDF_TYPE, EX.Blogger),
+            TriplePattern(x, EX.wrotePost, p),
+            TriplePattern(p, EX.postedOn, s),
+        ]
+        ordered = order_patterns(chain, statistics)
+        seen = set(ordered[0].variables())
+        for pattern in ordered[1:]:
+            # every subsequent pattern shares at least one variable with the prefix
+            # (no Cartesian products) unless it is genuinely disconnected.
+            assert pattern.variables() & seen
+            seen |= pattern.variables()
+
+    def test_bound_variables_count_as_connected(self, skewed_graph):
+        statistics = GraphStatistics(skewed_graph)
+        x = Variable("x")
+        patterns = [
+            TriplePattern(x, RDF_TYPE, EX.Blogger),
+            TriplePattern(x, EX.hasAge, Variable("a")),
+        ]
+        ordered = order_patterns(patterns, statistics, bound_variables={x})
+        assert len(ordered) == 2
+
+    def test_result_is_a_permutation(self, skewed_graph):
+        statistics = GraphStatistics(skewed_graph)
+        patterns = [
+            TriplePattern(Variable("x"), RDF_TYPE, EX.Blogger),
+            TriplePattern(Variable("x"), EX.hasAge, Variable("a")),
+            TriplePattern(Variable("s"), RDF_TYPE, EX.Site),
+        ]
+        ordered = order_patterns(patterns, statistics)
+        assert sorted(map(hash, ordered)) == sorted(map(hash, patterns))

@@ -1,0 +1,123 @@
+"""Unit tests for the textual BGP query syntax."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.rdf import EX, IRI, Literal, RDF, XSD
+from repro.rdf.namespaces import Namespace, PrefixMap
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.bgp.parser import default_prefixes, parse_query, parse_triple_patterns
+
+RDF_TYPE = RDF.term("type")
+
+
+class TestParseQuery:
+    def test_example1_classifier(self):
+        query = parse_query(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type ex:Blogger, ?x ex:hasAge ?dage, ?x ex:livesIn ?dcity"
+        )
+        assert query.name == "c"
+        assert query.head_names == ("x", "dage", "dcity")
+        assert TriplePattern(Variable("x"), RDF_TYPE, EX.Blogger) in query.body
+        assert TriplePattern(Variable("x"), EX.hasAge, Variable("dage")) in query.body
+
+    def test_bare_identifiers_resolve_to_default_namespace(self):
+        query = parse_query("m(?x, ?v) :- ?x wrotePost ?p, ?p postedOn ?v")
+        assert TriplePattern(Variable("x"), EX.wrotePost, Variable("p")) in query.body
+
+    def test_a_keyword(self):
+        query = parse_query("q(?x) :- ?x a Blogger")
+        assert TriplePattern(Variable("x"), RDF_TYPE, EX.Blogger) in query.body
+
+    def test_full_iris(self):
+        query = parse_query("q(?x) :- ?x <http://example.org/hasAge> ?a")
+        assert TriplePattern(Variable("x"), EX.hasAge, Variable("a")) in query.body
+
+    def test_literals(self):
+        query = parse_query(
+            'q(?x) :- ?x hasAge 28, ?x identifiedBy "Bill", ?x score 2.5, ?x active true'
+        )
+        objects = {pattern.predicate.local_name(): pattern.object for pattern in query.body}
+        assert objects["hasAge"] == Literal(28)
+        assert objects["identifiedBy"] == Literal("Bill")
+        assert float(objects["score"].to_python()) == pytest.approx(2.5)
+        assert objects["active"].to_python() is True
+
+    def test_typed_and_tagged_string_literals(self):
+        query = parse_query('q(?x) :- ?x name "Bill"@en, ?x age "28"^^xsd:integer')
+        objects = {pattern.predicate.local_name(): pattern.object for pattern in query.body}
+        assert objects["name"] == Literal("Bill", language="en")
+        assert objects["age"] == Literal(28)
+
+    def test_custom_default_namespace(self):
+        other = Namespace("http://other.example/")
+        query = parse_query("q(?x) :- ?x likes ?y", default_namespace=other)
+        assert TriplePattern(Variable("x"), other.likes, Variable("y")) in query.body
+
+    def test_custom_prefix_map(self):
+        prefixes = default_prefixes()
+        prefixes.bind("foaf", "http://xmlns.com/foaf/0.1/")
+        query = parse_query("q(?x) :- ?x foaf:knows ?y", prefixes=prefixes)
+        assert TriplePattern(Variable("x"), IRI("http://xmlns.com/foaf/0.1/knows"), Variable("y")) in query.body
+
+    def test_optional_trailing_dot_and_comments(self):
+        query = parse_query("q(?x) :- ?x a Blogger . # done")
+        assert len(query.body) == 1
+
+    def test_multiline_input(self):
+        query = parse_query(
+            """
+            c(?x, ?dage) :-
+                ?x a Blogger,
+                ?x hasAge ?dage
+            """
+        )
+        assert query.head_names == ("x", "dage")
+
+
+class TestParseErrors:
+    def test_missing_separator(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(?x) ?x a Blogger")
+
+    def test_malformed_head(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q ?x :- ?x a Blogger")
+
+    def test_head_variable_without_question_mark(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(x) :- ?x a Blogger")
+
+    def test_empty_head(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q() :- ?x a Blogger")
+
+    def test_wrong_term_count(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(?x) :- ?x hasAge")
+        with pytest.raises(QueryParseError):
+            parse_query("q(?x) :- ?x hasAge 28 extra")
+
+    def test_empty_body(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(?x) :- ")
+
+    def test_unknown_prefix(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(?x) :- ?x nope:p ?y")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(?x) :- ?x { ?y")
+
+
+class TestParseTriplePatterns:
+    def test_standalone_body_parsing(self):
+        patterns = parse_triple_patterns("?x a Blogger, ?x hasAge ?dage")
+        assert len(patterns) == 2
+
+    def test_default_prefixes_bind_ex(self):
+        prefixes = default_prefixes()
+        assert prefixes.expand("ex:Blogger") == EX.Blogger
+        assert prefixes.expand("rdf:type") == RDF_TYPE

@@ -1,0 +1,57 @@
+"""Unit tests for the seeded random distributions."""
+
+import random
+
+import pytest
+
+from repro.datagen.distributions import multi_valued_count, pick_uniform, pick_zipf, zipf_index
+
+
+class TestZipf:
+    def test_indexes_within_bounds(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= zipf_index(rng, 10, exponent=1.0) < 10
+
+    def test_zero_exponent_is_uniform_range(self):
+        rng = random.Random(2)
+        values = {zipf_index(rng, 5, exponent=0.0) for _ in range(200)}
+        assert values == {0, 1, 2, 3, 4}
+
+    def test_skew_prefers_low_indexes(self):
+        rng = random.Random(3)
+        samples = [zipf_index(rng, 50, exponent=1.2) for _ in range(2000)]
+        low = sum(1 for sample in samples if sample < 5)
+        high = sum(1 for sample in samples if sample >= 45)
+        assert low > high * 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            zipf_index(random.Random(0), 0)
+
+    def test_determinism_with_same_seed(self):
+        first = [zipf_index(random.Random(7), 20) for _ in range(1)]
+        second = [zipf_index(random.Random(7), 20) for _ in range(1)]
+        assert first == second
+
+    def test_pick_helpers(self):
+        rng = random.Random(4)
+        values = ["a", "b", "c"]
+        assert pick_zipf(rng, values) in values
+        assert pick_uniform(rng, values) in values
+
+
+class TestMultiValuedCount:
+    def test_mean_one_always_returns_one(self):
+        rng = random.Random(5)
+        assert all(multi_valued_count(rng, 1.0) == 1 for _ in range(100))
+
+    def test_counts_are_bounded(self):
+        rng = random.Random(6)
+        assert all(1 <= multi_valued_count(rng, 3.0, maximum=4) <= 4 for _ in range(200))
+
+    def test_larger_mean_gives_larger_average(self):
+        rng = random.Random(7)
+        low = sum(multi_valued_count(rng, 1.2) for _ in range(500)) / 500
+        high = sum(multi_valued_count(rng, 3.0) for _ in range(500)) / 500
+        assert high > low

@@ -1,0 +1,52 @@
+"""Smoke tests keeping the example scripts runnable.
+
+Each example is executed in a subprocess with small data sizes; the test
+checks the exit status and a few landmark strings of the expected output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(script: str, *arguments: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "Posts per (age, city)" in output
+        assert "SLICE age=35" in output
+        assert "DRILL-OUT age" in output
+        assert "rewrite[" in output
+
+    def test_blogger_analytics(self):
+        output = run_example("blogger_analytics.py", "--bloggers", "80")
+        assert "Example 1 cube" in output
+        assert "Example 4 cube" in output
+        assert "rewriting vs. from-scratch" in output
+        assert "False" not in output.split("OLAP operations")[1].split("Chained")[0]
+
+    def test_video_portal_drill(self):
+        output = run_example("video_portal_drill.py", "--videos", "60")
+        assert "Auxiliary DRILL-IN query" in output
+        assert "equal=True" in output
+        assert "Views per browser" in output
+
+    def test_olap_dashboard_session(self):
+        output = run_example("olap_dashboard_session.py", "--facts", "200")
+        assert "Materialized base cubes" in output
+        assert "Session history" in output
+        assert "answered by rewriting" in output

@@ -1,0 +1,134 @@
+"""Integration tests replaying the paper's narrative end to end.
+
+Each test walks one of the paper's worked examples through the full public
+API — base graph → analytical schema → AnS instance → analytical query →
+OLAP transformation → rewriting — and checks the exact values the paper
+states.
+"""
+
+import pytest
+
+from repro.rdf import EX, Graph, Literal, RDF, Triple
+from repro.analytics import AnalyticalQueryEvaluator, materialize_instance
+from repro.datagen.blogger import blogger_schema, sites_per_blogger_query, words_per_blogger_query
+from repro.datagen.videos import video_schema, views_per_url_query
+from repro.olap import Cube, Dice, DrillIn, DrillOut, OLAPSession, Slice
+
+RDF_TYPE = RDF.term("type")
+
+
+class TestExample1And2ThroughTheSchema:
+    """Example 1/2 executed on a base graph through the Figure 1 AnS."""
+
+    @pytest.fixture()
+    def base_graph(self) -> Graph:
+        graph = Graph()
+        users = {
+            "user1": (28, "Madrid", ["Bill", "William"]),
+            "user3": (35, "NY", ["Chen"]),
+            "user4": (35, "NY", ["Omar"]),
+        }
+        for name, (age, city, aliases) in users.items():
+            user = EX.term(name)
+            graph.add(Triple(user, RDF_TYPE, EX.Blogger))
+            graph.add(Triple(user, EX.hasAge, Literal(age)))
+            graph.add(Triple(user, EX.livesIn, EX.term(city)))
+            graph.add(Triple(EX.term(city), RDF_TYPE, EX.City))
+            for alias in aliases:
+                graph.add(Triple(user, EX.identifiedBy, Literal(alias)))
+        postings = [("p1", "user1", "s1"), ("p2", "user1", "s1"), ("p3", "user1", "s2"),
+                    ("p4", "user3", "s2"), ("p5", "user4", "s3")]
+        for post_name, author, site in postings:
+            post = EX.term(post_name)
+            graph.add(Triple(post, RDF_TYPE, EX.BlogPost))
+            graph.add(Triple(EX.term(author), EX.wrotePost, post))
+            graph.add(Triple(post, EX.postedOn, EX.term(site)))
+            graph.add(Triple(EX.term(site), RDF_TYPE, EX.Site))
+        return graph
+
+    def test_full_pipeline_reproduces_example2(self, base_graph):
+        schema = blogger_schema()
+        instance = materialize_instance(schema, base_graph)
+        session = OLAPSession(instance, schema)
+        query = sites_per_blogger_query(schema)
+        cube = session.execute(query)
+        assert cube.cell(Literal(28), EX.term("Madrid")) == 3
+        assert cube.cell(Literal(35), EX.term("NY")) == 2
+        assert len(cube) == 2
+
+    def test_example3_operations_on_the_example1_cube(self, base_graph):
+        schema = blogger_schema()
+        instance = materialize_instance(schema, base_graph)
+        session = OLAPSession(instance, schema)
+        query = sites_per_blogger_query(schema)
+        session.execute(query)
+
+        sliced = session.transform(query, Slice("dage", Literal(35)), strategy="rewrite")
+        assert sliced.cells() == {(Literal(35), EX.term("NY")): 2}
+
+        diced = session.transform(
+            query, Dice({"dage": [Literal(28)], "dcity": [EX.term("Madrid"), EX.term("Kyoto")]}),
+            strategy="rewrite",
+        )
+        assert diced.cells() == {(Literal(28), EX.term("Madrid")): 3}
+
+        drilled_out = session.transform(query, DrillOut("dage"), strategy="rewrite")
+        assert drilled_out.cell(EX.term("Madrid")) == 3
+        assert drilled_out.cell(EX.term("NY")) == 2
+
+        # DRILL-IN on dage applied to Q_DRILL-OUT reproduces the cells of Q.
+        refined = session.transform(drilled_out.query.name, DrillIn("dage"), strategy="scratch")
+        original = session.materialized(query).answer
+        assert {frozenset(k) for k in refined.cells()} == {
+            frozenset(row[:-1]) for row in original.relation
+        }
+
+
+class TestExample4And5:
+    def test_dice_and_drill_out_on_word_counts(self, example4_instance):
+        session = OLAPSession(example4_instance)
+        query = words_per_blogger_query()
+        cube = session.execute(query)
+        assert cube.cell(Literal(28), EX.term("Madrid")) == pytest.approx(210.0)
+
+        diced = session.transform(query, Dice({"dage": (20, 30)}), strategy="rewrite")
+        assert diced.cells() == {(Literal(28), EX.term("Madrid")): pytest.approx(210.0)}
+
+        comparison = session.compare_strategies(query, DrillOut("dage"))
+        assert comparison["equal"]
+
+    def test_avg_drill_out_requires_pres_not_ans(self, example4_instance):
+        """avg is non-distributive: the rewriting must come from pres(Q)."""
+        from repro.olap.rewriting import drill_out_from_answer_naive
+        from repro.errors import RewritingError
+
+        session = OLAPSession(example4_instance)
+        query = words_per_blogger_query()
+        session.execute(query)
+        transformed = DrillOut("dage").apply(query)
+        with pytest.raises(RewritingError):
+            drill_out_from_answer_naive(session.materialized(query).answer, transformed)
+
+
+class TestExample6Figure3:
+    def test_drill_in_pipeline_from_base_graph(self, figure3_instance):
+        # Figure 3's table *is* the instance; query and drill in through a session.
+        session = OLAPSession(figure3_instance)
+        query = views_per_url_query()
+        cube = session.execute(query)
+        assert cube.cell(Literal("URL1")) == 100
+        assert cube.cell(Literal("URL2")) == 100
+
+        refined = session.transform(query, DrillIn("d3"), strategy="rewrite")
+        assert refined.cells() == {
+            (Literal("URL1"), Literal("firefox")): 100,
+            (Literal("URL2"), Literal("chrome")): 100,
+        }
+
+    def test_video_schema_materialization_matches_direct_instance(self, figure3_instance):
+        schema = video_schema()
+        instance = materialize_instance(schema, figure3_instance)
+        evaluator = AnalyticalQueryEvaluator(instance)
+        answer = evaluator.answer(views_per_url_query(schema))
+        cells = {row[0]: row[1] for row in answer.relation}
+        assert cells == {Literal("URL1"): 100, Literal("URL2"): 100}

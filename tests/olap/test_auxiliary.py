@@ -1,0 +1,92 @@
+"""Unit tests for the auxiliary DRILL-IN query (Definition 6 / Example 6)."""
+
+import pytest
+
+from repro.errors import InvalidOperationError
+from repro.rdf import EX, RDF
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+from repro.bgp.parser import parse_query
+from repro.olap.auxiliary import auxiliary_join_columns, build_auxiliary_query
+
+from tests.conftest import make_sites_query, make_views_query
+
+RDF_TYPE = RDF.term("type")
+
+
+class TestExample6:
+    def test_auxiliary_query_of_example6(self):
+        """q_aux(x, d2, d3) :- x postedOn d1, d1 hasUrl d2, d1 supportsBrowser d3."""
+        classifier = make_views_query().classifier
+        auxiliary = build_auxiliary_query(classifier, "d3")
+        assert auxiliary.head_names == ("x", "d2", "d3")
+        expected_body = {
+            TriplePattern(Variable("x"), EX.postedOn, Variable("d1")),
+            TriplePattern(Variable("d1"), EX.hasUrl, Variable("d2")),
+            TriplePattern(Variable("d1"), EX.supportsBrowser, Variable("d3")),
+        }
+        assert set(auxiliary.body) == expected_body
+
+    def test_type_atom_is_not_pulled_in(self):
+        """The rdf:type Video triple shares only the distinguished x, so it stays out."""
+        classifier = make_views_query().classifier
+        auxiliary = build_auxiliary_query(classifier, "d3")
+        type_atoms = [p for p in auxiliary.body if p.predicate == RDF_TYPE]
+        assert type_atoms == []
+
+    def test_join_columns_are_the_distinguished_variables(self):
+        classifier = make_views_query().classifier
+        auxiliary = build_auxiliary_query(classifier, "d3")
+        assert auxiliary_join_columns(classifier, auxiliary) == ("x", "d2")
+
+
+class TestClosureBehaviour:
+    def test_seed_only_when_dimension_connects_to_distinguished_variable(self):
+        """Drilling the sites query back in on dage needs only the hasAge atom."""
+        classifier = make_sites_query().classifier.with_head(["x", "dcity"])
+        auxiliary = build_auxiliary_query(classifier, "dage")
+        assert set(auxiliary.body) == {TriplePattern(Variable("x"), EX.hasAge, Variable("dage"))}
+        assert auxiliary.head_names == ("x", "dage")
+
+    def test_closure_follows_chains_of_existential_variables(self):
+        classifier = parse_query(
+            "c(?x, ?d) :- ?x rdf:type ex:Fact, ?x ex:dim0 ?d, "
+            "?x ex:hasDetail ?e, ?e ex:partOf ?f, ?f ex:detailA ?da, ?f ex:detailB ?db"
+        )
+        auxiliary = build_auxiliary_query(classifier, "da")
+        predicates = {pattern.predicate.local_name() for pattern in auxiliary.body}
+        # The chain hasDetail -> partOf -> detailA is pulled in through the
+        # existential variables e and f; detailB is pulled in too because it
+        # shares the existential f; dim0 touches only distinguished variables.
+        assert predicates == {"hasDetail", "partOf", "detailA", "detailB"}
+        assert auxiliary.head_names == ("x", "da")
+
+    def test_multiple_new_dimensions(self):
+        classifier = make_views_query().classifier
+        auxiliary = build_auxiliary_query(classifier, ["d1", "d3"])
+        assert auxiliary.head_names == ("x", "d2", "d1", "d3")
+
+    def test_head_keeps_classifier_order_for_distinguished_variables(self):
+        classifier = parse_query(
+            "c(?x, ?d1, ?d2) :- ?x rdf:type ex:Fact, ?x ex:p ?d1, ?x ex:q ?d2, ?x ex:r ?new"
+        )
+        auxiliary = build_auxiliary_query(classifier, "new")
+        # Only x occurs in the selected triples, so dvars = (x,).
+        assert auxiliary.head_names == ("x", "new")
+
+
+class TestValidation:
+    def test_distinguished_variable_rejected(self):
+        classifier = make_views_query().classifier
+        with pytest.raises(InvalidOperationError):
+            build_auxiliary_query(classifier, "d2")
+
+    def test_unknown_variable_rejected(self):
+        classifier = make_views_query().classifier
+        with pytest.raises(InvalidOperationError):
+            build_auxiliary_query(classifier, "ghost")
+
+    def test_empty_dimension_list_rejected(self):
+        classifier = make_views_query().classifier
+        with pytest.raises(InvalidOperationError):
+            build_auxiliary_query(classifier, [])

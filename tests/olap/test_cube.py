@@ -1,0 +1,112 @@
+"""Unit tests for the Cube result abstraction."""
+
+import pytest
+
+from repro.errors import OLAPError
+from repro.rdf import EX, Literal
+from repro.algebra.relation import Relation
+from repro.analytics.answer import CubeAnswer
+from repro.olap.cube import Cube
+
+
+@pytest.fixture()
+def two_dim_cube() -> Cube:
+    relation = Relation(
+        ["dage", "dcity", "v"],
+        [
+            (Literal(28), EX.term("Madrid"), 3),
+            (Literal(35), EX.term("NY"), 2),
+        ],
+    )
+    return Cube(CubeAnswer(relation, ("dage", "dcity"), "v"))
+
+
+class TestStructure:
+    def test_dimensions_and_size(self, two_dim_cube):
+        assert two_dim_cube.dimensions == ("dage", "dcity")
+        assert two_dim_cube.measure_column == "v"
+        assert two_dim_cube.arity == 2
+        assert len(two_dim_cube) == 2
+
+    def test_dimension_values(self, two_dim_cube):
+        assert two_dim_cube.dimension_values("dage") == {Literal(28), Literal(35)}
+        with pytest.raises(OLAPError):
+            two_dim_cube.dimension_values("nope")
+
+    def test_cells_mapping(self, two_dim_cube):
+        cells = two_dim_cube.cells()
+        assert cells[(Literal(28), EX.term("Madrid"))] == 3
+
+    def test_iteration(self, two_dim_cube):
+        assert len(list(two_dim_cube)) == 2
+
+
+class TestCellAccess:
+    def test_positional_access_with_terms(self, two_dim_cube):
+        assert two_dim_cube.cell(Literal(28), EX.term("Madrid")) == 3
+
+    def test_positional_access_with_python_values(self, two_dim_cube):
+        # Python values are matched through the literal conversion.
+        assert two_dim_cube.cell(28, "http://example.org/Madrid") == 3
+
+    def test_named_access(self, two_dim_cube):
+        assert two_dim_cube.cell(dage=Literal(35), dcity=EX.term("NY")) == 2
+
+    def test_missing_cell_raises_and_get_defaults(self, two_dim_cube):
+        with pytest.raises(OLAPError):
+            two_dim_cube.cell(Literal(99), EX.term("Madrid"))
+        assert two_dim_cube.get(Literal(99), EX.term("Madrid"), default=0) == 0
+
+    def test_wrong_arity(self, two_dim_cube):
+        with pytest.raises(OLAPError):
+            two_dim_cube.cell(Literal(28))
+
+    def test_mixed_positional_and_named_rejected(self, two_dim_cube):
+        with pytest.raises(OLAPError):
+            two_dim_cube.cell(Literal(28), dcity=EX.term("Madrid"))
+
+    def test_unknown_or_missing_named_dimension(self, two_dim_cube):
+        with pytest.raises(OLAPError):
+            two_dim_cube.cell(dage=Literal(28), nope=1)
+        with pytest.raises(OLAPError):
+            two_dim_cube.cell(dage=Literal(28))
+
+
+class TestComparison:
+    def test_same_cells_across_value_representations(self, two_dim_cube):
+        # The same cube with literal dimension values replaced by raw Python values.
+        relation = Relation(
+            ["dage", "dcity", "v"],
+            [(28, "http://example.org/Madrid", 3), (35, "http://example.org/NY", 2)],
+        )
+        other = Cube(CubeAnswer(relation, ("dage", "dcity"), "v"))
+        assert two_dim_cube.same_cells(other)
+
+    def test_same_cells_tolerates_float_noise(self):
+        a = Cube(CubeAnswer(Relation(["d", "v"], [("x", 1.0)]), ("d",), "v"))
+        b = Cube(CubeAnswer(Relation(["d", "v"], [("x", 1.0 + 1e-12)]), ("d",), "v"))
+        assert a.same_cells(b)
+
+    def test_different_measures_not_equal(self, two_dim_cube):
+        relation = Relation(
+            ["dage", "dcity", "v"],
+            [(Literal(28), EX.term("Madrid"), 4), (Literal(35), EX.term("NY"), 2)],
+        )
+        other = Cube(CubeAnswer(relation, ("dage", "dcity"), "v"))
+        assert not two_dim_cube.same_cells(other)
+
+    def test_different_dimensions_not_equal(self, two_dim_cube):
+        relation = Relation(["dcity", "v"], [(EX.term("Madrid"), 3)])
+        other = Cube(CubeAnswer(relation, ("dcity",), "v"))
+        assert not two_dim_cube.same_cells(other)
+
+    def test_missing_cell_not_equal(self, two_dim_cube):
+        relation = Relation(["dage", "dcity", "v"], [(Literal(28), EX.term("Madrid"), 3)])
+        other = Cube(CubeAnswer(relation, ("dage", "dcity"), "v"))
+        assert not two_dim_cube.same_cells(other)
+
+
+class TestDisplay:
+    def test_to_text(self, two_dim_cube):
+        text = two_dim_cube.to_text()
+        assert "dage" in text and "Madrid" in text and "3" in text

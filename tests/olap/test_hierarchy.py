@@ -1,0 +1,154 @@
+"""Tests for ROLL-UP along dimension hierarchies (extension beyond the paper)."""
+
+import pytest
+
+from repro.errors import OLAPError, RewritingError
+from repro.rdf import EX, Literal, RDF, Triple
+from repro.analytics import AnalyticalQueryEvaluator
+from repro.olap import Cube, DimensionHierarchy, OLAPSession, roll_up_from_answer_naive, roll_up_from_partial
+
+from tests.conftest import make_sites_query
+
+RDF_TYPE = RDF.term("type")
+
+CITY_TO_COUNTRY = DimensionHierarchy(
+    {
+        EX.term("Madrid"): "Spain",
+        EX.term("NY"): "USA",
+        EX.term("Kyoto"): "Japan",
+    },
+    name="city->country",
+)
+
+AGE_BANDS = DimensionHierarchy.banded(
+    [(0, 29, "young"), (30, 120, "senior")], name="age bands"
+)
+
+
+class TestDimensionHierarchy:
+    def test_explicit_mapping(self):
+        assert CITY_TO_COUNTRY.parent(EX.term("Madrid")) == "Spain"
+
+    def test_mapping_matches_via_comparable_values(self):
+        hierarchy = DimensionHierarchy({28: "young"})
+        assert hierarchy.parent(Literal(28)) == "young"
+
+    def test_banded_hierarchy(self):
+        assert AGE_BANDS.parent(Literal(28)) == "young"
+        assert AGE_BANDS.parent(Literal(35)) == "senior"
+
+    def test_banded_hierarchy_out_of_range(self):
+        with pytest.raises(OLAPError):
+            AGE_BANDS.parent(Literal(-5))
+
+    def test_default_parent(self):
+        hierarchy = DimensionHierarchy({EX.term("Madrid"): "Spain"}, default="Other")
+        assert hierarchy.parent(EX.term("Lima")) == "Other"
+
+    def test_missing_value_without_default_raises(self):
+        with pytest.raises(OLAPError):
+            CITY_TO_COUNTRY.parent(EX.term("Lima"))
+
+    def test_from_pairs(self):
+        hierarchy = DimensionHierarchy.from_pairs([("a", "letter"), ("1", "digit")])
+        assert hierarchy.parent("1") == "digit"
+
+
+class TestRollUpCorrectness:
+    def test_roll_up_ages_to_bands_on_example2(self, example2_instance, sites_query):
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        partial = evaluator.partial_result(sites_query)
+        rolled = roll_up_from_partial(partial, sites_query, "dage", AGE_BANDS)
+        cells = {(str(row[0]), row[1].local_name()): row[2] for row in rolled.relation}
+        # user1 (28, Madrid, 3 sites measures) -> young; user3+user4 (35, NY) -> senior.
+        assert cells == {("young", "Madrid"): 3, ("senior", "NY"): 2}
+
+    def test_roll_up_does_not_double_count_multivalued_dimensions(self):
+        """A blogger living in two cities of the same country is counted once."""
+        graph = self._two_city_instance()
+        query = make_sites_query("sum")
+        # Measure: count of posting sites -> use count to keep it simple.
+        query = make_sites_query("count")
+        evaluator = AnalyticalQueryEvaluator(graph)
+        partial = evaluator.partial_result(query)
+        hierarchy = DimensionHierarchy(
+            {EX.term("Madrid"): "Spain", EX.term("Barcelona"): "Spain"}, name="city->country"
+        )
+        rolled = roll_up_from_partial(partial, query, "dcity", hierarchy)
+        cells = {(row[0], row[1]): row[2] for row in rolled.relation}
+        # user1 wrote 2 posts; living in Madrid AND Barcelona must not double it.
+        assert cells == {(Literal(28), "Spain"): 2}
+
+        naive = roll_up_from_answer_naive(
+            evaluator.answer_from_partial(query, partial), query, "dcity", hierarchy
+        )
+        naive_cells = {(row[0], row[1]): row[2] for row in naive.relation}
+        assert naive_cells == {(Literal(28), "Spain"): 4}  # the double-counting error
+
+    @staticmethod
+    def _two_city_instance():
+        from repro.rdf import Graph
+
+        graph = Graph()
+        user = EX.term("user1")
+        graph.add(Triple(user, RDF_TYPE, EX.Blogger))
+        graph.add(Triple(user, EX.hasAge, Literal(28)))
+        graph.add(Triple(user, EX.livesIn, EX.term("Madrid")))
+        graph.add(Triple(user, EX.livesIn, EX.term("Barcelona")))
+        for name, site in (("p1", "s1"), ("p2", "s2")):
+            post = EX.term(name)
+            graph.add(Triple(user, EX.wrotePost, post))
+            graph.add(Triple(post, EX.postedOn, EX.term(site)))
+        return graph
+
+    def test_roll_up_with_average_recomputes_from_details(self, example4_instance, words_query=None):
+        from tests.conftest import make_words_query
+
+        query = make_words_query()
+        evaluator = AnalyticalQueryEvaluator(example4_instance)
+        partial = evaluator.partial_result(query)
+        rolled = roll_up_from_partial(partial, query, "dage", AGE_BANDS)
+        cells = {(str(row[0]), row[1].local_name()): row[2] for row in rolled.relation}
+        assert cells[("young", "Madrid")] == pytest.approx((100 + 120 + 410) / 3)
+        assert cells[("senior", "NY")] == pytest.approx(570.0)
+
+    def test_roll_up_unknown_dimension(self, example2_instance, sites_query):
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        partial = evaluator.partial_result(sites_query)
+        with pytest.raises(RewritingError):
+            roll_up_from_partial(partial, sites_query, "dbrowser", AGE_BANDS)
+
+    def test_naive_roll_up_requires_distributive_aggregate(self, example4_instance):
+        from tests.conftest import make_words_query
+
+        query = make_words_query()  # avg
+        evaluator = AnalyticalQueryEvaluator(example4_instance)
+        answer = evaluator.answer(query)
+        with pytest.raises(RewritingError):
+            roll_up_from_answer_naive(answer, query, "dage", AGE_BANDS)
+
+
+class TestSessionRollUp:
+    def test_session_roll_up_and_history(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        rolled = session.roll_up(sites_query, "dage", AGE_BANDS)
+        assert isinstance(rolled, Cube)
+        assert rolled.cell("young", EX.term("Madrid")) == 3
+        assert session.history[-1].strategy == "rewrite[roll-up/pres]"
+        assert "roll-up dage" in session.history[-1].operation
+
+    def test_session_roll_up_on_generated_dataset(self, small_blogger_dataset):
+        from repro.datagen.blogger import sites_per_blogger_query
+
+        session = OLAPSession(small_blogger_dataset.instance, small_blogger_dataset.schema)
+        query = sites_per_blogger_query(small_blogger_dataset.schema)
+        session.execute(query)
+        hierarchy = DimensionHierarchy.banded(
+            [(0, 29, "under-30"), (30, 49, "30-49"), (50, 200, "50+")], name="age bands"
+        )
+        rolled = session.roll_up(query, "dage", hierarchy)
+        assert set(rolled.dimension_values("dage")) <= {"under-30", "30-49", "50+"}
+        # Total mass is preserved for count: sum over rolled cube equals sum over original.
+        original = Cube(session.materialized(query).answer, query)
+        assert sum(rolled.cells().values()) == sum(original.cells().values())

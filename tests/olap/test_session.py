@@ -1,0 +1,144 @@
+"""Unit tests for the OLAPSession top-level API."""
+
+import pytest
+
+from repro.errors import MaterializationError, OLAPError
+from repro.rdf import EX, Literal
+from repro.olap.operations import Dice, DrillIn, DrillOut, Slice
+from repro.olap.session import OLAPSession
+
+from tests.conftest import make_sites_query, make_views_query
+
+
+class TestExecution:
+    def test_execute_materializes_answer_and_partial(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        cube = session.execute(sites_query)
+        assert len(cube) == 2
+        materialized = session.materialized(sites_query)
+        assert materialized.has_answer() and materialized.has_partial()
+        assert session.executed_queries() == (sites_query.name,)
+
+    def test_execute_without_partial(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance, materialize_partial=False)
+        session.execute(sites_query)
+        assert not session.materialized(sites_query).has_partial()
+
+    def test_materialized_unknown_query(self, example2_instance):
+        session = OLAPSession(example2_instance)
+        with pytest.raises(MaterializationError):
+            session.materialized("ghost")
+
+    def test_forget_drops_materialization(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        session.forget(sites_query)
+        with pytest.raises(MaterializationError):
+            session.materialized(sites_query)
+
+    def test_history_records_execution(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        assert len(session.history) == 1
+        record = session.history[0]
+        assert record.operation == "execute"
+        assert record.output_cells == 2
+        assert "Q_sites" in str(record)
+
+
+class TestTransform:
+    def test_transform_with_rewrite_strategy(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        cube = session.transform(sites_query, Slice("dage", Literal(35)), strategy="rewrite")
+        assert len(cube) == 1
+        assert session.history[-1].strategy.startswith("rewrite")
+
+    def test_transform_with_scratch_strategy(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        cube = session.transform(sites_query, Slice("dage", Literal(35)), strategy="scratch")
+        assert len(cube) == 1
+        assert session.history[-1].strategy == "scratch"
+
+    def test_both_strategies_agree(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        operation = DrillOut("dage")
+        rewrite = session.transform(sites_query, operation, strategy="rewrite")
+        scratch = session.transform(sites_query, operation, strategy="scratch")
+        assert rewrite.same_cells(scratch)
+
+    def test_auto_falls_back_to_scratch_when_partial_missing(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance, materialize_partial=False)
+        session.execute(sites_query)
+        cube = session.transform(sites_query, DrillOut("dage"), strategy="auto")
+        assert len(cube) >= 1
+        assert session.history[-1].strategy == "scratch"
+
+    def test_rewrite_strategy_fails_when_partial_missing(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance, materialize_partial=False)
+        session.execute(sites_query)
+        with pytest.raises(MaterializationError):
+            session.transform(sites_query, DrillOut("dage"), strategy="rewrite")
+
+    def test_unknown_strategy(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        with pytest.raises(OLAPError):
+            session.transform(sites_query, Slice("dage", Literal(35)), strategy="magic")
+
+    def test_chained_navigation(self, example2_instance, sites_query):
+        """Slice, then drill-out on the transformed query (cube chaining)."""
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        sliced = session.transform(sites_query, Slice("dage", Literal(35)), strategy="rewrite")
+        assert sliced.query.name in session.executed_queries()
+        # The sliced query's answer is materialized, so a further DICE on it
+        # can again be answered by rewriting.
+        rediced = session.transform(sliced.query.name, Dice({"dcity": [EX.term("NY")]}), strategy="rewrite")
+        assert len(rediced) == 1
+
+    def test_drill_in_through_session(self, figure3_instance, views_query):
+        session = OLAPSession(figure3_instance)
+        session.execute(views_query)
+        cube = session.transform(views_query, DrillIn("d3"), strategy="rewrite")
+        assert len(cube) == 2
+        assert cube.cell(Literal("URL1"), Literal("firefox")) == 100
+
+    def test_transform_without_materializing_result(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        cube = session.transform(sites_query, Slice("dage", Literal(35)), materialize=False)
+        assert cube.query.name not in session.executed_queries()
+
+
+class TestCompareStrategies:
+    def test_comparison_structure(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        comparison = session.compare_strategies(sites_query, DrillOut("dage"))
+        assert comparison["equal"] is True
+        assert comparison["rewrite_seconds"] >= 0
+        assert comparison["scratch_seconds"] >= 0
+        assert comparison["speedup"] > 0
+        assert comparison["strategy"].startswith("rewrite")
+
+    def test_comparison_for_each_operation(self, small_video_dataset):
+        from repro.datagen.videos import views_per_url_query
+
+        session = OLAPSession(small_video_dataset.instance, small_video_dataset.schema)
+        query = views_per_url_query(small_video_dataset.schema)
+        session.execute(query)
+        urls = sorted(
+            session.materialized(query).answer.relation.distinct_values("d2"), key=repr
+        )
+        operations = [
+            Slice("d2", urls[0]),
+            Dice({"d2": urls[:3]}),
+            DrillOut("d2"),
+            DrillIn("d3"),
+        ]
+        for operation in operations:
+            comparison = session.compare_strategies(query, operation)
+            assert comparison["equal"], f"{operation.describe()} rewriting disagrees with scratch"

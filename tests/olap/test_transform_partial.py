@@ -1,0 +1,111 @@
+"""Unit tests for deriving pres(Q_T) from pres(Q) (OLAP chaining support)."""
+
+import pytest
+
+from repro.errors import RewritingError
+from repro.rdf import EX, Literal
+from repro.analytics import AnalyticalQueryEvaluator
+from repro.olap import Cube, Dice, DrillIn, DrillOut, OLAPSession, Slice
+from repro.olap.rewriting import OLAPRewriter, transform_partial
+
+from tests.conftest import make_sites_query, make_views_query
+
+
+class TestSliceDicePartial:
+    def test_sliced_partial_is_the_sigma_selection(self, example2_instance, sites_query):
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        partial = evaluator.partial_result(sites_query)
+        operation = Slice("dage", Literal(35))
+        transformed = operation.apply(sites_query)
+        derived = transform_partial(partial, sites_query, transformed, operation)
+        # Exactly the rows of pres(Q) whose dage is 35, same layout.
+        assert derived.columns == partial.columns
+        assert all(row[1] == Literal(35) for row in derived.relation)
+        assert len(derived) == 2  # user3 and user4 each contribute one measure tuple
+
+    def test_derived_partial_matches_direct_materialization(self, example2_instance, sites_query):
+        """pres(Q_DICE) derived from pres(Q) aggregates to the same cube as scratch."""
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        partial = evaluator.partial_result(sites_query)
+        operation = Dice({"dcity": [EX.term("NY")]})
+        transformed = operation.apply(sites_query)
+        derived = transform_partial(partial, sites_query, transformed, operation)
+        aggregated = evaluator.answer_from_partial(transformed, derived)
+        assert Cube(aggregated).same_cells(Cube(evaluator.answer(transformed)))
+
+
+class TestDrillOutPartial:
+    def test_drilled_partial_is_projected_and_deduplicated(self, example2_instance, sites_query):
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        partial = evaluator.partial_result(sites_query)
+        operation = DrillOut("dage")
+        transformed = operation.apply(sites_query)
+        derived = transform_partial(partial, sites_query, transformed, operation)
+        assert derived.dimension_columns == ("dcity",)
+        assert derived.columns == ("x", "dcity", "k", "vsite")
+        # Keys are unique per (fact, remaining dims): duplicates introduced by
+        # the removed dimension were eliminated.
+        key_pairs = [(row[0], row[2]) for row in derived.relation]
+        assert len(key_pairs) == len(set(key_pairs))
+        aggregated = evaluator.answer_from_partial(transformed, derived)
+        assert Cube(aggregated).same_cells(Cube(evaluator.answer(transformed)))
+
+
+class TestDrillInPartial:
+    def test_drilled_in_partial_matches_figure3(self, figure3_instance, views_query):
+        evaluator = AnalyticalQueryEvaluator(figure3_instance)
+        partial = evaluator.partial_result(views_query)
+        operation = DrillIn("d3")
+        transformed = operation.apply(views_query)
+        derived = transform_partial(
+            partial, views_query, transformed, operation, evaluator.bgp_evaluator
+        )
+        assert derived.columns == ("x", "d2", "d3", "k", "v")
+        rows = {(row[1], row[2]) for row in derived.relation}
+        assert rows == {
+            (Literal("URL1"), Literal("firefox")),
+            (Literal("URL2"), Literal("chrome")),
+        }
+
+    def test_drill_in_partial_requires_instance_access(self, figure3_instance, views_query):
+        evaluator = AnalyticalQueryEvaluator(figure3_instance)
+        partial = evaluator.partial_result(views_query)
+        operation = DrillIn("d3")
+        transformed = operation.apply(views_query)
+        with pytest.raises(RewritingError):
+            transform_partial(partial, views_query, transformed, operation, None)
+
+
+class TestRewriterAndSessionChaining:
+    def test_rewriter_attaches_partial_on_request(self, example2_instance, sites_query):
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        materialized = evaluator.evaluate(sites_query)
+        rewriter = OLAPRewriter(evaluator.bgp_evaluator)
+        without = rewriter.answer(materialized, DrillOut("dage"))
+        with_partial = rewriter.answer(materialized, DrillOut("dage"), materialize_partial=True)
+        assert without.partial is None
+        assert with_partial.partial is not None
+        assert with_partial.partial.dimension_columns == ("dcity",)
+
+    def test_session_chains_three_rewritten_steps(self, small_video_dataset):
+        from repro.datagen.videos import views_per_url_query
+
+        session = OLAPSession(small_video_dataset.instance, small_video_dataset.schema)
+        query = views_per_url_query(small_video_dataset.schema)
+        session.execute(query)
+
+        refined = session.transform(query, DrillIn("d3"), strategy="rewrite")
+        browsers = sorted(refined.dimension_values("d3"), key=repr)
+        diced = session.transform(refined.query.name, Dice({"d3": browsers[:2]}), strategy="rewrite")
+        rolled = session.transform(diced.query.name, DrillOut("d2"), strategy="rewrite")
+
+        # Every step after the initial execute stayed on the rewriting path.
+        strategies = [record.strategy for record in session.history[1:]]
+        assert all(strategy.startswith("rewrite") for strategy in strategies)
+
+        # And the final cube agrees with evaluating the composed query from scratch.
+        from repro.olap import compose
+
+        composed = compose(query, [DrillIn("d3"), Dice({"d3": browsers[:2]}), DrillOut("d2")])
+        evaluator = AnalyticalQueryEvaluator(small_video_dataset.instance)
+        assert rolled.same_cells(Cube(evaluator.answer(composed), composed))

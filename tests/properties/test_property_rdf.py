@@ -1,0 +1,86 @@
+"""Property-based tests for the RDF substrate (store invariants, I/O roundtrips)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import EX, Graph, IRI, Literal, Triple
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+# Strategies producing small, well-formed RDF terms.
+local_names = st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8)
+iris = local_names.map(lambda name: EX.term(name))
+literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(Literal),
+    st.booleans().map(Literal),
+    st.text(alphabet="abc xyz", max_size=12).map(Literal),
+)
+subjects = iris
+predicates = local_names.map(lambda name: EX.term("p_" + name))
+objects = st.one_of(iris, literals)
+triples = st.builds(Triple, subjects, predicates, objects)
+triple_lists = st.lists(triples, max_size=30)
+
+
+class TestGraphInvariants:
+    @given(triple_lists)
+    def test_graph_size_equals_distinct_triples(self, triple_list):
+        graph = Graph()
+        for triple in triple_list:
+            graph.add(triple)
+        assert len(graph) == len(set(triple_list))
+
+    @given(triple_lists)
+    def test_every_added_triple_is_found_by_all_access_paths(self, triple_list):
+        graph = Graph(triple_list)
+        for triple in set(triple_list):
+            assert triple in graph
+            assert triple in set(graph.triples(triple.subject, None, None))
+            assert triple in set(graph.triples(None, triple.predicate, None))
+            assert triple in set(graph.triples(None, None, triple.object))
+
+    @given(triple_lists)
+    def test_add_then_remove_restores_the_original_graph(self, triple_list):
+        graph = Graph(triple_list)
+        extra = Triple(EX.term("extra_subject"), EX.term("extra_predicate"), Literal("extra"))
+        before = graph.copy()
+        added = graph.add(extra)
+        if added:
+            graph.remove(extra)
+        assert graph == before
+
+    @given(triple_lists, triple_lists)
+    def test_union_contains_both_operands(self, first, second):
+        a, b = Graph(first), Graph(second)
+        union = a.union(b)
+        assert all(triple in union for triple in a)
+        assert all(triple in union for triple in b)
+        assert len(union) <= len(a) + len(b)
+
+    @given(triple_lists)
+    def test_count_ids_is_consistent_with_iteration(self, triple_list):
+        graph = Graph(triple_list)
+        for triple in list(graph)[:10]:
+            s = graph.encode_term(triple.subject)
+            p = graph.encode_term(triple.predicate)
+            assert graph.count_ids(s, p, None) == len(list(graph.match_ids(s, p, None)))
+
+
+class TestSerializationRoundtrips:
+    @settings(max_examples=50)
+    @given(triple_lists)
+    def test_ntriples_roundtrip(self, triple_list):
+        graph = Graph(triple_list)
+        assert parse_ntriples(serialize_ntriples(graph)) == graph
+
+    @settings(max_examples=50)
+    @given(triple_lists)
+    def test_turtle_roundtrip(self, triple_list):
+        graph = Graph(triple_list)
+        assert parse_turtle(serialize_turtle(graph)) == graph
+
+    @settings(max_examples=30)
+    @given(triple_lists)
+    def test_serialization_is_deterministic(self, triple_list):
+        graph = Graph(triple_list)
+        assert serialize_ntriples(graph) == serialize_ntriples(graph.copy())

@@ -1,0 +1,81 @@
+"""Unit tests for the term dictionary (integer encoding)."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.rdf import EX, Literal
+from repro.rdf.dictionary import TermDictionary
+
+
+class TestTermDictionary:
+    def test_encode_assigns_dense_ids_in_first_seen_order(self):
+        dictionary = TermDictionary()
+        first = dictionary.encode(EX.user1)
+        second = dictionary.encode(EX.user2)
+        assert (first, second) == (0, 1)
+        assert len(dictionary) == 2
+
+    def test_encode_is_idempotent(self):
+        dictionary = TermDictionary()
+        assert dictionary.encode(EX.user1) == dictionary.encode(EX.user1)
+        assert len(dictionary) == 1
+
+    def test_decode_roundtrip(self):
+        dictionary = TermDictionary()
+        terms = [EX.user1, Literal(28), Literal("Bill"), EX.hasAge]
+        ids = [dictionary.encode(term) for term in terms]
+        assert [dictionary.decode(i) for i in ids] == terms
+        assert dictionary.decode_many(tuple(ids)) == tuple(terms)
+
+    def test_lookup_returns_none_for_unknown(self):
+        dictionary = TermDictionary()
+        assert dictionary.lookup(EX.user1) is None
+        dictionary.encode(EX.user1)
+        assert dictionary.lookup(EX.user1) == 0
+
+    def test_encode_existing_raises_for_unknown(self):
+        dictionary = TermDictionary()
+        with pytest.raises(DictionaryError):
+            dictionary.encode_existing(EX.user1)
+
+    def test_decode_unknown_id_raises(self):
+        dictionary = TermDictionary()
+        with pytest.raises(DictionaryError):
+            dictionary.decode(0)
+        with pytest.raises(DictionaryError):
+            dictionary.decode(-1)
+
+    def test_decode_many_unknown_raises(self):
+        dictionary = TermDictionary()
+        dictionary.encode(EX.user1)
+        with pytest.raises(DictionaryError):
+            dictionary.decode_many((0, 5))
+
+    def test_contains(self):
+        dictionary = TermDictionary()
+        dictionary.encode(EX.user1)
+        assert EX.user1 in dictionary
+        assert EX.user2 not in dictionary
+
+    def test_distinct_terms_get_distinct_ids(self):
+        dictionary = TermDictionary()
+        # A literal "28" and an IRI ending in 28 must not collide.
+        id_literal = dictionary.encode(Literal(28))
+        id_string = dictionary.encode(Literal("28"))
+        id_iri = dictionary.encode(EX.term("28"))
+        assert len({id_literal, id_string, id_iri}) == 3
+
+    def test_copy_is_independent(self):
+        dictionary = TermDictionary()
+        dictionary.encode(EX.user1)
+        clone = dictionary.copy()
+        clone.encode(EX.user2)
+        assert len(dictionary) == 1
+        assert len(clone) == 2
+
+    def test_items_and_terms_iteration(self):
+        dictionary = TermDictionary()
+        dictionary.encode(EX.user1)
+        dictionary.encode(EX.user2)
+        assert dict(dictionary.items()) == {EX.user1: 0, EX.user2: 1}
+        assert list(dictionary.terms()) == [EX.user1, EX.user2]

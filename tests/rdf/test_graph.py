@@ -1,0 +1,170 @@
+"""Unit tests for the in-memory triple store (Graph)."""
+
+import pytest
+
+from repro.errors import InvalidTripleError
+from repro.rdf import EX, Graph, IRI, Literal, RDF, Triple
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+
+RDF_TYPE = RDF.term("type")
+
+
+@pytest.fixture()
+def small_graph() -> Graph:
+    graph = Graph(name="small")
+    graph.add(Triple(EX.user1, RDF_TYPE, EX.Blogger))
+    graph.add(Triple(EX.user2, RDF_TYPE, EX.Blogger))
+    graph.add(Triple(EX.user1, EX.hasAge, Literal(28)))
+    graph.add(Triple(EX.user2, EX.hasAge, Literal(35)))
+    graph.add(Triple(EX.user1, EX.livesIn, EX.term("Madrid")))
+    graph.add(Triple(EX.user1, EX.acquaintedWith, EX.user2))
+    return graph
+
+
+class TestMutation:
+    def test_add_returns_true_only_for_new_triples(self):
+        graph = Graph()
+        triple = Triple(EX.user1, EX.hasAge, Literal(28))
+        assert graph.add(triple) is True
+        assert graph.add(triple) is False
+        assert len(graph) == 1
+
+    def test_add_accepts_plain_tuples(self):
+        graph = Graph()
+        graph.add((EX.user1, EX.hasAge, Literal(28)))
+        assert Triple(EX.user1, EX.hasAge, Literal(28)) in graph
+
+    def test_add_rejects_garbage(self):
+        graph = Graph()
+        with pytest.raises(InvalidTripleError):
+            graph.add("not a triple")
+        with pytest.raises(InvalidTripleError):
+            graph.add((Literal("s"), EX.p, EX.o))
+
+    def test_add_all_counts_new_triples(self, small_graph):
+        graph = Graph()
+        assert graph.add_all(small_graph) == len(small_graph)
+        assert graph.add_all(small_graph) == 0
+
+    def test_remove(self, small_graph):
+        triple = Triple(EX.user1, EX.hasAge, Literal(28))
+        assert small_graph.remove(triple) is True
+        assert triple not in small_graph
+        assert small_graph.remove(triple) is False
+
+    def test_remove_unknown_term_is_noop(self, small_graph):
+        assert small_graph.remove(Triple(EX.nobody, EX.hasAge, Literal(1))) is False
+
+    def test_clear(self, small_graph):
+        small_graph.clear()
+        assert len(small_graph) == 0
+        assert list(small_graph.triples()) == []
+
+    def test_removed_triples_disappear_from_indexes(self, small_graph):
+        small_graph.remove(Triple(EX.user1, EX.livesIn, EX.term("Madrid")))
+        assert list(small_graph.triples(None, EX.livesIn, None)) == []
+
+
+class TestMatching:
+    def test_full_scan(self, small_graph):
+        assert len(list(small_graph.triples())) == len(small_graph)
+
+    def test_spo_lookup(self, small_graph):
+        results = list(small_graph.triples(EX.user1, EX.hasAge, None))
+        assert results == [Triple(EX.user1, EX.hasAge, Literal(28))]
+
+    def test_pos_lookup(self, small_graph):
+        subjects = {t.subject for t in small_graph.triples(None, RDF_TYPE, EX.Blogger)}
+        assert subjects == {EX.user1, EX.user2}
+
+    def test_osp_lookup(self, small_graph):
+        results = list(small_graph.triples(None, None, EX.user2))
+        assert results == [Triple(EX.user1, EX.acquaintedWith, EX.user2)]
+
+    def test_subject_only(self, small_graph):
+        assert len(list(small_graph.triples(EX.user1, None, None))) == 4
+
+    def test_unknown_constant_yields_nothing(self, small_graph):
+        assert list(small_graph.triples(EX.term("missing"), None, None)) == []
+        assert list(small_graph.triples(None, EX.term("missingProp"), None)) == []
+
+    def test_fully_bound_membership(self, small_graph):
+        hit = list(small_graph.triples(EX.user1, EX.hasAge, Literal(28)))
+        miss = list(small_graph.triples(EX.user1, EX.hasAge, Literal(99)))
+        assert len(hit) == 1 and miss == []
+
+    def test_match_pattern_with_repeated_variable(self):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.knows, EX.a))
+        graph.add(Triple(EX.a, EX.knows, EX.b))
+        pattern = TriplePattern(Variable("x"), EX.knows, Variable("x"))
+        assert list(graph.match_pattern(pattern)) == [Triple(EX.a, EX.knows, EX.a)]
+
+    def test_count_ids_matches_enumeration(self, small_graph):
+        cases = [
+            (None, None, None),
+            (small_graph.encode_term(EX.user1), None, None),
+            (None, small_graph.encode_term(EX.hasAge), None),
+            (None, None, small_graph.encode_term(EX.user2)),
+            (None, small_graph.encode_term(RDF_TYPE), small_graph.encode_term(EX.Blogger)),
+            (small_graph.encode_term(EX.user1), small_graph.encode_term(EX.hasAge), None),
+        ]
+        for s, p, o in cases:
+            assert small_graph.count_ids(s, p, o) == len(list(small_graph.match_ids(s, p, o)))
+
+    def test_count_ids_with_unknown_sentinel(self, small_graph):
+        assert small_graph.count_ids(-1, None, None) == 0
+
+
+class TestNavigation:
+    def test_subjects_predicates_objects(self, small_graph):
+        assert set(small_graph.subjects(RDF_TYPE, EX.Blogger)) == {EX.user1, EX.user2}
+        assert EX.hasAge in set(small_graph.predicates(EX.user1))
+        assert set(small_graph.objects(EX.user1, EX.livesIn)) == {EX.term("Madrid")}
+
+    def test_value(self, small_graph):
+        assert small_graph.value(EX.user1, EX.hasAge) == Literal(28)
+        assert small_graph.value(EX.user1, EX.wrotePost) is None
+
+    def test_instances_of(self, small_graph):
+        assert set(small_graph.instances_of(EX.Blogger)) == {EX.user1, EX.user2}
+
+
+class TestSetOperations:
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.add(Triple(EX.user3, RDF_TYPE, EX.Blogger))
+        assert len(clone) == len(small_graph) + 1
+
+    def test_union(self, small_graph):
+        other = Graph()
+        other.add(Triple(EX.user3, RDF_TYPE, EX.Blogger))
+        union = small_graph.union(other)
+        assert len(union) == len(small_graph) + 1
+        assert Triple(EX.user3, RDF_TYPE, EX.Blogger) in union
+
+    def test_equality_by_triple_set(self, small_graph):
+        clone = small_graph.copy()
+        assert clone == small_graph
+        clone.remove(Triple(EX.user1, EX.hasAge, Literal(28)))
+        assert clone != small_graph
+
+    def test_graphs_are_unhashable(self, small_graph):
+        with pytest.raises(TypeError):
+            hash(small_graph)
+
+    def test_bool(self):
+        assert not Graph()
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        assert graph
+
+
+class TestDictionaryIntegration:
+    def test_encode_decode_roundtrip(self, small_graph):
+        term_id = small_graph.encode_term(EX.user1)
+        assert term_id is not None
+        assert small_graph.decode_id(term_id) == EX.user1
+
+    def test_unknown_term_encodes_to_none(self, small_graph):
+        assert small_graph.encode_term(EX.term("missing")) is None

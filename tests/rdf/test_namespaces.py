@@ -1,0 +1,84 @@
+"""Unit tests for namespaces and prefix maps."""
+
+import pytest
+
+from repro.errors import InvalidTermError
+from repro.rdf import IRI, Namespace, PrefixMap, RDF, RDFS, XSD
+
+
+class TestNamespace:
+    def test_attribute_and_item_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Blogger == IRI("http://example.org/Blogger")
+        assert ns["hasAge"] == IRI("http://example.org/hasAge")
+        assert ns.term("livesIn") == IRI("http://example.org/livesIn")
+
+    def test_containment_and_local_part(self):
+        ns = Namespace("http://example.org/")
+        iri = ns.term("user/user1")
+        assert iri in ns
+        assert ns.local_part(iri) == "user/user1"
+        assert IRI("http://other.example/x") not in ns
+
+    def test_local_part_outside_namespace_raises(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(InvalidTermError):
+            ns.local_part(IRI("http://other.example/x"))
+
+    def test_equality(self):
+        assert Namespace("http://a.example/") == Namespace("http://a.example/")
+        assert Namespace("http://a.example/") != Namespace("http://b.example/")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(InvalidTermError):
+            Namespace("")
+
+    def test_well_known_vocabularies(self):
+        assert RDF.term("type").value.endswith("#type")
+        assert RDFS.term("subClassOf").value.endswith("#subClassOf")
+        assert XSD.term("integer").value.endswith("#integer")
+
+
+class TestPrefixMap:
+    def test_defaults_bound(self):
+        prefixes = PrefixMap()
+        assert "rdf" in prefixes
+        assert prefixes.expand("rdf:type") == RDF.term("type")
+        assert prefixes.expand("xsd:integer") == XSD.term("integer")
+
+    def test_bind_and_expand(self):
+        prefixes = PrefixMap()
+        prefixes.bind("ex", "http://example.org/")
+        assert prefixes.expand("ex:Blogger") == IRI("http://example.org/Blogger")
+
+    def test_expand_unknown_prefix_raises(self):
+        prefixes = PrefixMap()
+        with pytest.raises(InvalidTermError):
+            prefixes.expand("nope:thing")
+
+    def test_expand_requires_colon(self):
+        prefixes = PrefixMap()
+        with pytest.raises(InvalidTermError):
+            prefixes.expand("justaname")
+
+    def test_shrink_prefers_longest_namespace(self):
+        prefixes = PrefixMap(bind_defaults=False)
+        prefixes.bind("ex", "http://example.org/")
+        prefixes.bind("user", "http://example.org/user/")
+        assert prefixes.shrink(IRI("http://example.org/user/u1")) == "user:u1"
+        assert prefixes.shrink(IRI("http://example.org/Blogger")) == "ex:Blogger"
+        assert prefixes.shrink(IRI("http://unbound.example/x")) is None
+
+    def test_copy_is_independent(self):
+        prefixes = PrefixMap()
+        clone = prefixes.copy()
+        clone.bind("ex", "http://example.org/")
+        assert "ex" in clone
+        assert "ex" not in prefixes
+
+    def test_iteration_and_len(self):
+        prefixes = PrefixMap(bind_defaults=False)
+        prefixes.bind("a", "http://a.example/")
+        prefixes.bind("b", "http://b.example/")
+        assert len(prefixes) == 2
+        assert {prefix for prefix, _ in prefixes} == {"a", "b"}

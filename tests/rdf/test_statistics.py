@@ -1,0 +1,94 @@
+"""Unit tests for graph statistics and cardinality estimation."""
+
+import pytest
+
+from repro.rdf import EX, Graph, Literal, RDF, Triple
+from repro.rdf.statistics import GraphStatistics
+from repro.rdf.terms import Variable
+from repro.rdf.triples import TriplePattern
+
+RDF_TYPE = RDF.term("type")
+
+
+@pytest.fixture()
+def stats_graph() -> Graph:
+    graph = Graph()
+    for index in range(10):
+        user = EX.term(f"user{index}")
+        graph.add(Triple(user, RDF_TYPE, EX.Blogger))
+        graph.add(Triple(user, EX.hasAge, Literal(20 + index % 5)))
+    for index in range(3):
+        site = EX.term(f"site{index}")
+        graph.add(Triple(site, RDF_TYPE, EX.Site))
+    return graph
+
+
+class TestCounts:
+    def test_triple_and_predicate_counts(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        assert statistics.triple_count == len(stats_graph)
+        assert statistics.predicate_cardinality(EX.hasAge) == 10
+        assert statistics.predicate_cardinality(RDF_TYPE) == 13
+        assert statistics.predicate_cardinality(EX.unknown) == 0
+
+    def test_class_counts(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        assert statistics.class_cardinality(EX.Blogger) == 10
+        assert statistics.class_cardinality(EX.Site) == 3
+        assert statistics.class_cardinality(EX.Nothing) == 0
+
+    def test_distinct_subject_object_counts(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        assert statistics.predicate_distinct_subjects[EX.hasAge] == 10
+        assert statistics.predicate_distinct_objects[EX.hasAge] == 5
+
+    def test_refresh_sees_mutations(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        stats_graph.add(Triple(EX.term("user99"), EX.hasAge, Literal(99)))
+        assert statistics.predicate_cardinality(EX.hasAge) == 10
+        statistics.refresh()
+        assert statistics.predicate_cardinality(EX.hasAge) == 11
+
+
+class TestEstimates:
+    def test_predicate_only_pattern(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        pattern = TriplePattern(Variable("x"), EX.hasAge, Variable("a"))
+        assert statistics.estimate_pattern(pattern) == 10
+
+    def test_type_pattern_uses_class_counts(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        pattern = TriplePattern(Variable("x"), RDF_TYPE, EX.Site)
+        assert statistics.estimate_pattern(pattern) == 3
+
+    def test_bound_object_divides_by_distinct_objects(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        pattern = TriplePattern(Variable("x"), EX.hasAge, Literal(21))
+        assert statistics.estimate_pattern(pattern) == pytest.approx(2.0)
+
+    def test_bound_subject_estimate(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        pattern = TriplePattern(EX.term("user0"), EX.hasAge, Variable("a"))
+        assert statistics.estimate_pattern(pattern) >= 1.0
+
+    def test_fully_bound_pattern_is_exact(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        hit = TriplePattern(EX.term("user0"), EX.hasAge, Literal(20))
+        miss = TriplePattern(EX.term("user0"), EX.hasAge, Literal(99))
+        assert statistics.estimate_pattern(hit) == 1.0
+        assert statistics.estimate_pattern(miss) == 0.0
+
+    def test_unknown_predicate_estimates_zero(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        pattern = TriplePattern(Variable("x"), EX.unknown, Variable("y"))
+        assert statistics.estimate_pattern(pattern) == 0.0
+
+    def test_all_variable_pattern_estimates_graph_size(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert statistics.estimate_pattern(pattern) == len(stats_graph)
+
+    def test_variable_predicate_with_bound_subject(self, stats_graph):
+        statistics = GraphStatistics(stats_graph)
+        pattern = TriplePattern(EX.term("user0"), Variable("p"), Variable("o"))
+        assert statistics.estimate_pattern(pattern) == 2.0

@@ -1,0 +1,138 @@
+"""Unit tests for the Turtle-subset parser and serializer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import EX, Graph, IRI, Literal, PrefixMap, RDF, Triple
+from repro.rdf.terms import BlankNode
+from repro.rdf.turtle import parse_turtle, serialize_turtle, load_turtle, dump_turtle
+
+RDF_TYPE = RDF.term("type")
+
+
+class TestParsing:
+    def test_prefixed_names_and_a_keyword(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:user1 a ex:Blogger .
+        """
+        graph = parse_turtle(text)
+        assert Triple(EX.user1, RDF_TYPE, EX.Blogger) in graph
+
+    def test_sparql_style_prefix(self):
+        text = """
+        PREFIX ex: <http://example.org/>
+        ex:user1 ex:livesIn ex:Madrid .
+        """
+        graph = parse_turtle(text)
+        assert Triple(EX.user1, EX.livesIn, EX.Madrid) in graph
+
+    def test_predicate_and_object_lists(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:user1 a ex:Blogger ;
+                 ex:hasAge 28 ;
+                 ex:livesIn ex:Madrid , ex:Kyoto .
+        """
+        graph = parse_turtle(text)
+        assert len(graph) == 4
+        assert Triple(EX.user1, EX.hasAge, Literal(28)) in graph
+        assert Triple(EX.user1, EX.livesIn, EX.Kyoto) in graph
+
+    def test_numeric_boolean_shorthand(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:int 42 ; ex:dec 3.25 ; ex:dbl 1.5e2 ; ex:flag true .
+        """
+        graph = parse_turtle(text)
+        objects = {t.predicate.local_name(): t.object for t in graph}
+        assert objects["int"].to_python() == 42
+        assert float(objects["dec"].to_python()) == pytest.approx(3.25)
+        assert objects["dbl"].to_python() == pytest.approx(150.0)
+        assert objects["flag"].to_python() is True
+
+    def test_string_literals_with_lang_and_datatype(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        ex:s ex:name "Bill" ; ex:greeting "bonjour"@fr ; ex:age "28"^^xsd:integer .
+        """
+        graph = parse_turtle(text)
+        objects = {t.predicate.local_name(): t.object for t in graph}
+        assert objects["name"] == Literal("Bill")
+        assert objects["greeting"] == Literal("bonjour", language="fr")
+        assert objects["age"] == Literal(28)
+
+    def test_base_resolution(self):
+        text = """
+        @base <http://example.org/> .
+        <user1> <livesIn> <Madrid> .
+        """
+        graph = parse_turtle(text)
+        assert Triple(EX.user1, EX.livesIn, EX.Madrid) in graph
+
+    def test_blank_nodes(self):
+        text = "_:b1 <http://example.org/knows> _:b2 ."
+        graph = parse_turtle(text)
+        assert Triple(BlankNode("b1"), EX.knows, BlankNode("b2")) in graph
+
+    def test_comments_ignored(self):
+        text = """
+        @prefix ex: <http://example.org/> . # vocabulary
+        # a blogger
+        ex:user1 a ex:Blogger . # trailing
+        """
+        assert len(parse_turtle(text)) == 1
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("nope:s nope:p nope:o .")
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://example.org/> .\nex:s ex:p ex:o")
+
+    def test_unsupported_collection_syntax_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://example.org/> . ex:s ex:p ( 1 2 ) .")
+
+    def test_literal_in_subject_position_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle('"oops" <http://example.org/p> <http://example.org/o> .')
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        graph = Graph()
+        graph.add(Triple(EX.user1, RDF_TYPE, EX.Blogger))
+        graph.add(Triple(EX.user1, EX.hasAge, Literal(28)))
+        graph.add(Triple(EX.user1, EX.identifiedBy, Literal("Bill")))
+        graph.add(Triple(EX.user1, EX.livesIn, EX.Madrid))
+        prefixes = PrefixMap()
+        prefixes.bind("ex", "http://example.org/")
+        text = serialize_turtle(graph, prefixes)
+        assert "ex:user1" in text
+        assert parse_turtle(text) == graph
+
+    def test_rdf_type_rendered_as_a(self):
+        graph = Graph([Triple(EX.user1, RDF_TYPE, EX.Blogger)])
+        prefixes = PrefixMap()
+        prefixes.bind("ex", "http://example.org/")
+        assert " a ex:Blogger" in serialize_turtle(graph, prefixes)
+
+    def test_numeric_shorthand_in_output(self):
+        graph = Graph([Triple(EX.user1, EX.hasAge, Literal(28))])
+        prefixes = PrefixMap()
+        prefixes.bind("ex", "http://example.org/")
+        assert "ex:hasAge 28" in serialize_turtle(graph, prefixes)
+
+    def test_unbound_namespace_falls_back_to_full_iri(self):
+        graph = Graph([Triple(EX.user1, EX.hasAge, Literal(28))])
+        text = serialize_turtle(graph, PrefixMap(bind_defaults=False))
+        assert "<http://example.org/user1>" in text
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = Graph([Triple(EX.user1, EX.livesIn, EX.Madrid)])
+        path = str(tmp_path / "data.ttl")
+        dump_turtle(graph, path)
+        assert load_turtle(path) == graph

@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        arguments = build_parser().parse_args(["generate", "blogger"])
+        assert arguments.scenario == "blogger"
+        assert arguments.size == 500
+
+    def test_experiments_scale_choices(self):
+        arguments = build_parser().parse_args(["experiments", "--scale", "tiny"])
+        assert arguments.scale == "tiny"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--scale", "enormous"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("scenario", ["blogger", "video", "generic"])
+    def test_generates_ntriples_files(self, scenario, tmp_path, capsys):
+        base = str(tmp_path / "base.nt")
+        instance = str(tmp_path / "instance.nt")
+        exit_code = main(
+            [
+                "generate",
+                scenario,
+                "--size",
+                "30",
+                "--base-output",
+                base,
+                "--instance-output",
+                instance,
+            ]
+        )
+        assert exit_code == 0
+        assert os.path.getsize(base) > 0
+        assert os.path.getsize(instance) > 0
+        output = capsys.readouterr().out
+        assert "base graph" in output and "AnS instance" in output
+
+    def test_generated_files_parse_back(self, tmp_path):
+        from repro.rdf.ntriples import load_ntriples
+
+        base = str(tmp_path / "base.nt")
+        instance = str(tmp_path / "instance.nt")
+        main(["generate", "video", "--size", "20", "--base-output", base, "--instance-output", instance])
+        assert len(load_ntriples(base)) > 0
+        assert len(load_ntriples(instance)) > 0
+
+
+class TestDemoCommand:
+    def test_demo_prints_comparison(self, capsys):
+        exit_code = main(["demo", "--bloggers", "60"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "slice" in output and "drill-out" in output
+        assert "equal=True" in output

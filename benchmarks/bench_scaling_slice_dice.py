@@ -86,3 +86,31 @@ def test_dice_scratch_scaling(benchmark, facts):
     transformed = operation.apply(query)
     benchmark.extra_info["facts"] = facts
     benchmark(lambda: transformed_answer_from_scratch(session.evaluator, query, operation, transformed))
+
+
+# --- engine before/after: scratch evaluation, id-space vs. the seed pipeline
+
+
+@pytest.mark.parametrize("facts", SWEEP)
+def test_scratch_engine_idspace_scaling(benchmark, facts):
+    from repro.analytics.evaluator import AnalyticalQueryEvaluator
+    from repro.olap.cube import Cube
+    from repro.bench.legacy import LegacyAnalyticalEvaluator
+
+    session, query = _session_for(facts)
+    evaluator = AnalyticalQueryEvaluator(session.instance, id_space=True)
+    benchmark.extra_info["facts"] = facts
+    answer = benchmark(lambda: evaluator.answer(query))
+    legacy = LegacyAnalyticalEvaluator(session.instance).answer(query)
+    assert Cube(answer, query).same_cells(Cube(legacy, query))
+
+
+@pytest.mark.parametrize("facts", SWEEP)
+def test_scratch_engine_legacy_scaling(benchmark, facts):
+    from repro.bench.legacy import LegacyAnalyticalEvaluator
+
+    session, query = _session_for(facts)
+    evaluator = LegacyAnalyticalEvaluator(session.instance)
+    benchmark.extra_info["facts"] = facts
+    answer = benchmark(lambda: evaluator.answer(query))
+    assert len(answer) > 0

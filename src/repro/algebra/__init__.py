@@ -3,7 +3,9 @@
 This package provides the relational machinery in which the paper states
 its OLAP rewriting algorithms:
 
-* :mod:`repro.algebra.relation` — the :class:`Relation` bag-of-rows table;
+* :mod:`repro.algebra.relation` — the :class:`Relation` bag-of-rows table
+  and its id-space variant :class:`IdRelation` (dictionary-encoded columns,
+  late materialization);
 * :mod:`repro.algebra.operators` — σ, π, δ, ⋈, ∪, rename, ... ;
 * :mod:`repro.algebra.expressions` — row predicates for σ;
 * :mod:`repro.algebra.aggregates` — ⊕ functions with distributivity metadata;
@@ -46,10 +48,12 @@ from repro.algebra.operators import (
     select,
     union_all,
 )
-from repro.algebra.relation import Relation
+from repro.algebra.relation import IdRelation, Relation, relation_like
 
 __all__ = [
     "Relation",
+    "IdRelation",
+    "relation_like",
     "select",
     "project",
     "dedup",

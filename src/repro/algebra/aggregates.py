@@ -54,12 +54,16 @@ class AggregateFunction:
         distributive: bool,
         numeric_only: bool = True,
         combine: Optional[Callable[[List], object]] = None,
+        value_free: bool = False,
     ):
         self.name = name
         self._function = function
         self.distributive = distributive
         self.numeric_only = numeric_only
         self._combine = combine if combine is not None else (function if distributive else None)
+        #: True when the result depends only on the bag's cardinality
+        #: (``count``): γ can then skip decoding/converting the values.
+        self.value_free = value_free
 
     # ------------------------------------------------------------------
 
@@ -135,7 +139,9 @@ def _max(values: List) -> object:
 
 
 #: ``count`` is distributive: counts of disjoint sub-bags add up.
-COUNT = AggregateFunction("count", _count, distributive=True, numeric_only=False, combine=_sum)
+COUNT = AggregateFunction(
+    "count", _count, distributive=True, numeric_only=False, combine=_sum, value_free=True
+)
 
 #: ``count_distinct`` is *not* distributive (distinct values may repeat across sub-bags).
 COUNT_DISTINCT = AggregateFunction(

@@ -18,7 +18,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import AggregationError, UnknownColumnError
 from repro.algebra.aggregates import AggregateFunction, get_aggregate
-from repro.algebra.relation import Relation, Row
+from repro.algebra.expressions import comparable, memoized_unary
+from repro.algebra.relation import Relation, Row, relation_like, tuple_getter
 
 __all__ = ["group_rows", "group_aggregate", "aggregate_column"]
 
@@ -30,11 +31,10 @@ def group_rows(relation: Relation, by: Sequence[str]) -> Dict[Tuple, List[Row]]:
     the list of full rows in that group, preserving input order within each
     group.
     """
-    key_indexes = relation.column_indexes(by)
+    key_of = tuple_getter(relation.column_indexes(by))
     groups: Dict[Tuple, List[Row]] = {}
     for row in relation:
-        key = tuple(row[i] for i in key_indexes)
-        groups.setdefault(key, []).append(row)
+        groups.setdefault(key_of(row), []).append(row)
     return groups
 
 
@@ -72,13 +72,35 @@ def group_aggregate(
             f"output column {output_column!r} clashes with a grouping column"
         )
 
+    # On id-space relations the measure column holds term ids; the bag fed
+    # to ⊕ must be the decoded values (memoized — measure literals repeat).
+    # The cache stores the *comparable* form directly, which is what every
+    # aggregate converts its inputs to anyway, so each distinct literal is
+    # decoded and converted exactly once.
+    decoder = relation.column_decoder(measure)
+    decode = (
+        memoized_unary(lambda value_id: comparable(decoder(value_id)))
+        if decoder is not None
+        else None
+    )
+
     groups = group_rows(relation, by)
     output_columns = tuple(by) + (output_column,)
     rows: List[Row] = []
+    if getattr(aggregate, "value_free", False):
+        # count: the result is the bag's cardinality — no decoding, no
+        # conversion, just counting the non-None measures per group.
+        for key, group in groups.items():
+            bag_size = sum(1 for row in group if row[measure_index] is not None)
+            if bag_size:
+                rows.append(key + (bag_size,))
+        return relation_like(output_columns, rows, relation, plain_columns=(output_column,))
     for key, group in groups.items():
         values = [row[measure_index] for row in group if row[measure_index] is not None]
         if not values:
             continue
+        if decode is not None:
+            values = [decode(value) for value in values]
         try:
             aggregated = aggregate(values)
         except AggregationError:
@@ -86,11 +108,16 @@ def group_aggregate(
             # mirroring Definition 1's "x^j does not contribute to the cube".
             continue
         rows.append(key + (aggregated,))
-    return Relation(output_columns, rows)
+    # Group keys stay in their input space (ids group exactly like terms:
+    # the encoding is bijective); the aggregated column is always plain.
+    return relation_like(output_columns, rows, relation, plain_columns=(output_column,))
 
 
 def aggregate_column(relation: Relation, measure: str, function) -> object:
     """Aggregate a whole column (no grouping); raises on an empty relation."""
     aggregate = get_aggregate(function)
+    decoder = relation.column_decoder(measure)
     values = [value for value in relation.column_values(measure) if value is not None]
+    if decoder is not None:
+        values = [decoder(value) for value in values]
     return aggregate(values)

@@ -4,6 +4,14 @@ Every operator is a pure function from relations to a new relation; inputs
 are never mutated.  All operators have **bag semantics** (Section 3 of the
 paper: "all relational algebra operators are assumed to have bag
 semantics"); duplicate elimination is explicit via :func:`dedup` (δ).
+
+Operators are *value-space preserving*: applied to id-space relations
+(:class:`~repro.algebra.relation.IdRelation`) they compute on integer ids
+and return id-space results carrying the encoding metadata forward, so the
+whole ``pres(Q)``/``ans(Q)`` pipeline runs without decoding a single term.
+Mixed-space inputs (e.g. an encoded ``pres(Q)`` joined with a relation
+restored from disk) are aligned by materializing the encoded side first —
+correctness over speed on that cold path.
 """
 
 from __future__ import annotations
@@ -11,8 +19,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchemaMismatchError, UnknownColumnError
-from repro.algebra.expressions import RowPredicate
-from repro.algebra.relation import Relation, Row
+from repro.algebra.expressions import RowPredicate, compile_predicate
+from repro.algebra.relation import IdRelation, Relation, Row, relation_like, tuple_getter
 
 __all__ = [
     "select",
@@ -29,19 +37,22 @@ __all__ = [
 
 
 def select(relation: Relation, predicate: RowPredicate) -> Relation:
-    """σ: keep the rows satisfying ``predicate`` (applied to row dicts)."""
-    columns = relation.columns
-    kept: List[Row] = []
-    for row in relation:
-        if predicate(dict(zip(columns, row))):
-            kept.append(row)
-    return Relation(columns, kept)
+    """σ: keep the rows satisfying ``predicate``.
+
+    Structured predicates (:mod:`repro.algebra.expressions` builders, Σ
+    predicates) are compiled once against the relation's column positions;
+    arbitrary callables receive per-row mappings (decoded on id-space
+    relations) as before.
+    """
+    test = compile_predicate(predicate, relation)
+    kept = [row for row in relation if test(row)]
+    return relation_like(relation.columns, kept, relation)
 
 
 def project(relation: Relation, columns: Sequence[str]) -> Relation:
     """π: keep only the named columns (bag semantics: duplicates are kept)."""
-    indexes = relation.column_indexes(columns)
-    return Relation(tuple(columns), (tuple(row[i] for i in indexes) for row in relation))
+    getter = tuple_getter(relation.column_indexes(columns))
+    return relation_like(tuple(columns), [getter(row) for row in relation], relation)
 
 
 def dedup(relation: Relation) -> Relation:
@@ -52,7 +63,7 @@ def dedup(relation: Relation) -> Relation:
         if row not in seen:
             seen.add(row)
             kept.append(row)
-    return Relation(relation.columns, kept)
+    return relation_like(relation.columns, kept, relation)
 
 
 def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
@@ -61,6 +72,11 @@ def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
         if not relation.has_column(old):
             raise UnknownColumnError(f"cannot rename unknown column {old!r}")
     new_columns = tuple(mapping.get(name, name) for name in relation.columns)
+    if isinstance(relation, IdRelation):
+        encoded = {mapping.get(name, name) for name in relation.encoded_columns}
+        return IdRelation(
+            new_columns, relation.rows, dictionary=relation.dictionary, encoded=encoded
+        )
     return Relation(new_columns, relation.rows)
 
 
@@ -72,6 +88,29 @@ def natural_join(left: Relation, right: Relation) -> Relation:
     """
     shared = [name for name in left.columns if right.has_column(name)]
     return join_on(left, right, [(name, name) for name in shared])
+
+
+def _join_operands(
+    left: Relation, right: Relation, join_pairs: Sequence[Tuple[str, str]]
+) -> Tuple[Relation, Relation]:
+    """Bring both join inputs into one value space.
+
+    Ids only join with ids of the *same* dictionary; when the two sides
+    disagree on a join column's encoding (or on the dictionary itself),
+    both are decoded so the hash keys compare by term value.
+    """
+    left_id = isinstance(left, IdRelation)
+    right_id = isinstance(right, IdRelation)
+    if not (left_id or right_id):
+        return left, right
+    if left_id and right_id and left.dictionary is not right.dictionary:
+        return left.materialize(), right.materialize()
+    for left_name, right_name in join_pairs:
+        left_encoded = left_id and left.is_encoded(left_name)
+        right_encoded = right_id and right.is_encoded(right_name)
+        if left_encoded != right_encoded:
+            return left.materialize(), right.materialize()
+    return left, right
 
 
 def join_on(
@@ -88,6 +127,8 @@ def join_on(
     """
     if not join_pairs:
         return cross_product(left, right)
+
+    left, right = _join_operands(left, right, join_pairs)
 
     left_key_indexes = tuple(left.column_index(l) for l, _ in join_pairs)
     right_key_indexes = tuple(right.column_index(r) for _, r in join_pairs)
@@ -108,29 +149,42 @@ def join_on(
 
     output_columns = tuple(left.columns) + tuple(kept_right_names)
 
+    # Single-column equi-joins (the fact-variable join of Definition 4 and
+    # the engine's hottest operation) hash the bare value — an int in id
+    # space — instead of a 1-tuple.
+    if len(join_pairs) == 1:
+        left_key = left_key_indexes[0]
+        right_key = right_key_indexes[0]
+        left_key_of = lambda row: row[left_key]  # noqa: E731
+        right_key_of = lambda row: row[right_key]  # noqa: E731
+    else:
+        left_key_of = tuple_getter(left_key_indexes)
+        right_key_of = tuple_getter(right_key_indexes)
+    right_part_of = tuple_getter(kept_right_positions)
+
     # Build a hash table on the smaller input to bound memory.
     build_on_right = len(right) <= len(left)
     rows: List[Row] = []
     if build_on_right:
-        table: Dict[Tuple, List[Row]] = {}
+        table: Dict[object, List[Row]] = {}
         for row in right:
-            key = tuple(row[i] for i in right_key_indexes)
-            table.setdefault(key, []).append(row)
+            table.setdefault(right_key_of(row), []).append(right_part_of(row))
+        empty: List[Row] = []
         for left_row in left:
-            key = tuple(left_row[i] for i in left_key_indexes)
-            for right_row in table.get(key, ()):
-                rows.append(left_row + tuple(right_row[i] for i in kept_right_positions))
+            for right_part in table.get(left_key_of(left_row), empty):
+                rows.append(left_row + right_part)
     else:
         table = {}
         for row in left:
-            key = tuple(row[i] for i in left_key_indexes)
-            table.setdefault(key, []).append(row)
+            table.setdefault(left_key_of(row), []).append(row)
+        empty = []
         for right_row in right:
-            key = tuple(right_row[i] for i in right_key_indexes)
-            right_part = tuple(right_row[i] for i in kept_right_positions)
-            for left_row in table.get(key, ()):
-                rows.append(left_row + right_part)
-    return Relation(output_columns, rows)
+            matches = table.get(right_key_of(right_row), empty)
+            if matches:
+                right_part = right_part_of(right_row)
+                for left_row in matches:
+                    rows.append(left_row + right_part)
+    return relation_like(output_columns, rows, left, right)
 
 
 def cross_product(left: Relation, right: Relation) -> Relation:
@@ -140,15 +194,38 @@ def cross_product(left: Relation, right: Relation) -> Relation:
         raise SchemaMismatchError(
             f"cross product requires disjoint schemas; shared columns {sorted(overlap)}"
         )
+    if (
+        isinstance(left, IdRelation)
+        and isinstance(right, IdRelation)
+        and left.dictionary is not right.dictionary
+    ):
+        left, right = left.materialize(), right.materialize()
     columns = tuple(left.columns) + tuple(right.columns)
     rows = [left_row + right_row for left_row in left for right_row in right]
-    return Relation(columns, rows)
+    return relation_like(columns, rows, left, right)
+
+
+def _union_operands(relations: Sequence[Relation]) -> Sequence[Relation]:
+    """Align union/difference inputs: one dictionary, one encoding per column."""
+    id_relations = [relation for relation in relations if isinstance(relation, IdRelation)]
+    if not id_relations:
+        return relations
+    dictionary = id_relations[0].dictionary
+    aligned = (
+        len(id_relations) == len(relations)
+        and all(relation.dictionary is dictionary for relation in id_relations)
+        and len({relation.encoded_columns for relation in id_relations}) == 1
+    )
+    if aligned:
+        return relations
+    return [relation.materialize() for relation in relations]
 
 
 def union_all(*relations: Relation) -> Relation:
     """∪ (bag union): concatenate rows of union-compatible relations."""
     if not relations:
         raise SchemaMismatchError("union_all requires at least one relation")
+    relations = tuple(_union_operands(relations))
     first = relations[0]
     rows: List[Row] = list(first.rows)
     for other in relations[1:]:
@@ -159,11 +236,12 @@ def union_all(*relations: Relation) -> Relation:
                 )
             other = other.reorder(first.columns)
         rows.extend(other.rows)
-    return Relation(first.columns, rows)
+    return relation_like(first.columns, rows, *relations)
 
 
 def difference_all(left: Relation, right: Relation) -> Relation:
     """Bag difference: each row's multiplicity is reduced by its multiplicity in ``right``."""
+    left, right = _union_operands((left, right))
     if left.columns != right.columns:
         if set(left.columns) != set(right.columns):
             raise SchemaMismatchError(
@@ -178,15 +256,18 @@ def difference_all(left: Relation, right: Relation) -> Relation:
             remaining[row] = count - 1
         else:
             rows.append(row)
-    return Relation(left.columns, rows)
+    return relation_like(left.columns, rows, left)
 
 
 def extend_column(relation: Relation, name: str, function) -> Relation:
-    """Add a computed column: ``function`` receives the row dict and returns the value."""
+    """Add a computed column: ``function`` receives the row dict and returns the value.
+
+    On id-space relations the row dict is decoded, and the computed column
+    is plain (unencoded) in the result.
+    """
     if relation.has_column(name):
         raise SchemaMismatchError(f"column {name!r} already exists")
     columns = relation.columns + (name,)
-    rows = [
-        row + (function(dict(zip(relation.columns, row))),) for row in relation
-    ]
-    return Relation(columns, rows)
+    as_dict = relation.row_as_dict
+    rows = [row + (function(as_dict(row)),) for row in relation]
+    return relation_like(columns, rows, relation, plain_columns=(name,))

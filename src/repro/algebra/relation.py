@@ -10,15 +10,41 @@ Rows hold arbitrary hashable Python values; in this project they are RDF
 terms (for dimension and fact columns), integers (for the ``newk()`` key
 column of extended measure results) and Python numbers (for aggregated
 measures).
+
+Two value spaces coexist:
+
+* a plain :class:`Relation` holds *decoded* values (RDF term objects,
+  numbers);
+* an :class:`IdRelation` keeps designated columns as dictionary-encoded
+  integer ids, tagged with the owning
+  :class:`~repro.rdf.dictionary.TermDictionary`.  The execution engine works
+  on id relations end-to-end and decodes only at the result boundary via
+  :meth:`IdRelation.materialize` / :meth:`IdRelation.iter_decoded` (late
+  materialization, the classical dictionary-encoded RDF engine design).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchemaMismatchError, UnknownColumnError
 
-__all__ = ["Relation", "Row"]
+__all__ = ["Relation", "IdRelation", "Row", "relation_like"]
+
+
+def tuple_getter(positions: Sequence[int]) -> Callable[[Row], Tuple]:
+    """A fast row → tuple-of-positions extractor (always returns a tuple).
+
+    ``operator.itemgetter`` unpacks to a scalar for a single position; this
+    wrapper keeps the tuple shape the operators rely on for keys and rows.
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        index = positions[0]
+        return lambda row: (row[index],)
+    return itemgetter(*positions)
 
 #: A row is a tuple of values, positionally aligned with the relation schema.
 Row = Tuple
@@ -68,6 +94,26 @@ class Relation:
         """Build a relation from mappings; missing keys become ``None``."""
         rows = [tuple(mapping.get(column) for column in columns) for mapping in dicts]
         return cls(columns, rows)
+
+    @classmethod
+    def adopt(cls, columns: Sequence[str], rows: List[Row]) -> "Relation":
+        """Adopt a pre-validated row list without copying or re-checking arity.
+
+        The operators' fast path: they construct correct-arity tuples by
+        design, so per-row validation would only re-verify what the code
+        already guarantees.  The list is adopted as-is — callers must not
+        reuse it.
+        """
+        relation = cls.__new__(cls)
+        relation._init_adopted(tuple(columns), rows)
+        return relation
+
+    def _init_adopted(self, columns: Tuple[str, ...], rows: List[Row]) -> None:
+        self._columns = columns
+        self._index_of = {name: index for index, name in enumerate(columns)}
+        if len(self._index_of) != len(columns):
+            raise SchemaMismatchError(f"duplicate column names in schema: {columns}")
+        self._rows = rows
 
     @classmethod
     def empty(cls, columns: Sequence[str]) -> "Relation":
@@ -148,6 +194,32 @@ class Relation:
             yield self.row_as_dict(row)
 
     # ------------------------------------------------------------------
+    # value space (overridden by IdRelation)
+    # ------------------------------------------------------------------
+
+    def materialize(self) -> "Relation":
+        """Return the decoded view of this relation (self for plain relations)."""
+        return self
+
+    def iter_decoded(self) -> Iterator[Row]:
+        """Iterate over decoded rows (the rows themselves for plain relations)."""
+        return iter(self._rows)
+
+    def column_decoder(self, name: str) -> Optional[Callable[[object], object]]:
+        """Return the id→term decoder for an encoded column, or None.
+
+        Plain relations hold decoded values everywhere, so this is always
+        None here; :class:`IdRelation` returns the dictionary decoder for
+        its encoded columns.  Operators and predicates use this to stay
+        positional while remaining correct on both value spaces.
+        """
+        return None
+
+    def _new(self, columns: Sequence[str], rows: Iterable[Sequence]) -> "Relation":
+        """Construct a same-space relation (metadata-preserving factory)."""
+        return Relation(columns, rows)
+
+    # ------------------------------------------------------------------
     # comparison
     # ------------------------------------------------------------------
 
@@ -172,7 +244,8 @@ class Relation:
             other = other.reorder(self._columns)
         elif self._columns != other._columns:
             return False
-        return self.to_multiset() == other.to_multiset()
+        left, right = _comparison_pair(self, other)
+        return left.to_multiset() == right.to_multiset()
 
     def set_equal(self, other: "Relation", ignore_column_order: bool = False) -> bool:
         """Set equality: same schema and same distinct rows."""
@@ -184,7 +257,8 @@ class Relation:
             other = other.reorder(self._columns)
         elif self._columns != other._columns:
             return False
-        return set(self._rows) == set(other._rows)
+        left, right = _comparison_pair(self, other)
+        return set(left._rows) == set(right._rows)
 
     def __eq__(self, other: object) -> bool:
         """Relations compare by bag equality with identical schemas."""
@@ -206,10 +280,10 @@ class Relation:
                 f"reorder columns {tuple(columns)} must be a permutation of {self._columns}"
             )
         indexes = self.column_indexes(columns)
-        return Relation(columns, (tuple(row[i] for i in indexes) for row in self._rows))
+        return self._new(columns, (tuple(row[i] for i in indexes) for row in self._rows))
 
     def copy(self) -> "Relation":
-        return Relation(self._columns, self._rows)
+        return self._new(self._columns, self._rows)
 
     def map_rows(self, function: Callable[[Row], Row], columns: Optional[Sequence[str]] = None) -> "Relation":
         """Apply ``function`` to every row, optionally changing the schema."""
@@ -222,11 +296,11 @@ class Relation:
 
     def head(self, count: int = 10) -> "Relation":
         """Return the first ``count`` rows (for display)."""
-        return Relation(self._columns, self._rows[:count])
+        return self._new(self._columns, self._rows[:count])
 
     def sorted(self) -> "Relation":
         """Return the relation with rows sorted by their repr (stable display order)."""
-        return Relation(self._columns, sorted(self._rows, key=repr))
+        return self._new(self._columns, sorted(self._rows, key=repr))
 
     def to_text(self, max_rows: int = 20) -> str:
         """Render an ASCII table of the relation (used by examples and benches)."""
@@ -250,6 +324,183 @@ class Relation:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Relation(columns={self._columns}, rows={len(self._rows)})"
+
+
+class IdRelation(Relation):
+    """A relation whose designated columns hold dictionary-encoded term ids.
+
+    Parameters
+    ----------
+    columns, rows:
+        As for :class:`Relation`; values in encoded columns are integer ids
+        of the owning dictionary, values elsewhere are plain Python objects
+        (``newk()`` keys, aggregated measures, ...).
+    dictionary:
+        The :class:`~repro.rdf.dictionary.TermDictionary` the ids belong to
+        (in practice: the dictionary of the graph the rows were matched on).
+    encoded:
+        The names of the id-encoded columns; defaults to every column.
+
+    Operators propagate the encoding metadata (see :func:`relation_like`),
+    so selections, projections, joins, dedup and grouping all run on machine
+    integers; terms are only materialized at the result boundary.
+    """
+
+    __slots__ = ("_dictionary", "_encoded")
+
+    @classmethod
+    def adopt_encoded(
+        cls,
+        columns: Sequence[str],
+        rows: List[Row],
+        dictionary,
+        encoded: Optional[Iterable[str]] = None,
+    ) -> "IdRelation":
+        """Adopt a pre-validated id row list (see :meth:`Relation.adopt`)."""
+        relation = cls.__new__(cls)
+        columns = tuple(columns)
+        relation._init_adopted(columns, rows)
+        relation._dictionary = dictionary
+        relation._encoded = (
+            frozenset(columns) if encoded is None else frozenset(encoded) & set(columns)
+        )
+        return relation
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Optional[Iterable[Sequence]] = None,
+        dictionary=None,
+        encoded: Optional[Iterable[str]] = None,
+    ):
+        super().__init__(columns, rows)
+        if dictionary is None:
+            raise SchemaMismatchError("an IdRelation requires the owning TermDictionary")
+        self._dictionary = dictionary
+        if encoded is None:
+            self._encoded: FrozenSet[str] = frozenset(self._columns)
+        else:
+            self._encoded = frozenset(encoded) & set(self._columns)
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def dictionary(self):
+        """The term dictionary the encoded ids belong to."""
+        return self._dictionary
+
+    @property
+    def encoded_columns(self) -> FrozenSet[str]:
+        """Names of the columns holding term ids."""
+        return self._encoded
+
+    def is_encoded(self, name: str) -> bool:
+        return name in self._encoded
+
+    def column_decoder(self, name: str) -> Optional[Callable[[object], object]]:
+        if name in self._encoded:
+            return self._dictionary.decode
+        return None
+
+    def _new(self, columns: Sequence[str], rows: Iterable[Sequence]) -> "Relation":
+        encoded = self._encoded & set(columns)
+        if not encoded:
+            return Relation(columns, rows)
+        return IdRelation(columns, rows, dictionary=self._dictionary, encoded=encoded)
+
+    # -- late materialization ------------------------------------------
+
+    def _encoded_indexes(self) -> List[int]:
+        return [index for index, name in enumerate(self._columns) if name in self._encoded]
+
+    def materialize(self) -> Relation:
+        """Decode every encoded column and return a plain relation."""
+        if not self._encoded:
+            return Relation.adopt(self._columns, list(self._rows))
+        return Relation.adopt(self._columns, list(self.iter_decoded()))
+
+    def iter_decoded(self) -> Iterator[Row]:
+        """Yield decoded rows one at a time (the decoding-iterator boundary)."""
+        indexes = self._encoded_indexes()
+        if not indexes:
+            yield from self._rows
+            return
+        decode = self._dictionary.decode
+        cache: Dict[object, object] = {}
+        for row in self._rows:
+            decoded = list(row)
+            for index in indexes:
+                value_id = decoded[index]
+                term = cache.get(value_id)
+                if term is None:
+                    term = cache[value_id] = decode(value_id)
+                decoded[index] = term
+            yield tuple(decoded)
+
+    def row_as_dict(self, row: Row) -> Dict[str, object]:
+        decode = self._dictionary.decode
+        return {
+            name: decode(value) if name in self._encoded else value
+            for name, value in zip(self._columns, row)
+        }
+
+    def to_text(self, max_rows: int = 20) -> str:
+        return self.materialize().to_text(max_rows=max_rows)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"IdRelation(columns={self._columns}, rows={len(self._rows)}, "
+            f"encoded={sorted(self._encoded)})"
+        )
+
+
+def _comparison_pair(left: Relation, right: Relation) -> Tuple[Relation, Relation]:
+    """Bring two relations into the decoded space before row comparison.
+
+    Two id relations over the *same* dictionary compare directly on ids
+    (the encoding is bijective); any other mix is decoded first.
+    """
+    if isinstance(left, IdRelation) and isinstance(right, IdRelation):
+        if left.dictionary is right.dictionary and left.encoded_columns == right.encoded_columns:
+            return left, right
+    return left.materialize(), right.materialize()
+
+
+def relation_like(
+    columns: Sequence[str],
+    rows: Optional[Iterable[Sequence]],
+    *sources: Relation,
+    plain_columns: Sequence[str] = (),
+) -> Relation:
+    """Construct an operator result carrying the sources' encoding metadata.
+
+    The encoded column set of the result is the union of the sources'
+    encoded columns restricted to ``columns`` (minus ``plain_columns``,
+    used when an operator overwrites a column with decoded values, e.g. the
+    aggregated measure of γ).  Sources must already live in one id space;
+    operators align mixed-space inputs by materializing before combining.
+
+    Rows are **adopted**, not validated: callers construct correct-arity
+    tuples by design (a list argument is taken over without copying).
+    """
+    dictionary = None
+    encoded: set = set()
+    for source in sources:
+        if isinstance(source, IdRelation):
+            if dictionary is None:
+                dictionary = source.dictionary
+            elif dictionary is not source.dictionary:
+                raise SchemaMismatchError(
+                    "cannot combine relations encoded against different dictionaries; "
+                    "materialize one side first"
+                )
+            encoded |= source.encoded_columns
+    encoded &= set(columns)
+    encoded -= set(plain_columns)
+    row_list = rows if type(rows) is list else list(rows or ())
+    if dictionary is None or not encoded:
+        return Relation.adopt(columns, row_list)
+    return IdRelation.adopt_encoded(columns, row_list, dictionary, encoded)
 
 
 def _render_value(value: object) -> str:

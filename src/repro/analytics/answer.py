@@ -51,6 +51,12 @@ class PartialResult:
     Wraps the relation ``c(I) ⋈ₓ mᵏ(I)`` together with the column names it
     was built with, so the OLAP rewriting algorithms can address the fact,
     dimension, key and measure columns by role rather than by position.
+
+    The wrapped relation may live in **id space**
+    (:class:`~repro.algebra.relation.IdRelation`): the rewriting algorithms
+    consume :attr:`storage` and never decode, while :attr:`relation` is the
+    decoded view for external consumers (tests, persistence, display) —
+    materialized lazily, once.
     """
 
     def __init__(
@@ -67,27 +73,40 @@ class PartialResult:
                 f"partial-result relation columns {relation.columns} do not match the expected "
                 f"layout {expected}"
             )
-        self.relation = relation
+        self._storage = relation
+        self._decoded: Optional[Relation] = None
         self.fact_column = fact_column
         self.dimension_columns = dimension_columns
         self.key_column = key_column
         self.measure_column = measure_column
 
+    @property
+    def storage(self) -> Relation:
+        """The relation in its native value space (ids when engine-built)."""
+        return self._storage
+
+    @property
+    def relation(self) -> Relation:
+        """The decoded view of ``pres(Q)`` (lazily materialized, cached)."""
+        if self._decoded is None:
+            self._decoded = self._storage.materialize()
+        return self._decoded
+
     def __len__(self) -> int:
-        return len(self.relation)
+        return len(self._storage)
 
     @property
     def columns(self) -> Tuple[str, ...]:
-        return self.relation.columns
+        return self._storage.columns
 
     def facts(self) -> set:
-        """The set of distinct facts appearing in the partial result."""
+        """The set of distinct facts appearing in the partial result (decoded)."""
         return self.relation.distinct_values(self.fact_column)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"PartialResult(fact={self.fact_column!r}, dims={self.dimension_columns}, "
-            f"{len(self.relation)} rows)"
+            f"{len(self._storage)} rows)"
         )
 
 
@@ -106,22 +125,38 @@ class CubeAnswer:
             raise MaterializationError(
                 f"answer relation columns {relation.columns} do not match the expected layout {expected}"
             )
-        self.relation = relation
+        self._storage = relation
+        self._decoded: Optional[Relation] = None
         self.dimension_columns = dimension_columns
         self.measure_column = measure_column
 
+    @property
+    def storage(self) -> Relation:
+        """The answer relation in its native value space (ids when engine-built)."""
+        return self._storage
+
+    @property
+    def relation(self) -> Relation:
+        """The decoded answer relation ``(d₁, ..., dₙ, v)`` (lazy, cached)."""
+        if self._decoded is None:
+            self._decoded = self._storage.materialize()
+        return self._decoded
+
     def __len__(self) -> int:
-        return len(self.relation)
+        return len(self._storage)
 
     @property
     def columns(self) -> Tuple[str, ...]:
-        return self.relation.columns
+        return self._storage.columns
 
     def __iter__(self):
-        return iter(self.relation)
+        """Iterate over decoded answer rows without forcing full materialization."""
+        if self._decoded is not None:
+            return iter(self._decoded)
+        return self._storage.iter_decoded()
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"CubeAnswer(dims={self.dimension_columns}, {len(self.relation)} cells)"
+        return f"CubeAnswer(dims={self.dimension_columns}, {len(self._storage)} cells)"
 
 
 class MaterializedQueryResults:

@@ -11,6 +11,21 @@ The evaluator is the *baseline* against which the OLAP rewritings of
 :mod:`repro.olap.rewriting` are compared: it always goes back to the AnS
 instance, evaluating the classifier (set semantics, restricted by Σ) and the
 measure (bag semantics) and joining them on the fact variable.
+
+Execution model
+---------------
+
+By default the whole pipeline runs in **id space** (late materialization):
+the BGP evaluator returns dictionary-encoded
+:class:`~repro.algebra.relation.IdRelation` results, the Σ-selection tests
+ids with memoized decoding, the fact-variable hash join keys on integers and
+γ decodes only the measure bags it aggregates.  Materialized ``pres(Q)`` and
+``ans(Q)`` stay encoded, so the OLAP rewritings never decode either; the
+public accessors (``PartialResult.relation``, ``CubeAnswer.relation``,
+:class:`~repro.olap.cube.Cube`) decode lazily at the result boundary.
+
+Pass ``id_space=False`` to run the historical decode-eagerly pipeline — kept
+as the benchmark baseline quantifying what late materialization buys.
 """
 
 from __future__ import annotations
@@ -18,8 +33,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.algebra.grouping import group_aggregate
-from repro.algebra.operators import join_on, project, select
-from repro.algebra.relation import Relation
+from repro.algebra.operators import join_on, project, rename, select
+from repro.algebra.relation import Relation, relation_like
 from repro.rdf.graph import Graph
 from repro.rdf.statistics import GraphStatistics
 from repro.bgp.evaluator import BGPEvaluator
@@ -38,11 +53,21 @@ class AnalyticalQueryEvaluator:
         The AnS instance graph (see :func:`repro.analytics.instance.materialize_instance`).
     statistics:
         Optional pre-computed statistics of the instance (recomputed otherwise).
+    id_space:
+        When True (default), evaluate on dictionary-encoded ids with late
+        materialization; when False, decode every BGP result eagerly (the
+        pre-refactor behaviour, kept as a benchmark baseline).
     """
 
-    def __init__(self, instance: Graph, statistics: Optional[GraphStatistics] = None):
+    def __init__(
+        self,
+        instance: Graph,
+        statistics: Optional[GraphStatistics] = None,
+        id_space: bool = True,
+    ):
         self._instance = instance
         self._bgp = BGPEvaluator(instance, statistics)
+        self._id_space = bool(id_space)
 
     @property
     def instance(self) -> Graph:
@@ -52,8 +77,39 @@ class AnalyticalQueryEvaluator:
     def bgp_evaluator(self) -> BGPEvaluator:
         return self._bgp
 
+    @property
+    def id_space(self) -> bool:
+        """True when this evaluator executes on encoded ids (late materialization)."""
+        return self._id_space
+
     # ------------------------------------------------------------------
-    # components
+    # engine-space building blocks (id relations in id_space mode)
+    # ------------------------------------------------------------------
+
+    def _bgp_result(self, query, semantics: str) -> Relation:
+        if self._id_space:
+            return self._bgp.evaluate_ids(query, semantics=semantics)
+        return self._bgp.evaluate(query, semantics=semantics)
+
+    def _classifier_relation(self, query: AnalyticalQuery) -> Relation:
+        relation = self._bgp_result(query.classifier, "set")
+        if query.sigma.is_unrestricted():
+            return relation
+        return select(relation, query.sigma.predicate())
+
+    def _measure_relation(self, query: AnalyticalQuery) -> Relation:
+        return self._bgp_result(query.measure, "bag")
+
+    def _extended_measure_relation(
+        self, query: AnalyticalQuery, key_generator: Optional[KeyGenerator] = None
+    ) -> Relation:
+        keys = key_generator or KeyGenerator()
+        measure = self._measure_relation(query)
+        columns = (KEY_COLUMN,) + measure.columns
+        return relation_like(columns, ((keys(),) + row for row in measure), measure)
+
+    # ------------------------------------------------------------------
+    # components (public, decoded — the id engine is an implementation detail)
     # ------------------------------------------------------------------
 
     def classifier_result(self, query: AnalyticalQuery) -> Relation:
@@ -64,23 +120,17 @@ class AnalyticalQueryEvaluator:
         substituted; its answer equals the Σ-selection over the plain
         classifier answer, which is how we compute it.
         """
-        relation = self._bgp.evaluate(query.classifier, semantics="set")
-        if query.sigma.is_unrestricted():
-            return relation
-        return select(relation, query.sigma.allows_row)
+        return self._classifier_relation(query).materialize()
 
     def measure_result(self, query: AnalyticalQuery) -> Relation:
         """``m(I)``: the measure answer with bag semantics (one row per embedding)."""
-        return self._bgp.evaluate(query.measure, semantics="bag")
+        return self._measure_relation(query).materialize()
 
     def extended_measure_result(
         self, query: AnalyticalQuery, key_generator: Optional[KeyGenerator] = None
     ) -> Relation:
         """``mᵏ(I)``: the measure result with a fresh ``newk()`` key per tuple."""
-        keys = key_generator or KeyGenerator()
-        measure = self.measure_result(query)
-        columns = (KEY_COLUMN,) + measure.columns
-        return Relation(columns, ((keys(),) + row for row in measure))
+        return self._extended_measure_relation(query, key_generator).materialize()
 
     def intermediary_result(self, query: AnalyticalQuery) -> Relation:
         """``int(Q)(I) = c ⋈ₓ m̄`` (Definition 3).
@@ -91,9 +141,7 @@ class AnalyticalQueryEvaluator:
         prefix to keep the join a pure fact-variable join.
         """
         fact = query.fact_variable.name
-        classifier_relation = self._bgp.evaluate(query.classifier, semantics="set")
-        if not query.sigma.is_unrestricted():
-            classifier_relation = select(classifier_relation, query.sigma.allows_row)
+        classifier_relation = self._classifier_relation(query)
 
         measure_bar = query.measure_bar()
         clashes = {
@@ -101,13 +149,11 @@ class AnalyticalQueryEvaluator:
             for variable in measure_bar.head
             if variable.name != fact and variable.name in classifier_relation.columns
         }
-        measure_relation = self._bgp.evaluate(measure_bar, semantics="set")
+        measure_relation = self._bgp_result(measure_bar, "set")
         if clashes:
             renaming = {variable.name: f"m_{variable.name}" for variable in clashes}
-            from repro.algebra.operators import rename  # local import to avoid cycle noise
-
             measure_relation = rename(measure_relation, renaming)
-        return join_on(classifier_relation, measure_relation, [(fact, fact)])
+        return join_on(classifier_relation, measure_relation, [(fact, fact)]).materialize()
 
     # ------------------------------------------------------------------
     # pres / ans
@@ -116,10 +162,16 @@ class AnalyticalQueryEvaluator:
     def partial_result(
         self, query: AnalyticalQuery, key_generator: Optional[KeyGenerator] = None
     ) -> PartialResult:
-        """``pres(Q, I) = c(I) ⋈ₓ mᵏ(I)`` (Definition 4)."""
+        """``pres(Q, I) = c(I) ⋈ₓ mᵏ(I)`` (Definition 4).
+
+        The returned partial result keeps its relation in the engine's
+        value space (encoded ids by default); use
+        :attr:`~repro.analytics.answer.PartialResult.relation` for the
+        decoded view.
+        """
         fact = query.fact_variable.name
-        classifier_relation = self.classifier_result(query)
-        keyed_measure = self.extended_measure_result(query, key_generator)
+        classifier_relation = self._classifier_relation(query)
+        keyed_measure = self._extended_measure_relation(query, key_generator)
         # Reorder mᵏ columns to (x, k, v) so the join drops the duplicate fact
         # column and the output layout is (x, d₁..dₙ, k, v).
         measure_column = query.measure_variable.name
@@ -143,7 +195,7 @@ class AnalyticalQueryEvaluator:
         measure_column = partial.measure_column
         dimension_columns = partial.dimension_columns
         projected = project(
-            partial.relation, (fact, *dimension_columns, measure_column)
+            partial.storage, (fact, *dimension_columns, measure_column)
         )
         aggregated = group_aggregate(
             projected,
@@ -194,15 +246,16 @@ class AnalyticalQueryEvaluator:
         case — and exists so property-based tests can check that the
         relational-algebra pipeline (Equation (3)) agrees with it.
         """
-        classifier_relation = self.classifier_result(query)
-        measure_relation = self.measure_result(query)
+        classifier_relation = self._classifier_relation(query)
+        measure_relation = self._measure_relation(query)
+        measure_column = query.measure_variable.name
+        measure_decoder = measure_relation.column_decoder(measure_column)
         fact_index = 0
         measure_values: Dict[object, list] = {}
         for row in measure_relation:
             measure_values.setdefault(row[0], []).append(row[1])
 
         dimension_columns = query.dimension_names
-        measure_column = query.measure_variable.name
         groups: Dict[Tuple, list] = {}
         for row in classifier_relation:
             fact = row[fact_index]
@@ -214,6 +267,13 @@ class AnalyticalQueryEvaluator:
 
         rows = []
         for key, values in groups.items():
+            if measure_decoder is not None:
+                values = [measure_decoder(value) for value in values]
             rows.append(key + (query.aggregate(values),))
-        relation = Relation((*dimension_columns, measure_column), rows)
+        relation = relation_like(
+            (*dimension_columns, measure_column),
+            rows,
+            classifier_relation,
+            plain_columns=(measure_column,),
+        )
         return CubeAnswer(relation, dimension_columns, measure_column)

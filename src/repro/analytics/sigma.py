@@ -24,9 +24,9 @@ from __future__ import annotations
 from typing import Callable, Collection, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.errors import SigmaError
-from repro.algebra.expressions import comparable
+from repro.algebra.expressions import comparable, memoized_value_test
 
-__all__ = ["DimensionRestriction", "Sigma"]
+__all__ = ["DimensionRestriction", "Sigma", "SigmaPredicate"]
 
 
 class DimensionRestriction:
@@ -125,6 +125,22 @@ class DimensionRestriction:
             return comparable(value) in self._comparable_values  # type: ignore[operator]
         except TypeError:
             return False
+
+    def value_test(self, decoder=None):
+        """Return a fast membership test for this restriction's values.
+
+        Without ``decoder`` the test is :meth:`allows` itself (decoded
+        values).  With a ``decoder`` (id → term, from an encoded relation
+        column) the returned test operates on **term ids**, decoding each
+        distinct id once and memoizing the verdict — dimension ids repeat
+        heavily, so Σ-selection over ``pres(Q)`` stays integer-speed.
+        Returns None for the full (unconstrained) restriction.
+        """
+        if self.is_full:
+            return None
+        if decoder is None:
+            return self.allows
+        return memoized_value_test(self.allows, decoder)
 
     def intersect(self, other: "DimensionRestriction") -> "DimensionRestriction":
         """The conjunction of two restrictions (used when dicing an already-diced query)."""
@@ -228,6 +244,15 @@ class Sigma:
                 return False
         return True
 
+    def predicate(self) -> "SigmaPredicate":
+        """The σ_dice selection predicate, compilable against any relation.
+
+        Use with :func:`repro.algebra.operators.select`: the predicate
+        resolves dimension columns to positions once per relation and tests
+        id-space rows without decoding (memoized per distinct id).
+        """
+        return SigmaPredicate(self)
+
     # -- transformations (return new Sigma objects) --------------------------
 
     def restrict(self, dimension: str, restriction: DimensionRestriction) -> "Sigma":
@@ -290,3 +315,41 @@ class Sigma:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Sigma({self.describe()})"
+
+
+class SigmaPredicate:
+    """The σ_dice selection of Definition 5 as a compilable row predicate.
+
+    Callable on row mappings (delegating to :meth:`Sigma.allows_row`) for
+    the generic path, and compilable against a relation schema so that
+    :func:`repro.algebra.operators.select` evaluates it positionally —
+    directly on term ids when the relation is id-encoded.
+    """
+
+    __slots__ = ("_sigma",)
+
+    def __init__(self, sigma: Sigma):
+        self._sigma = sigma
+
+    def __call__(self, row: Mapping[str, object]) -> bool:
+        return self._sigma.allows_row(row)
+
+    def compile(self, relation):
+        tests = []
+        for name in self._sigma.dimensions:
+            restriction = self._sigma.restriction(name)
+            if restriction.is_full or not relation.has_column(name):
+                # Dimensions absent from the relation are ignored (they may
+                # have been drilled out), mirroring allows_row.
+                continue
+            index = relation.column_index(name)
+            tests.append((index, restriction.value_test(relation.column_decoder(name))))
+        if not tests:
+            return lambda row: True
+        if len(tests) == 1:
+            index, test = tests[0]
+            return lambda row: test(row[index])
+        return lambda row: all(test(row[index]) for index, test in tests)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SigmaPredicate({self._sigma.describe()})"

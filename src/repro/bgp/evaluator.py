@@ -10,9 +10,17 @@ optimizer-chosen order, then projects the bindings onto the query head:
   semantics of measure queries, where the number of embeddings matters
   (Section 2 of the paper).
 
-The inner loop works on dictionary-encoded term identifiers so that binding
-extension is a matter of integer index lookups; terms are only decoded when
-producing the final relation.
+Execution is entirely in **id space**: bindings are flat tuples of encoded
+term ids, slotted positionally (one slot per variable, assigned when the
+join order is fixed), so extending a binding is an index lookup plus a
+tuple copy — no per-candidate dictionaries, no consistency re-checks
+(slots bound by earlier patterns are part of the index lookup itself).
+
+:meth:`BGPEvaluator.evaluate_ids` exposes the raw id-level result as an
+:class:`~repro.algebra.relation.IdRelation`; downstream operators (joins,
+Σ-selections, γ) keep working on ids and terms are only decoded at the
+result boundary.  :meth:`BGPEvaluator.evaluate` materializes immediately
+and is the decoded-term compatibility API.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import EvaluationError
-from repro.algebra.relation import Relation
+from repro.algebra.relation import IdRelation, Relation, tuple_getter
 from repro.rdf.graph import Graph
 from repro.rdf.statistics import GraphStatistics
 from repro.rdf.terms import Term, Variable
@@ -29,9 +37,6 @@ from repro.bgp.optimizer import order_patterns
 from repro.bgp.query import BGPQuery
 
 __all__ = ["BGPEvaluator", "evaluate_query"]
-
-#: A partial binding maps variables to encoded term ids.
-_IdBinding = Dict[Variable, int]
 
 
 class BGPEvaluator:
@@ -56,13 +61,46 @@ class BGPEvaluator:
 
     # ------------------------------------------------------------------
 
+    def evaluate_ids(
+        self,
+        query: BGPQuery,
+        semantics: str = "set",
+        initial_binding: Optional[Dict[Variable, Term]] = None,
+    ) -> IdRelation:
+        """Evaluate ``query`` and return the id-level relation over its head.
+
+        Every column holds encoded term ids of this graph's dictionary; no
+        term object is materialized.  This is the engine's native entry
+        point — decoded results are a :meth:`materialize` call away.
+        """
+        if semantics not in ("set", "bag"):
+            raise EvaluationError(f"unknown semantics {semantics!r}; expected 'set' or 'bag'")
+
+        bindings, slot_of = self._solve(query, initial_binding)
+        dictionary = self._graph.dictionary
+        if not bindings:
+            return IdRelation.adopt_encoded(query.head_names, [], dictionary)
+        try:
+            head_slots = [slot_of[variable] for variable in query.head]
+        except KeyError as exc:  # pragma: no cover - guarded by query safety check
+            raise EvaluationError(
+                f"head variable {exc.args[0]!r} unbound after evaluation"
+            ) from exc
+
+        head_of = tuple_getter(head_slots)
+        if semantics == "set":
+            rows = list(_distinct_rows(map(head_of, bindings)))
+        else:
+            rows = [head_of(binding) for binding in bindings]
+        return IdRelation.adopt_encoded(query.head_names, rows, dictionary)
+
     def evaluate(
         self,
         query: BGPQuery,
         semantics: str = "set",
         initial_binding: Optional[Dict[Variable, Term]] = None,
     ) -> Relation:
-        """Evaluate ``query`` and return a relation over its head variables.
+        """Evaluate ``query`` and return a decoded relation over its head variables.
 
         Parameters
         ----------
@@ -76,30 +114,11 @@ class BGPEvaluator:
             extended classifiers); variables bound here may also appear in
             the head.
         """
-        if semantics not in ("set", "bag"):
-            raise EvaluationError(f"unknown semantics {semantics!r}; expected 'set' or 'bag'")
-
-        head_names = query.head_names
-        bindings = self._solve(query, initial_binding)
-        decode = self._graph.decode_id
-
-        rows: List[Tuple] = []
-        head_variables = query.head
-        for binding in bindings:
-            try:
-                rows.append(tuple(decode(binding[variable]) for variable in head_variables))
-            except KeyError as exc:  # pragma: no cover - guarded by query safety check
-                raise EvaluationError(
-                    f"head variable {exc.args[0]!r} unbound after evaluation"
-                ) from exc
-        relation = Relation(head_names, rows)
-        if semantics == "set":
-            return _distinct(relation)
-        return relation
+        return self.evaluate_ids(query, semantics=semantics, initial_binding=initial_binding).materialize()
 
     def count(self, query: BGPQuery, semantics: str = "set") -> int:
         """Return the number of answers without materializing term objects."""
-        return len(self.evaluate(query, semantics=semantics))
+        return len(self.evaluate_ids(query, semantics=semantics))
 
     # ------------------------------------------------------------------
     # core solving loop (id level)
@@ -107,79 +126,143 @@ class BGPEvaluator:
 
     def _solve(
         self, query: BGPQuery, initial_binding: Optional[Dict[Variable, Term]] = None
-    ) -> List[_IdBinding]:
+    ) -> Tuple[List[Tuple[Optional[int], ...]], Dict[Variable, int]]:
+        """Return (list of slot tuples, variable → slot index).
+
+        A slot tuple holds one encoded id per variable; slots of variables
+        not yet bound hold ``None`` (only possible transiently — after the
+        last pattern every body variable is bound).
+        """
         graph = self._graph
-        start_binding: _IdBinding = {}
+        start_ids: Dict[Variable, int] = {}
         if initial_binding:
             for variable, term in initial_binding.items():
                 term_id = graph.encode_term(term)
                 if term_id is None:
-                    return []  # a pre-bound constant absent from the graph: no answers
-                start_binding[variable] = term_id
+                    return [], {}  # a pre-bound constant absent from the graph: no answers
+                start_ids[variable] = term_id
 
         ordered = order_patterns(
-            query.body, self._statistics, bound_variables=set(start_binding)
+            query.body, self._statistics, bound_variables=set(start_ids)
         )
 
-        bindings: List[_IdBinding] = [start_binding]
+        # Fixed slot assignment: initial-binding variables first, then body
+        # variables in the order the chosen join order binds them.
+        slot_of: Dict[Variable, int] = {}
+        for variable in start_ids:
+            slot_of[variable] = len(slot_of)
+        for pattern in ordered:
+            for term in pattern.as_tuple():
+                if isinstance(term, Variable) and term not in slot_of:
+                    slot_of[term] = len(slot_of)
+
+        start = [None] * len(slot_of)
+        for variable, term_id in start_ids.items():
+            start[slot_of[variable]] = term_id
+
+        bindings: List[Tuple[Optional[int], ...]] = [tuple(start)]
+        bound = set(start_ids)
         for pattern in ordered:
             if not bindings:
-                return []
-            bindings = self._extend(bindings, pattern)
-        return bindings
+                return [], slot_of
+            bindings = self._extend(bindings, pattern, slot_of, bound)
+            bound.update(pattern.variables())
+        return bindings, slot_of
 
-    def _extend(self, bindings: List[_IdBinding], pattern: TriplePattern) -> List[_IdBinding]:
+    def _extend(
+        self,
+        bindings: List[Tuple[Optional[int], ...]],
+        pattern: TriplePattern,
+        slot_of: Dict[Variable, int],
+        bound: set,
+    ) -> List[Tuple[Optional[int], ...]]:
+        """Extend every binding with the matches of one pattern.
+
+        The pattern is compiled once against the (static) set of variables
+        bound by earlier patterns: each position is a pre-encoded constant,
+        a bound slot (part of the index lookup) or a free slot (filled from
+        the matched triple).  Matches are consistent by construction; only
+        a variable repeated in free positions of the *same* pattern needs
+        an equality check.
+        """
         graph = self._graph
         positions = pattern.as_tuple()
 
-        # Pre-encode constant positions once; an unknown constant means the
-        # pattern (hence the whole conjunction) has no matches.
-        constant_ids: List[Optional[int]] = []
-        for term in positions:
+        constants: List[Optional[int]] = [None, None, None]
+        bound_positions: List[Tuple[int, int]] = []  # (triple position, slot)
+        free_positions: List[Tuple[int, int]] = []  # first occurrence of each free var
+        duplicate_checks: List[Tuple[int, int]] = []  # (position, first position)
+        first_seen: Dict[Variable, int] = {}
+        for index, term in enumerate(positions):
             if isinstance(term, Variable):
-                constant_ids.append(None)
+                if term in bound:
+                    bound_positions.append((index, slot_of[term]))
+                elif term in first_seen:
+                    duplicate_checks.append((index, first_seen[term]))
+                else:
+                    first_seen[term] = index
+                    free_positions.append((index, slot_of[term]))
             else:
                 term_id = graph.encode_term(term)
                 if term_id is None:
-                    return []
-                constant_ids.append(term_id)
+                    return []  # unknown constant: the whole conjunction is empty
+                constants[index] = term_id
 
-        variable_positions = [
-            (index, term) for index, term in enumerate(positions) if isinstance(term, Variable)
-        ]
+        match_ids = graph.match_ids
+        extended: List[Tuple[Optional[int], ...]] = []
 
-        extended: List[_IdBinding] = []
+        if len(free_positions) == 1 and not duplicate_checks:
+            # One free variable (the dominant shape: e.g. the objects of
+            # ``(x, hasAge, ?d)`` with x bound): iterate the terminal index
+            # set directly, allocating nothing but the extended bindings.
+            free_index, free_slot = free_positions[0]
+            match_single = graph.match_single_ids
+            for binding in bindings:
+                lookup = list(constants)
+                for index, slot in bound_positions:
+                    lookup[index] = binding[slot]
+                for value in match_single(lookup[0], lookup[1], lookup[2], free_index):
+                    new_binding = list(binding)
+                    new_binding[free_slot] = value
+                    extended.append(tuple(new_binding))
+            return extended
+
+        if not free_positions:
+            # Fully bound pattern: a per-binding existence check.
+            for binding in bindings:
+                lookup = list(constants)
+                for index, slot in bound_positions:
+                    lookup[index] = binding[slot]
+                for _ in match_ids(lookup[0], lookup[1], lookup[2]):
+                    extended.append(binding)
+                    break
+            return extended
+
         for binding in bindings:
-            # Build the id-level pattern for this binding.
-            lookup: List[Optional[int]] = list(constant_ids)
-            for index, variable in variable_positions:
-                bound = binding.get(variable)
-                if bound is not None:
-                    lookup[index] = bound
-            for triple_ids in graph.match_ids(lookup[0], lookup[1], lookup[2]):
-                new_binding = dict(binding)
+            lookup = list(constants)
+            for index, slot in bound_positions:
+                lookup[index] = binding[slot]
+            for triple_ids in match_ids(lookup[0], lookup[1], lookup[2]):
                 consistent = True
-                for index, variable in variable_positions:
-                    value = triple_ids[index]
-                    existing = new_binding.get(variable)
-                    if existing is None:
-                        new_binding[variable] = value
-                    elif existing != value:
+                for index, first_index in duplicate_checks:
+                    if triple_ids[index] != triple_ids[first_index]:
                         consistent = False
                         break
-                if consistent:
-                    extended.append(new_binding)
+                if not consistent:
+                    continue
+                new_binding = list(binding)
+                for index, slot in free_positions:
+                    new_binding[slot] = triple_ids[index]
+                extended.append(tuple(new_binding))
         return extended
 
 
-def _distinct(relation: Relation) -> Relation:
+def _distinct_rows(rows: Iterable[Tuple]) -> Iterator[Tuple]:
     seen = set()
-    rows = []
-    for row in relation:
+    for row in rows:
         if row not in seen:
             seen.add(row)
-            rows.append(row)
-    return Relation(relation.columns, rows)
+            yield row
 
 
 def evaluate_query(

@@ -26,9 +26,12 @@ class Cube:
         self._answer = answer
         self.query = query
         self._cells: Dict[Tuple, object] = {}
-        measure_index = answer.relation.column_index(answer.measure_column)
-        dimension_indexes = answer.relation.column_indexes(answer.dimension_columns)
-        for row in answer.relation:
+        storage = answer.storage
+        measure_index = storage.column_index(answer.measure_column)
+        dimension_indexes = storage.column_indexes(answer.dimension_columns)
+        # The cube is the decoding boundary: iterate the answer's decoded
+        # rows (a streaming decode on id-space answers) to build the cells.
+        for row in answer:
             key = tuple(row[index] for index in dimension_indexes)
             self._cells[key] = row[measure_index]
 

@@ -27,7 +27,7 @@ from typing import Optional, Tuple
 from repro.errors import InvalidOperationError, MaterializationError, RewritingError
 from repro.algebra.grouping import group_aggregate
 from repro.algebra.operators import dedup, join_on, project, select
-from repro.algebra.relation import Relation
+from repro.algebra.relation import IdRelation, Relation
 from repro.bgp.evaluator import BGPEvaluator
 from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
 from repro.analytics.query import AnalyticalQuery
@@ -55,10 +55,11 @@ def slice_dice_from_answer(answer: CubeAnswer, transformed_query: AnalyticalQuer
 
     ``transformed_query`` carries the Σ′ of the SLICE/DICE; the selection
     keeps the answer rows whose dimension values all belong to their Σ′
-    sets.
+    sets.  It runs on the answer's native value space — on an encoded
+    ``ans(Q)`` the Σ tests operate on term ids without decoding.
     """
     sigma = transformed_query.sigma
-    selected = select(answer.relation, sigma.allows_row)
+    selected = select(answer.storage, sigma.predicate())
     return CubeAnswer(selected, answer.dimension_columns, answer.measure_column)
 
 
@@ -94,7 +95,7 @@ def drill_out_from_partial(
         partial.key_column,
         partial.measure_column,
     )
-    table = project(partial.relation, kept_columns)
+    table = project(partial.storage, kept_columns)
     table = dedup(table)
     aggregated = group_aggregate(
         table,
@@ -136,10 +137,10 @@ def drill_in_from_partial(
         )
     auxiliary = build_auxiliary_query(query.classifier, new_dimensions)
     join_columns = auxiliary_join_columns(query.classifier, auxiliary)
-    auxiliary_answer = instance_evaluator.evaluate(auxiliary, semantics="set")
+    auxiliary_answer = _auxiliary_answer(partial, instance_evaluator, auxiliary)
 
     joined = join_on(
-        partial.relation,
+        partial.storage,
         auxiliary_answer,
         [(column, column) for column in join_columns],
     )
@@ -152,6 +153,23 @@ def drill_in_from_partial(
         output_column=partial.measure_column,
     )
     return CubeAnswer(aggregated, output_dimensions, partial.measure_column)
+
+
+def _auxiliary_answer(partial: PartialResult, instance_evaluator: BGPEvaluator, auxiliary):
+    """Evaluate ``q_aux`` in the same value space as the materialized pres(Q).
+
+    An engine-built pres(Q) is encoded against the instance dictionary, so
+    the auxiliary answer can stay encoded too and the join keys on integer
+    ids; a pres(Q) restored from disk (decoded) gets a decoded auxiliary
+    answer.
+    """
+    storage = partial.storage
+    if (
+        isinstance(storage, IdRelation)
+        and storage.dictionary is instance_evaluator.graph.dictionary
+    ):
+        return instance_evaluator.evaluate_ids(auxiliary, semantics="set")
+    return instance_evaluator.evaluate(auxiliary, semantics="set")
 
 
 # ---------------------------------------------------------------------------
@@ -178,7 +196,7 @@ def drill_out_from_answer_naive(
             f"aggregate {aggregate.name!r} is not distributive; ans(Q)-based drill-out is impossible"
         )
     remaining = transformed_query.dimension_names
-    projected = project(answer.relation, (*remaining, answer.measure_column))
+    projected = project(answer.storage, (*remaining, answer.measure_column))
     grouped = group_aggregate(
         projected,
         by=remaining,
@@ -227,7 +245,7 @@ def transform_partial(
       (Algorithm 2's T before aggregation), which needs the instance.
     """
     if isinstance(operation, (Slice, Dice)):
-        selected = select(partial.relation, transformed_query.sigma.allows_row)
+        selected = select(partial.storage, transformed_query.sigma.predicate())
         return PartialResult(
             selected,
             fact_column=partial.fact_column,
@@ -238,7 +256,7 @@ def transform_partial(
     if isinstance(operation, DrillOut):
         remaining = tuple(transformed_query.dimension_names)
         kept = (partial.fact_column, *remaining, partial.key_column, partial.measure_column)
-        table = dedup(project(partial.relation, kept))
+        table = dedup(project(partial.storage, kept))
         return PartialResult(
             table,
             fact_column=partial.fact_column,
@@ -257,9 +275,9 @@ def transform_partial(
         ]
         auxiliary = build_auxiliary_query(query.classifier, new_dimensions)
         join_columns = auxiliary_join_columns(query.classifier, auxiliary)
-        auxiliary_answer = instance_evaluator.evaluate(auxiliary, semantics="set")
+        auxiliary_answer = _auxiliary_answer(partial, instance_evaluator, auxiliary)
         joined = join_on(
-            partial.relation, auxiliary_answer, [(column, column) for column in join_columns]
+            partial.storage, auxiliary_answer, [(column, column) for column in join_columns]
         )
         layout = (
             partial.fact_column,

@@ -299,6 +299,28 @@ class Graph:
             return
         yield from self._triples
 
+    def match_single_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int], position: int
+    ) -> Iterable[int]:
+        """The ids appearing at one unconstrained ``position`` of the pattern.
+
+        For patterns whose other two positions are both constrained this
+        returns the terminal index set **directly** (no triple tuples are
+        allocated) — the BGP evaluator's hottest access path, e.g. all
+        objects of ``(s, p, ?)`` or all subjects of ``(?, p, o)``.  Callers
+        must treat the result as read-only and must pass a ``position``
+        whose value is ``None``.
+        """
+        if s == -1 or p == -1 or o == -1:
+            return ()
+        if position == 2 and s is not None and p is not None:
+            return self._spo.get(s, {}).get(p, ())
+        if position == 0 and p is not None and o is not None:
+            return self._pos.get(p, {}).get(o, ())
+        if position == 1 and s is not None and o is not None:
+            return self._osp.get(o, {}).get(s, ())
+        return (triple[position] for triple in self.match_ids(s, p, o))
+
     def count_ids(self, s: Optional[int], p: Optional[int], o: Optional[int]) -> int:
         """Return the number of triples matching the id-level pattern.
 

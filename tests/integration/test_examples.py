@@ -10,15 +10,23 @@ import sys
 
 import pytest
 
-EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+EXAMPLES_DIR = os.path.join(_ROOT, "examples")
+SRC_DIR = os.path.join(_ROOT, "src")
 
 
 def run_example(script: str, *arguments: str) -> str:
+    # Make the src layout importable in the child regardless of how the
+    # parent test run found it (installed package, pythonpath ini, ...).
+    environment = dict(os.environ)
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
     completed = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, script), *arguments],
         capture_output=True,
         text=True,
         timeout=300,
+        env=environment,
     )
     assert completed.returncode == 0, completed.stderr
     return completed.stdout

@@ -32,7 +32,7 @@ __all__ = ["DimensionRestriction", "Sigma", "SigmaPredicate"]
 class DimensionRestriction:
     """The restriction Σ(dᵢ) of one dimension."""
 
-    __slots__ = ("_values", "_comparable_values", "_predicate", "description")
+    __slots__ = ("_values", "_comparable_values", "_predicate", "_range", "description")
 
     def __init__(
         self,
@@ -40,6 +40,7 @@ class DimensionRestriction:
         predicate: Optional[Callable[[object], bool]] = None,
         description: str = "",
     ):
+        self._range: Optional[Tuple[object, object, bool]] = None
         if values is not None and predicate is not None:
             raise SigmaError("a dimension restriction is either a value set or a predicate, not both")
         if values is not None:
@@ -94,7 +95,9 @@ class DimensionRestriction:
                 return False
 
         bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
-        return cls(predicate=in_range, description=f"range {bounds}")
+        restriction = cls(predicate=in_range, description=f"range {bounds}")
+        restriction._range = (low, high, inclusive)
+        return restriction
 
     @classmethod
     def to_predicate(cls, predicate: Callable[[object], bool], description: str = "") -> "DimensionRestriction":
@@ -141,6 +144,60 @@ class DimensionRestriction:
         if decoder is None:
             return self.allows
         return memoized_value_test(self.allows, decoder)
+
+    def canonical_token(self) -> str:
+        """A value-based identity token for caching (see :mod:`repro.olap.cache`).
+
+        Two restrictions with equal tokens allow exactly the same values, so
+        materialized results keyed by the token can be shared:
+
+        * the full domain and explicit value sets canonicalize by value
+          (order-insensitive, via the same literal-to-Python conversion the
+          σ_dice selection uses);
+        * ranges built by :meth:`to_range` canonicalize by their bounds;
+        * arbitrary predicates have no inspectable extension, so they
+          canonicalize by object identity — never falsely shared, but only
+          reusable while the same predicate object is in play.
+        """
+        if self.is_full:
+            return "*"
+        if self._values is not None:
+            return "in{" + ",".join(sorted(repr(v) for v in self._comparable_values)) + "}"
+        if self._range is not None:
+            low, high, inclusive = self._range
+            return f"range({comparable(low)!r},{comparable(high)!r},{inclusive})"
+        return f"pred@{id(self._predicate)}"
+
+    def subsumes(self, other: "DimensionRestriction") -> bool:
+        """True when every value allowed by ``other`` is allowed by this one.
+
+        Conservative (may answer False for subsumptions it cannot prove):
+        used by the planner to decide whether a cached ``ans(Q)`` whose Σ is
+        *weaker* can answer a transformed query by σ-selection alone.
+        """
+        if self.is_full:
+            return True
+        if other.is_full:
+            return False
+        if self.canonical_token() == other.canonical_token():
+            return True
+        if other._values is not None:
+            # A finite extension: check membership value by value.
+            return all(self.allows(value) for value in other._values)
+        if self._range is not None and other._range is not None:
+            low, high, inclusive = self._range
+            other_low, other_high, other_inclusive = other._range
+            try:
+                wider_low = comparable(low) < comparable(other_low) or (
+                    comparable(low) == comparable(other_low) and (inclusive or not other_inclusive)
+                )
+                wider_high = comparable(high) > comparable(other_high) or (
+                    comparable(high) == comparable(other_high) and (inclusive or not other_inclusive)
+                )
+            except TypeError:
+                return False
+            return wider_low and wider_high
+        return False
 
     def intersect(self, other: "DimensionRestriction") -> "DimensionRestriction":
         """The conjunction of two restrictions (used when dicing an already-diced query)."""
@@ -227,6 +284,25 @@ class Sigma:
     def restricted_dimensions(self) -> Tuple[str, ...]:
         return tuple(
             name for name in self._dimensions if not self._restrictions[name].is_full
+        )
+
+    def canonical_tokens(self) -> Tuple[Tuple[str, str], ...]:
+        """Per-dimension ``(name, token)`` pairs identifying this Σ by value."""
+        return tuple(
+            (name, self._restrictions[name].canonical_token()) for name in self._dimensions
+        )
+
+    def subsumes(self, other: "Sigma") -> bool:
+        """True when Σ′ = ``other`` is a pointwise strengthening of this Σ.
+
+        Then σ_{Σ′}(ans(Q)) answers the strengthened query from this one's
+        materialized answer (Proposition 1 applied dimension-wise).
+        """
+        if set(self._dimensions) != set(other._dimensions):
+            return False
+        return all(
+            self._restrictions[name].subsumes(other._restrictions[name])
+            for name in self._dimensions
         )
 
     # -- σ_dice --------------------------------------------------------------

@@ -16,6 +16,7 @@ All experiments accept a ``scale`` knob so they can be run quickly in CI
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analytics.evaluator import AnalyticalQueryEvaluator
@@ -24,6 +25,7 @@ from repro.bench.harness import Measurement, ResultTable, time_callable
 from repro.datagen.blogger import BloggerConfig, blogger_dataset, sites_per_blogger_query, words_per_blogger_query
 from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
 from repro.datagen.videos import VideoConfig, video_dataset, views_per_url_query
+from repro.olap.cache import canonical_query_key
 from repro.olap.cube import Cube
 from repro.olap.operations import Dice, DrillIn, DrillOut, OLAPOperation, Slice
 from repro.olap.rewriting import drill_out_from_answer_naive
@@ -40,6 +42,10 @@ __all__ = [
     "experiment_pres_storage",
     "experiment_aggregates",
     "experiment_engine_idspace",
+    "experiment_planner_sessions",
+    "blogger_session_replay",
+    "video_session_replay",
+    "replay_session",
     "run_all_experiments",
 ]
 
@@ -491,6 +497,175 @@ def experiment_engine_idspace(scale: str = "small", repeats: Optional[int] = Non
     return table
 
 
+# ---------------------------------------------------------------------------
+# PLANNER — replayed multi-operation sessions (the scenario the paper measures)
+# ---------------------------------------------------------------------------
+
+
+def blogger_session_replay(dataset) -> Tuple[AnalyticalQuery, List[Tuple[AnalyticalQuery, OLAPOperation]]]:
+    """A 12-operation dashboard-style chain on the blogger cube.
+
+    Mixes SLICE / DICE / DRILL-OUT from the root and from derived queries,
+    with half the operations repeated later in the chain — the refresh
+    pattern a served dashboard produces, which is what makes a bounded
+    result cache pay off.  Origins are query *objects* (built by applying
+    the operations up front), so replays are unambiguous for every strategy.
+    """
+    query = sites_per_blogger_query(dataset.schema)
+    probe = Cube(AnalyticalQueryEvaluator(dataset.instance).answer(query), query)
+    ages = sorted(probe.dimension_values("dage"), key=repr)
+    cities = sorted(probe.dimension_values("dcity"), key=repr)
+    slice_a = Slice("dage", ages[0])
+    slice_b = Slice("dage", ages[min(1, len(ages) - 1)])
+    dice_c = Dice({"dcity": cities[:3]})
+    dice_b = Dice({"dcity": cities[:2]})
+    drill = DrillOut("dage")
+    q_slice = slice_a.apply(query)
+    q_dice = dice_c.apply(query)
+    steps = [
+        (query, slice_a),
+        (query, dice_c),
+        (q_dice, drill),
+        (query, drill),
+        (query, slice_a),  # repeat -> cache hit under the planner
+        (query, dice_c),  # repeat
+        (q_slice, dice_b),
+        (query, drill),  # repeat
+        (q_dice, drill),  # repeat
+        (query, slice_b),
+        (query, slice_b),  # repeat
+        (q_slice, dice_b),  # repeat
+    ]
+    return query, steps
+
+
+def video_session_replay(dataset) -> Tuple[AnalyticalQuery, List[Tuple[AnalyticalQuery, OLAPOperation]]]:
+    """A 10-operation drill-navigation chain on the video cube (Example 6)."""
+    query = views_per_url_query(dataset.schema)
+    evaluator = AnalyticalQueryEvaluator(dataset.instance)
+    probe = Cube(evaluator.answer(query), query)
+    urls = sorted(probe.dimension_values("d2"), key=repr)
+    drill_in = DrillIn("d3")
+    q_in = drill_in.apply(query)
+    drilled_probe = Cube(evaluator.answer(q_in), q_in)
+    browsers = sorted(drilled_probe.dimension_values("d3"), key=repr)
+    slice_u = Slice("d2", urls[0])
+    dice_b = Dice({"d3": browsers[: max(1, len(browsers) // 2)]})
+    dice_u = Dice({"d2": urls[:3]})
+    drill_back = DrillOut("d3")
+    steps = [
+        (query, drill_in),
+        (query, slice_u),
+        (q_in, dice_b),
+        (query, drill_in),  # repeat
+        (query, slice_u),  # repeat
+        (q_in, drill_back),
+        (q_in, dice_b),  # repeat
+        (query, dice_u),
+        (query, dice_u),  # repeat
+        (q_in, drill_back),  # repeat
+    ]
+    return query, steps
+
+
+def replay_session(
+    instance,
+    schema,
+    root_query: AnalyticalQuery,
+    steps: Sequence[Tuple[AnalyticalQuery, OLAPOperation]],
+    strategy: str,
+    cache_capacity: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[float, List[Cube], OLAPSession]:
+    """Replay one operation session with a fixed answering strategy.
+
+    Returns the wall-clock seconds for the whole replay (execute + every
+    transform), the per-step cubes (for equality checks) and the finished
+    session (for cache statistics).
+    """
+    kwargs = {}
+    if cache_capacity is not None:
+        kwargs["cache_capacity"] = cache_capacity
+    if cache_dir is not None:
+        kwargs["cache_dir"] = cache_dir
+    session = OLAPSession(instance, schema, **kwargs)
+    cubes: List[Cube] = []
+    started = time.perf_counter()
+    session.execute(root_query)
+    for origin, operation in steps:
+        cubes.append(session.transform(origin, operation, strategy=strategy))
+    elapsed = time.perf_counter() - started
+    return elapsed, cubes, session
+
+
+def experiment_planner_sessions(scale: str = "small", repeats: Optional[int] = None) -> ResultTable:
+    """PLANNER — replayed sessions: cost-based planning vs. fixed strategies.
+
+    Replays the blogger and video operation chains three times each — with
+    the planner (``strategy="plan"``), always from scratch
+    (``strategy="scratch"``) and always reusing via the paper's rewritings
+    (``strategy="rewrite"``) — and reports total session time, speedup
+    relative to always-scratch, cache hits, and whether every step's cube
+    matched the from-scratch answer cell-for-cell.
+    """
+    parameters = _scale(scale)
+    repeats = repeats or int(parameters["repeats"])
+    table = ResultTable(
+        ["session", "ops", "strategy", "time (ms)", "speedup vs scratch", "cache hits", "all equal"],
+        title="PLANNER — replayed OLAP sessions: plan vs. always-scratch vs. always-reuse",
+    )
+    workloads = [
+        (
+            "blogger/12-op dashboard",
+            blogger_dataset(BloggerConfig(bloggers=int(parameters["bloggers"]))),
+            blogger_session_replay,
+        ),
+        (
+            "video/10-op drill chain",
+            video_dataset(VideoConfig(videos=int(parameters["videos"]))),
+            video_session_replay,
+        ),
+    ]
+    for label, dataset, build in workloads:
+        root_query, steps = build(dataset)
+        reference_evaluator = AnalyticalQueryEvaluator(dataset.instance)
+        # The three strategies replay the same queries, so each reference
+        # cube is evaluated once and shared across the equality checks.
+        reference_cubes: Dict[str, Cube] = {}
+
+        def reference(cube: Cube) -> Cube:
+            key = canonical_query_key(cube.query)
+            if key not in reference_cubes:
+                reference_cubes[key] = Cube(reference_evaluator.answer(cube.query), cube.query)
+            return reference_cubes[key]
+
+        timings: Dict[str, float] = {}
+        hits: Dict[str, int] = {}
+        equals: Dict[str, bool] = {}
+        for strategy in ("plan", "scratch", "rewrite"):
+            best = float("inf")
+            for _ in range(repeats):
+                elapsed, cubes, session = replay_session(
+                    dataset.instance, dataset.schema, root_query, steps, strategy
+                )
+                best = min(best, elapsed)
+            timings[strategy] = best
+            hits[strategy] = session.cache.stats.hits
+            equals[strategy] = all(cube.same_cells(reference(cube)) for cube in cubes)
+        scratch_time = timings["scratch"]
+        for strategy in ("plan", "scratch", "rewrite"):
+            table.add_row(
+                label,
+                len(steps),
+                strategy,
+                timings[strategy] * 1000,
+                scratch_time / timings[strategy] if timings[strategy] > 0 else float("inf"),
+                hits[strategy],
+                equals[strategy],
+            )
+    return table
+
+
 def run_all_experiments(scale: str = "small") -> List[ResultTable]:
     """Run every experiment at the given scale and return their tables."""
     tables = [
@@ -505,5 +680,6 @@ def run_all_experiments(scale: str = "small") -> List[ResultTable]:
         experiment_pres_storage(scale),
         experiment_aggregates(scale),
         experiment_engine_idspace(scale),
+        experiment_planner_sessions(scale),
     ]
     return tables

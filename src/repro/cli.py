@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="run the paper's running example end to end")
     demo.add_argument("--bloggers", type=int, default=200)
+    demo.add_argument(
+        "--explain",
+        action="store_true",
+        help="route each OLAP operation through the cost-based planner and print the chosen plan",
+    )
     return parser
 
 
@@ -97,7 +102,20 @@ def _command_demo(arguments: argparse.Namespace) -> int:
     print(cube.to_text(max_rows=10))
     print()
     ages = sorted(cube.dimension_values("dage"), key=repr)
-    for operation in (Slice("dage", ages[0]), Dice({"dage": (20, 40)}), DrillOut("dage")):
+    operations = (Slice("dage", ages[0]), Dice({"dage": (20, 40)}), DrillOut("dage"))
+    if arguments.explain:
+        # The planner chooses per operation; print its costed plan each time.
+        for operation in operations:
+            session.transform(query, operation, strategy="plan")
+            record = session.history[-1]
+            print(record.details["plan"])
+            print(
+                f"   executed {record.strategy} in {record.seconds * 1000:.2f} ms "
+                f"-> {record.output_cells} cells"
+            )
+            print()
+        return 0
+    for operation in operations:
         comparison = session.compare_strategies(query, operation)
         print(
             f"{operation.describe():<35} rewrite {comparison['rewrite_seconds'] * 1000:8.2f} ms   "

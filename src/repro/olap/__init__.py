@@ -7,12 +7,16 @@
   the strategy-selecting :class:`OLAPRewriter`;
 * :mod:`repro.olap.baseline` — the from-scratch baseline;
 * :mod:`repro.olap.cube` — the cube result abstraction;
+* :mod:`repro.olap.cache` — the bounded canonical-form result cache;
+* :mod:`repro.olap.planner` — cost-based strategy planning per operation;
 * :mod:`repro.olap.session` — :class:`OLAPSession`, the top-level API.
 """
 
 from repro.olap.auxiliary import auxiliary_join_columns, build_auxiliary_query
 from repro.olap.baseline import answer_from_scratch, transformed_answer_from_scratch
+from repro.olap.cache import CacheEntry, CacheStats, ResultCache, canonical_query_key
 from repro.olap.cube import Cube
+from repro.olap.planner import OLAPPlanner, Plan, PlanCandidate
 from repro.olap.hierarchy import (
     DimensionHierarchy,
     roll_up_from_answer_naive,
@@ -21,6 +25,7 @@ from repro.olap.hierarchy import (
 from repro.olap.operations import Dice, DrillIn, DrillOut, OLAPOperation, Slice, compose
 from repro.olap.rewriting import (
     OLAPRewriter,
+    RewriteOption,
     RewritingResult,
     drill_in_from_partial,
     drill_out_from_answer_naive,
@@ -48,7 +53,15 @@ __all__ = [
     "roll_up_from_partial",
     "roll_up_from_answer_naive",
     "OLAPRewriter",
+    "RewriteOption",
     "RewritingResult",
+    "ResultCache",
+    "CacheEntry",
+    "CacheStats",
+    "canonical_query_key",
+    "OLAPPlanner",
+    "Plan",
+    "PlanCandidate",
     "answer_from_scratch",
     "transformed_answer_from_scratch",
     "Cube",

@@ -1,0 +1,384 @@
+"""Bounded cache of materialized query results, keyed by canonical query form.
+
+The paper assumes "pres(Q) ... has been materialized and stored as part of
+the evaluation of the original query Q".  In a session answering a *stream*
+of OLAP operations that assumption needs infrastructure: results must be
+findable by the query they answer (not by the navigation path that produced
+them), memory must stay bounded, results computed against a graph that has
+since been mutated must never be served, and results should outlive the
+process that computed them.  :class:`ResultCache` provides exactly that:
+
+* entries are keyed by :func:`canonical_query_key`, a *value-based* canonical
+  form of the analytical query (classifier, measure, aggregate and Σ —
+  display names excluded), so a DICE of a SLICE finds the SLICE's
+  materialized results no matter which operation chain produced them;
+* the store is a bounded LRU: reads refresh recency, inserts beyond
+  ``capacity`` evict the least recently used entry;
+* every entry is stamped with the instance graph's change counter
+  (:attr:`repro.rdf.graph.Graph.version`); a stamped-version mismatch on
+  lookup invalidates the entry instead of returning a stale result;
+* with a ``store_dir`` the cache writes entries through to disk
+  (:func:`repro.persistence.save_cache_entry`) and serves misses from disk,
+  which is how a new session warm-starts from a previous one's work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analytics.answer import MaterializedQueryResults
+from repro.analytics.query import AnalyticalQuery
+from repro.bgp.query import BGPQuery
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Variable
+
+__all__ = [
+    "canonical_bgp_key",
+    "canonical_core_key",
+    "canonical_query_key",
+    "graph_fingerprint",
+    "CacheStats",
+    "CacheEntry",
+    "ResultCache",
+]
+
+#: Default number of in-memory entries an :class:`ResultCache` retains.
+DEFAULT_CAPACITY = 64
+
+
+# ---------------------------------------------------------------------------
+# graph content fingerprint (cross-process staleness checks)
+# ---------------------------------------------------------------------------
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Order-independent content digest of a graph, stable across processes.
+
+    The in-memory staleness check uses :attr:`Graph.version`, but that
+    counter restarts with every process, so persisted cache entries need a
+    stamp derived from the *content*: the XOR of per-triple SHA-256 digests
+    over the triples' N-Triples rendering.  XOR-accumulation makes the
+    digest independent of iteration order (and of dictionary-id assignment
+    order, which differs between processes).  The O(n) scan is memoized per
+    mutation generation *on the graph instance itself* — never keyed by
+    ``id()``, whose values are recycled after garbage collection and could
+    hand a dead graph's digest to a new one.
+    """
+    memo = getattr(graph, "_content_fingerprint", None)
+    if memo is not None and memo[0] == graph.version:
+        return memo[1]
+    accumulator = 0
+    for triple in graph:
+        line = f"{triple.subject.n3()} {triple.predicate.n3()} {triple.object.n3()}"
+        accumulator ^= int.from_bytes(
+            hashlib.sha256(line.encode("utf-8")).digest()[:16], "big"
+        )
+    digest = f"{accumulator:032x}"
+    graph._content_fingerprint = (graph.version, digest)
+    return digest
+
+
+# ---------------------------------------------------------------------------
+# canonical query keys
+# ---------------------------------------------------------------------------
+
+
+def canonical_bgp_key(query: BGPQuery) -> str:
+    """Canonical text of a BGP query: ordered head, sorted body atoms.
+
+    Body order is semantically irrelevant, so atoms are sorted; variable
+    names matter (they name answer columns) and are kept as-is.
+    """
+    head = ",".join(f"?{variable.name}" for variable in query.head)
+    atoms = sorted(
+        " ".join(
+            f"?{term.name}" if isinstance(term, Variable) else term.n3()
+            for term in pattern.as_tuple()
+        )
+        for pattern in query.body
+    )
+    return f"({head}):-{'&'.join(atoms)}"
+
+
+def canonical_core_key(query: AnalyticalQuery) -> str:
+    """The Σ-independent part of a query's canonical form.
+
+    Two queries with equal core keys define the same cube modulo dimension
+    restrictions — the planner scans cache entries by core key when looking
+    for a weaker-Σ ancestor whose ``ans(Q)`` can be σ-selected.
+    """
+    return "|".join(
+        (
+            "c:" + canonical_bgp_key(query.classifier),
+            "m:" + canonical_bgp_key(query.measure),
+            "agg:" + query.aggregate.name,
+        )
+    )
+
+
+def canonical_query_key(query: AnalyticalQuery) -> str:
+    """The full canonical form: core key plus the Σ value tokens.
+
+    Display names are deliberately excluded: the session names transformed
+    queries after their navigation path (``Q_slice_dage_dice``...), but two
+    paths reaching the same analytical query must share cached results.
+    """
+    sigma = ";".join(f"{name}->{token}" for name, token in query.sigma.canonical_tokens())
+    return canonical_core_key(query) + "|sigma:" + sigma
+
+
+def _key_is_persistable(key: str) -> bool:
+    """True when the canonical key identifies the query by *value* alone.
+
+    Opaque predicate restrictions canonicalize by object identity
+    (``pred@<id>``, see ``DimensionRestriction.canonical_token``).  That is
+    sound while the predicate object is alive in this process, but an ``id``
+    can be recycled after garbage collection or in another process, so such
+    keys must never reach the disk store — a different predicate could
+    collide with a dead one's key and be served the wrong cube.
+    """
+    return "pred@" not in key
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+
+class CacheStats:
+    """Hit / miss / eviction / invalidation accounting of one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations", "disk_hits", "puts")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.disk_hits = 0
+        self.puts = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(f"{name}={getattr(self, name)}" for name in self.__slots__)
+        return f"CacheStats({parts})"
+
+
+class CacheEntry:
+    """One cached materialized result with its validity stamp."""
+
+    __slots__ = ("key", "core_key", "materialized", "graph_version", "origin", "hits")
+
+    def __init__(
+        self,
+        key: str,
+        core_key: str,
+        materialized: MaterializedQueryResults,
+        graph_version: int,
+        origin: str = "memory",
+    ):
+        self.key = key
+        self.core_key = core_key
+        self.materialized = materialized
+        self.graph_version = graph_version
+        #: ``"memory"`` for entries computed this session, ``"disk"`` for
+        #: entries served from the persistent store (warm start).
+        self.origin = origin
+        self.hits = 0
+
+    @property
+    def query(self) -> AnalyticalQuery:
+        return self.materialized.query
+
+    def size_rows(self) -> int:
+        """Rows held by this entry (answer cells + partial rows)."""
+        rows = 0
+        if self.materialized.has_answer():
+            rows += len(self.materialized.answer)
+        if self.materialized.has_partial():
+            rows += len(self.materialized.partial)
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CacheEntry({self.query.name!r}, {self.size_rows()} rows, "
+            f"v{self.graph_version}, {self.origin})"
+        )
+
+
+class ResultCache:
+    """Bounded LRU store of materialized pres(Q)/ans(Q) results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of in-memory entries; 0 disables in-memory caching
+        entirely (lookups only consult the disk store, if any).
+    store_dir:
+        Optional directory for write-through persistence and warm starts.
+        Entries land in per-key subdirectories named by a digest of the
+        canonical key.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, store_dir: Optional[str] = None):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._store_dir = store_dir
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def store_dir(self) -> Optional[str]:
+        return self._store_dir
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Canonical keys, least recently used first."""
+        return tuple(self._entries)
+
+    def entries(self) -> List[CacheEntry]:
+        """The live entries, least recently used first (read-only use)."""
+        return list(self._entries.values())
+
+    def entries_with_core(self, query: AnalyticalQuery) -> Iterator[CacheEntry]:
+        """Entries whose Σ-independent canonical form matches ``query``'s.
+
+        These are the reuse candidates for SLICE/DICE-style answering: same
+        classifier/measure/aggregate, possibly different Σ.  Iteration does
+        not touch recency.
+        """
+        core = canonical_core_key(query)
+        for entry in self._entries.values():
+            if entry.core_key == core:
+                yield entry
+
+    # -- lookup / insertion --------------------------------------------------
+
+    def get(
+        self, query: AnalyticalQuery, graph: Graph, require_partial: bool = False
+    ) -> Optional[CacheEntry]:
+        """The entry for ``query``'s canonical form, or None.
+
+        A hit refreshes LRU recency.  An entry stamped with an older graph
+        version is dropped (counted as an invalidation *and* a miss) — a
+        cache hit must never return a result computed against a graph that
+        has since been mutated.  With ``require_partial=True`` an entry
+        lacking ``pres(Q)`` counts as a miss and keeps its recency: the
+        caller cannot use it, so it must neither inflate the hit statistics
+        nor crowd out genuinely reusable entries.  On a miss the disk
+        store, when configured, is consulted and a disk hit is promoted
+        into memory.
+        """
+        key = canonical_query_key(query)
+        entry = self._entries.get(key)
+        if entry is not None and entry.graph_version != graph.version:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            entry = None
+        if entry is not None and require_partial and not entry.materialized.has_partial():
+            # The persisted copy (same entry, written at put time) cannot
+            # have a partial either, so the disk store is not consulted.
+            self.stats.misses += 1
+            return None
+        if entry is not None:
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        loaded = self._load_from_store(key, query, graph)
+        if loaded is not None and require_partial and not loaded.materialized.has_partial():
+            return None
+        return loaded
+
+    def put(
+        self,
+        query: AnalyticalQuery,
+        materialized: MaterializedQueryResults,
+        graph: Graph,
+        persist: bool = True,
+    ) -> CacheEntry:
+        """Insert (or refresh) the entry for ``query``, evicting LRU overflow.
+
+        The entry is stamped with the graph's current change counter.  With
+        a disk store and ``persist=True`` the entry is also written through;
+        a ``capacity`` of 0 keeps nothing in memory but still writes
+        through, so a cacheless session can feed a later warm start.
+        """
+        key = canonical_query_key(query)
+        entry = CacheEntry(key, canonical_core_key(query), materialized, graph.version)
+        self.stats.puts += 1
+        if self._capacity > 0:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        if persist and self._store_dir is not None and _key_is_persistable(key):
+            from repro.persistence import save_cache_entry
+
+            save_cache_entry(
+                materialized, self._entry_dir(key), key, len(graph), graph_fingerprint(graph)
+            )
+        return entry
+
+    def discard(self, query: AnalyticalQuery) -> bool:
+        """Drop the in-memory entry for ``query`` (disk copies are kept)."""
+        return self._entries.pop(canonical_query_key(query), None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- disk store ----------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:20]
+        return os.path.join(self._store_dir, digest)  # type: ignore[arg-type]
+
+    def _load_from_store(
+        self, key: str, query: AnalyticalQuery, graph: Graph
+    ) -> Optional[CacheEntry]:
+        if self._store_dir is None or not _key_is_persistable(key):
+            return None
+        directory = self._entry_dir(key)
+        if not os.path.isdir(directory):
+            return None
+        from repro.persistence import load_cache_entry
+
+        materialized = load_cache_entry(
+            directory, query, key, len(graph), graph_fingerprint(graph)
+        )
+        if materialized is None:
+            return None
+        entry = CacheEntry(
+            key, canonical_core_key(query), materialized, graph.version, origin="disk"
+        )
+        entry.hits += 1
+        self.stats.disk_hits += 1
+        if self._capacity > 0:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ResultCache({len(self._entries)}/{self._capacity} entries, "
+            f"{self.stats.hits} hits, {self.stats.misses} misses)"
+        )

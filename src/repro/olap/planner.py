@@ -1,0 +1,362 @@
+"""Cost-based planning of OLAP-operation answering strategies.
+
+The paper's contribution is that a transformed query ``Q_T = T(Q)`` *can* be
+answered from materialized results of ``Q``; whether it *should* be depends
+on what is cached and how big everything is.  :class:`OLAPPlanner` makes
+that choice per operation: it enumerates every candidate answering strategy,
+prices each with a row-count cost model, and executes the cheapest.
+
+Candidate strategies, in the order they are enumerated:
+
+``cached``
+    The transformed query's own canonical form is already in the result
+    cache (a repeated operation, or a warm start from disk): return the
+    stored answer.
+
+``rewrite[...]``
+    One of the paper's rewritings applied to the materialized results of
+    the *origin* query — Proposition 1 (SLICE/DICE over ``ans(Q)``),
+    Algorithm 1 (DRILL-OUT from ``pres(Q)``), Algorithm 2 (DRILL-IN from
+    ``pres(Q)`` + auxiliary query).  The applicable rewritings are reported
+    by :meth:`repro.olap.rewriting.OLAPRewriter.options`.
+
+``compat[...]``
+    A cached entry for a *different* query with the same classifier,
+    measure and aggregate whose Σ is pointwise weaker than ``Q_T``'s: then
+    ``ans(Q_T) = σ_Σ'(ans(Q_C))`` (Proposition 1 applied dimension-wise).
+    This is how a DICE of a SLICE reuses the SLICE's materialized results
+    even when the origin query handed to the session is the root query.
+
+``scratch``
+    Re-evaluate ``Q_T`` on the AnS instance with the id-space engine,
+    priced with :class:`~repro.rdf.statistics.GraphStatistics` estimates.
+
+Cost model
+----------
+All costs are in "rows touched".  Reuse candidates count the rows of the
+materialized inputs they read (with per-row weights reflecting selection vs.
+group-by vs. join work) plus their estimated output rows (reported by
+:class:`~repro.olap.rewriting.RewriteOption`); the from-scratch candidate
+sums per-triple-pattern match estimates plus the estimated BGP output
+cardinalities — the same statistics the BGP evaluator's join optimizer uses.  Cache hits pay a small
+per-cell touch cost.  The model only needs to *rank* strategies, and its
+inputs (cache entry sizes, graph statistics) are all O(1) to read, so
+planning overhead stays negligible next to evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.algebra.operators import select
+from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.query import AnalyticalQuery
+from repro.olap.auxiliary import build_auxiliary_query
+from repro.olap.cache import ResultCache, canonical_query_key
+from repro.olap.operations import OLAPOperation
+from repro.olap.rewriting import OLAPRewriter, slice_dice_from_answer, transform_partial
+
+__all__ = ["PlanCandidate", "Plan", "OLAPPlanner"]
+
+#: Per-row weight of a σ-selection over a materialized answer or partial.
+SELECT_ROW_COST = 1.0
+#: Per-row weight of project + dedup + group-aggregate (Algorithm 1).
+GROUP_ROW_COST = 2.0
+#: Per-row weight of the pres(Q) side of the auxiliary join (Algorithm 2).
+JOIN_ROW_COST = 2.0
+#: Per-cell weight of returning an already-computed cached answer.
+CACHED_CELL_COST = 0.05
+#: Flat base cost of any strategy (lookup / bookkeeping), keeps costs > 0.
+BASE_COST = 1.0
+
+
+class PlanCandidate:
+    """One costed way of answering the transformed query."""
+
+    __slots__ = ("strategy", "cost", "input_rows", "detail", "_execute")
+
+    def __init__(
+        self,
+        strategy: str,
+        cost: float,
+        input_rows: int,
+        detail: str,
+        execute: Callable[[], Tuple[CubeAnswer, Optional[PartialResult]]],
+    ):
+        self.strategy = strategy
+        self.cost = cost
+        self.input_rows = input_rows
+        self.detail = detail
+        self._execute = execute
+
+    def execute(self) -> Tuple[CubeAnswer, Optional[PartialResult]]:
+        return self._execute()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PlanCandidate({self.strategy}, cost~{self.cost:.1f})"
+
+
+class Plan:
+    """The costed candidates for one operation, cheapest first."""
+
+    def __init__(
+        self,
+        operation: OLAPOperation,
+        transformed_query: AnalyticalQuery,
+        candidates: List[PlanCandidate],
+    ):
+        if not candidates:
+            raise ValueError("a plan needs at least one candidate (scratch is always available)")
+        self.operation = operation
+        self.transformed_query = transformed_query
+        self.candidates = sorted(candidates, key=lambda candidate: candidate.cost)
+
+    @property
+    def chosen(self) -> PlanCandidate:
+        return self.candidates[0]
+
+    def execute(self) -> Tuple[CubeAnswer, Optional[PartialResult]]:
+        return self.chosen.execute()
+
+    def explain(self) -> str:
+        """Human-readable plan, one line per candidate, chosen first."""
+        lines = [
+            f"plan: {self.operation.describe()} -> {self.transformed_query.name}"
+        ]
+        for index, candidate in enumerate(self.candidates):
+            marker = "->" if index == 0 else "  "
+            lines.append(
+                f"  {marker} {candidate.strategy:<28} cost~{candidate.cost:>10.1f}  ({candidate.detail})"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Plan({self.operation.describe()}, chosen={self.chosen.strategy})"
+
+
+class OLAPPlanner:
+    """Chooses and runs the cheapest answering strategy per OLAP operation.
+
+    Parameters
+    ----------
+    evaluator:
+        The from-scratch analytical evaluator over the AnS instance (also
+        supplies the graph statistics used to price the scratch candidate).
+    cache:
+        The session's bounded result cache (canonical-form keyed).
+    rewriter:
+        Optional pre-built :class:`~repro.olap.rewriting.OLAPRewriter`; one
+        is constructed over the evaluator's BGP evaluator otherwise.
+    """
+
+    def __init__(
+        self,
+        evaluator: AnalyticalQueryEvaluator,
+        cache: ResultCache,
+        rewriter: Optional[OLAPRewriter] = None,
+    ):
+        self._evaluator = evaluator
+        self._cache = cache
+        self._rewriter = rewriter or OLAPRewriter(evaluator.bgp_evaluator)
+        self._statistics = evaluator.bgp_evaluator.statistics
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        original_query: AnalyticalQuery,
+        operation: OLAPOperation,
+        transformed_query: AnalyticalQuery,
+        origin_materialized: Optional[MaterializedQueryResults] = None,
+        materialize_partial: bool = True,
+    ) -> Plan:
+        """Enumerate and cost every candidate strategy for ``T(Q)``.
+
+        ``origin_materialized`` carries the materialized results of the
+        origin query when the session still holds them; the cache supplies
+        the transformed query's own entry and compatible weaker-Σ entries.
+        The scratch candidate is always present, so a plan always exists.
+        """
+        graph = self._evaluator.instance
+        candidates: List[PlanCandidate] = []
+
+        exact = self._cache.get(transformed_query, graph)
+        if exact is not None and exact.materialized.has_answer():
+            candidates.append(self._cached_candidate(exact.materialized))
+
+        if origin_materialized is not None:
+            candidates.extend(
+                self._rewrite_candidates(
+                    origin_materialized, operation, transformed_query, materialize_partial
+                )
+            )
+
+        candidates.extend(
+            self._compatible_candidates(transformed_query, original_query, materialize_partial)
+        )
+
+        candidates.append(self._scratch_candidate(transformed_query, materialize_partial))
+        return Plan(operation, transformed_query, candidates)
+
+    # ------------------------------------------------------------------
+    # candidate builders
+    # ------------------------------------------------------------------
+
+    def _cached_candidate(self, materialized: MaterializedQueryResults) -> PlanCandidate:
+        cells = len(materialized.answer)
+
+        def run() -> Tuple[CubeAnswer, Optional[PartialResult]]:
+            partial = materialized.partial if materialized.has_partial() else None
+            return materialized.answer, partial
+
+        return PlanCandidate(
+            "cached",
+            BASE_COST + cells * CACHED_CELL_COST,
+            cells,
+            f"ans already cached: {cells} cells",
+            run,
+        )
+
+    def _rewrite_candidates(
+        self,
+        materialized: MaterializedQueryResults,
+        operation: OLAPOperation,
+        transformed_query: AnalyticalQuery,
+        materialize_partial: bool,
+    ) -> List[PlanCandidate]:
+        candidates = []
+        for option in self._rewriter.options(materialized, operation, transformed_query):
+            # Every rewriting reads its materialized input and writes its
+            # estimated output (mirroring the scratch candidate, whose
+            # estimate also includes the output cardinality).
+            cost = BASE_COST + option.estimated_output_rows
+            if option.input_kind == "answer":
+                cost += option.input_rows * SELECT_ROW_COST
+            elif option.needs_instance:
+                cost += option.input_rows * JOIN_ROW_COST + self._auxiliary_cost(
+                    materialized.query, transformed_query
+                )
+            else:
+                cost += option.input_rows * GROUP_ROW_COST
+
+            def run(op=operation, mat=materialized, tq=transformed_query):
+                result = self._rewriter.answer(
+                    mat, op, tq, materialize_partial=materialize_partial
+                )
+                return result.answer, result.partial
+
+            candidates.append(
+                PlanCandidate(
+                    f"rewrite[{option.strategy}]",
+                    cost,
+                    option.input_rows,
+                    f"{option.input_kind}({materialized.query.name}): {option.input_rows} rows",
+                    run,
+                )
+            )
+        return candidates
+
+    def _compatible_candidates(
+        self,
+        transformed_query: AnalyticalQuery,
+        original_query: AnalyticalQuery,
+        materialize_partial: bool,
+    ) -> List[PlanCandidate]:
+        graph = self._evaluator.instance
+        target_key = canonical_query_key(transformed_query)
+        origin_key = canonical_query_key(original_query)
+        candidates = []
+        for entry in self._cache.entries_with_core(transformed_query):
+            if entry.key in (target_key, origin_key):
+                continue  # exact hits and the origin are covered elsewhere
+            if entry.graph_version != graph.version:
+                continue
+            if not entry.materialized.has_answer():
+                continue
+            if not entry.query.sigma.subsumes(transformed_query.sigma):
+                continue
+            rows = len(entry.materialized.answer)
+
+            def run(mat=entry.materialized, tq=transformed_query):
+                answer = slice_dice_from_answer(mat.answer, tq)
+                partial = None
+                if materialize_partial and mat.has_partial():
+                    source = mat.partial
+                    partial = PartialResult(
+                        select(source.storage, tq.sigma.predicate()),
+                        fact_column=source.fact_column,
+                        dimension_columns=source.dimension_columns,
+                        key_column=source.key_column,
+                        measure_column=source.measure_column,
+                    )
+                return answer, partial
+
+            candidates.append(
+                PlanCandidate(
+                    "compat[slice-dice/ans]",
+                    BASE_COST + rows * SELECT_ROW_COST,
+                    rows,
+                    f"ans({entry.query.name}) with weaker sigma: {rows} rows",
+                    run,
+                )
+            )
+        return candidates
+
+    def _scratch_candidate(
+        self, transformed_query: AnalyticalQuery, materialize_partial: bool
+    ) -> PlanCandidate:
+        cost = BASE_COST + self._estimate_scratch_cost(transformed_query)
+        instance_triples = len(self._evaluator.instance)
+
+        def run() -> Tuple[CubeAnswer, Optional[PartialResult]]:
+            materialized = self._evaluator.evaluate(
+                transformed_query, materialize_partial=materialize_partial
+            )
+            return materialized.answer, materialized.partial if materialize_partial else None
+
+        return PlanCandidate(
+            "scratch",
+            cost,
+            instance_triples,
+            f"instance: {instance_triples} triples, est. {cost:.0f} rows touched",
+            run,
+        )
+
+    # ------------------------------------------------------------------
+    # cost estimation helpers
+    # ------------------------------------------------------------------
+
+    def _estimate_scratch_cost(self, query: AnalyticalQuery) -> float:
+        """Estimated rows touched by a from-scratch evaluation of ``query``.
+
+        Classifier and measure are evaluated independently and joined on the
+        fact variable; the join reads both results once more.
+        """
+        statistics = self._statistics
+        classifier_cost = statistics.estimate_evaluation_cost(query.classifier)
+        measure_cost = statistics.estimate_evaluation_cost(query.measure)
+        join_cost = statistics.estimate_bgp_cardinality(
+            query.classifier
+        ) + statistics.estimate_bgp_cardinality(query.measure)
+        return classifier_cost + measure_cost + join_cost
+
+    def _auxiliary_cost(
+        self, original_query: AnalyticalQuery, transformed_query: AnalyticalQuery
+    ) -> float:
+        """Estimated cost of DRILL-IN's auxiliary query over the instance."""
+        original_dimensions = set(original_query.dimension_names)
+        new_dimensions = [
+            name
+            for name in transformed_query.dimension_names
+            if name not in original_dimensions
+        ]
+        if not new_dimensions:
+            return 0.0
+        try:
+            auxiliary = build_auxiliary_query(original_query.classifier, new_dimensions)
+        except Exception:  # not applicable — the rewrite will fail anyway
+            return float("inf")
+        return self._statistics.estimate_evaluation_cost(auxiliary)

@@ -41,6 +41,7 @@ __all__ = [
     "drill_out_from_answer_naive",
     "transform_partial",
     "OLAPRewriter",
+    "RewriteOption",
     "RewritingResult",
 ]
 
@@ -82,6 +83,13 @@ def drill_out_from_partial(
        multi-valued along the removed dimension(s) from being counted
        several times;
     4. ``T ← γ_{remaining dims, ⊕(v)}(T)``.
+
+    Applicability: the removed dimensions must be **unrestricted** in Q's Σ.
+    DRILL-OUT drops the removed dimension's Σ entry from the transformed
+    query, so ``ans(Q_T)`` re-admits facts the restriction excluded — facts
+    that ``pres(Q)`` (computed under Σ) no longer contains.  Rewriting from
+    this pres would silently produce the *navigation-filtered* cube instead
+    of ``ans(Q_T)``, so it refuses.
     """
     remaining = transformed_query.dimension_names
     unknown = [name for name in remaining if name not in partial.dimension_columns]
@@ -89,6 +97,7 @@ def drill_out_from_partial(
         raise RewritingError(
             f"the materialized pres({query.name}) does not contain dimensions {unknown}"
         )
+    _require_removed_dimensions_unrestricted(query, transformed_query)
     kept_columns = (
         partial.fact_column,
         *remaining,
@@ -105,6 +114,24 @@ def drill_out_from_partial(
         output_column=partial.measure_column,
     )
     return CubeAnswer(aggregated, tuple(remaining), partial.measure_column)
+
+
+def _require_removed_dimensions_unrestricted(
+    query: AnalyticalQuery, transformed_query: AnalyticalQuery
+) -> None:
+    """Refuse pres(Q)-based DRILL-OUT when a removed dimension carried a Σ restriction."""
+    remaining = set(transformed_query.dimension_names)
+    restricted = [
+        name
+        for name in query.sigma.restricted_dimensions()
+        if name not in remaining
+    ]
+    if restricted:
+        raise RewritingError(
+            f"DRILL-OUT removes dimensions {restricted} whose Σ restricts the values; "
+            f"pres({query.name}) lacks the facts the restriction excluded, so the "
+            f"transformed query must be evaluated from scratch"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -254,6 +281,7 @@ def transform_partial(
             measure_column=partial.measure_column,
         )
     if isinstance(operation, DrillOut):
+        _require_removed_dimensions_unrestricted(query, transformed_query)
         remaining = tuple(transformed_query.dimension_names)
         kept = (partial.fact_column, *remaining, partial.key_column, partial.measure_column)
         table = dedup(project(partial.storage, kept))
@@ -302,6 +330,60 @@ def transform_partial(
 # ---------------------------------------------------------------------------
 
 
+class RewriteOption:
+    """One applicable rewriting, reported to the planner.
+
+    Instead of callers hand-picking an algorithm per operation, the
+    rewriter *reports* what it can do with the materialized inputs at hand:
+    which strategy, which input it consumes and how big that input is, a
+    crude estimate of the output size, and whether the instance must be
+    consulted (DRILL-IN's auxiliary query).  The planner turns each option
+    into a costed plan candidate.
+    """
+
+    __slots__ = ("strategy", "input_kind", "input_rows", "estimated_output_rows", "needs_instance")
+
+    def __init__(
+        self,
+        strategy: str,
+        input_kind: str,
+        input_rows: int,
+        estimated_output_rows: float,
+        needs_instance: bool = False,
+    ):
+        self.strategy = strategy
+        #: ``"answer"`` or ``"partial"`` — which materialized input is read.
+        self.input_kind = input_kind
+        self.input_rows = input_rows
+        self.estimated_output_rows = estimated_output_rows
+        self.needs_instance = needs_instance
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RewriteOption({self.strategy}, {self.input_kind}: {self.input_rows} rows "
+            f"-> ~{self.estimated_output_rows:.0f})"
+        )
+
+
+def _sigma_selectivity(transformed_query: AnalyticalQuery) -> float:
+    """Heuristic fraction of rows kept by the transformed query's σ_dice.
+
+    Value-set restrictions keep roughly ``min(1, |S| / 10)`` of the rows
+    (dimension domains in the workloads have tens of values); range and
+    predicate restrictions keep half.  Per-dimension fractions multiply
+    (independence).  Only used for ranking, never for correctness.
+    """
+    selectivity = 1.0
+    sigma = transformed_query.sigma
+    for dimension in sigma.restricted_dimensions():
+        restriction = sigma[dimension]
+        if restriction.values is not None:
+            selectivity *= min(1.0, len(restriction.values) / 10.0)
+        else:
+            selectivity *= 0.5
+    return max(selectivity, 0.001)
+
+
 class RewritingResult:
     """Outcome of answering a transformed query through rewriting."""
 
@@ -339,6 +421,59 @@ class OLAPRewriter:
 
     def __init__(self, instance_evaluator: Optional[BGPEvaluator] = None):
         self._instance_evaluator = instance_evaluator
+
+    def options(
+        self,
+        materialized: MaterializedQueryResults,
+        operation: OLAPOperation,
+        transformed_query: Optional[AnalyticalQuery] = None,
+    ) -> Tuple[RewriteOption, ...]:
+        """The rewritings applicable to ``T(Q)`` given what is materialized.
+
+        Returns an empty tuple when the required input (``ans(Q)`` for
+        SLICE/DICE, ``pres(Q)`` for the drills, plus an instance evaluator
+        for DRILL-IN) is missing — the planner then knows reuse is off the
+        table and falls back to from-scratch evaluation.
+        """
+        if transformed_query is None:
+            transformed_query = operation.apply(materialized.query)
+        if isinstance(operation, (Slice, Dice)):
+            if not materialized.has_answer():
+                return ()
+            rows = len(materialized.answer)
+            return (
+                RewriteOption(
+                    "slice-dice/ans",
+                    "answer",
+                    rows,
+                    rows * _sigma_selectivity(transformed_query),
+                ),
+            )
+        if isinstance(operation, DrillOut):
+            if not materialized.has_partial():
+                return ()
+            try:
+                _require_removed_dimensions_unrestricted(materialized.query, transformed_query)
+            except RewritingError:
+                return ()
+            rows = len(materialized.partial)
+            # Dropping dimensions merges groups: the output is at most the
+            # current answer size, estimated as half of it.
+            cells = len(materialized.answer) if materialized.has_answer() else rows
+            return (RewriteOption("drill-out/pres", "partial", rows, max(cells / 2.0, 1.0)),)
+        if isinstance(operation, DrillIn):
+            if not materialized.has_partial() or self._instance_evaluator is None:
+                return ()
+            rows = len(materialized.partial)
+            # The auxiliary join can only refine groups; output grows with
+            # the new dimension's fan-out, estimated at 2x the current cells.
+            cells = len(materialized.answer) if materialized.has_answer() else rows
+            return (
+                RewriteOption(
+                    "drill-in/pres+aux", "partial", rows, cells * 2.0, needs_instance=True
+                ),
+            )
+        return ()
 
     def answer(
         self,

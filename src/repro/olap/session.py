@@ -3,22 +3,30 @@
 :class:`OLAPSession` is the top-level convenience API tying everything
 together — the object a data analyst (or an example script) works with:
 
-* it owns the AnS instance and its evaluator;
-* :meth:`execute` answers an analytical query from scratch and *materializes*
-  its answer and partial result, exactly as the paper assumes ("pres(Q) ...
-  has been materialized and stored as part of the evaluation of the original
-  query Q");
-* :meth:`transform` applies an OLAP operation to a previously executed query
-  and answers the transformed query, either by **rewriting** (reusing the
-  materialized results — the paper's contribution), from **scratch** (the
-  baseline), or **auto** (rewrite when the needed inputs are materialized,
-  otherwise scratch);
-* every transformed query is materialized in turn (its answer always; its
-  partial result when it was computed), so OLAP navigations can chain:
-  slice, then drill-out, then dice, ...
+* it owns the AnS instance, its evaluator, and a bounded
+  :class:`~repro.olap.cache.ResultCache` of materialized results keyed by
+  the *canonical form* of each analytical query (so results are found by
+  what they answer, not by the navigation path that produced them);
+* :meth:`execute` answers an analytical query and materializes its answer
+  and partial result, exactly as the paper assumes ("pres(Q) ... has been
+  materialized and stored as part of the evaluation of the original query
+  Q") — unless the cache (or its disk store, on a warm start) already holds
+  the result;
+* :meth:`transform` applies an OLAP operation to a query and answers the
+  transformed query.  The default ``"plan"`` strategy routes the operation
+  through the cost-based :class:`~repro.olap.planner.OLAPPlanner`, which
+  picks the cheapest of: returning a cached answer, one of the paper's
+  rewritings, σ-selecting a cached compatible (weaker-Σ) answer, or
+  re-evaluating from scratch.  The forced strategies ``"rewrite"``,
+  ``"scratch"`` and ``"auto"`` remain available for experiments that
+  compare them;
+* every transformed query is materialized in turn (subject to the cache
+  bound), so OLAP navigations can chain: slice, then drill-out, then dice...
 
-The session also records simple timing and input-size statistics per
-operation, which the examples print and the benchmark harness aggregates.
+The session records timing, input sizes and the winning strategy per
+operation in :attr:`history`; with the planner each record also carries the
+full costed plan (see ``details["plan"]``), which ``repro-olap demo
+--explain`` prints.
 """
 
 from __future__ import annotations
@@ -34,8 +42,10 @@ from repro.analytics.evaluator import AnalyticalQueryEvaluator
 from repro.analytics.query import AnalyticalQuery
 from repro.analytics.schema import AnalyticalSchema
 from repro.olap.baseline import transformed_answer_from_scratch
+from repro.olap.cache import DEFAULT_CAPACITY, ResultCache
 from repro.olap.cube import Cube
 from repro.olap.operations import OLAPOperation
+from repro.olap.planner import OLAPPlanner
 from repro.olap.rewriting import OLAPRewriter
 
 __all__ = ["OLAPSession", "TransformationRecord"]
@@ -61,64 +71,134 @@ class TransformationRecord:
 
 
 class OLAPSession:
-    """A cube-navigation session over one AnS instance."""
+    """A cube-navigation session over one AnS instance.
+
+    Parameters
+    ----------
+    instance:
+        The AnS instance graph.
+    schema:
+        Optional analytical schema (kept for introspection; queries carry
+        their own).
+    materialize_partial:
+        Whether :meth:`execute` retains ``pres(Q)`` alongside ``ans(Q)``.
+    cache_capacity:
+        Bound on the number of in-memory materialized results (LRU beyond
+        it).  0 disables in-memory caching; correctness is unaffected
+        because the planner falls back to from-scratch evaluation.
+    cache_dir:
+        Optional directory for write-through persistence of cache entries;
+        a new session pointed at the same directory warm-starts from them.
+    """
 
     def __init__(
         self,
         instance: Graph,
         schema: Optional[AnalyticalSchema] = None,
         materialize_partial: bool = True,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        cache_dir: Optional[str] = None,
     ):
         self.schema = schema
         self.instance = instance
         self.evaluator = AnalyticalQueryEvaluator(instance)
         self._rewriter = OLAPRewriter(self.evaluator.bgp_evaluator)
         self._materialize_partial = materialize_partial
-        self._materialized: Dict[str, MaterializedQueryResults] = {}
+        self._cache = ResultCache(cache_capacity, store_dir=cache_dir)
+        self._planner = OLAPPlanner(self.evaluator, self._cache, rewriter=self._rewriter)
+        self._queries: Dict[str, AnalyticalQuery] = {}
         self.history: List[TransformationRecord] = []
+
+    # ------------------------------------------------------------------
+    # cache / planner access
+    # ------------------------------------------------------------------
+
+    @property
+    def cache(self) -> ResultCache:
+        """The session's bounded result cache (inspect ``cache.stats``)."""
+        return self._cache
+
+    @property
+    def planner(self) -> OLAPPlanner:
+        return self._planner
 
     # ------------------------------------------------------------------
     # query execution
     # ------------------------------------------------------------------
 
     def execute(self, query: AnalyticalQuery, materialize_partial: Optional[bool] = None) -> Cube:
-        """Answer ``query`` from scratch and materialize its results."""
+        """Answer ``query`` and materialize its results (cache-first).
+
+        When the cache (memory or disk store) already holds the query's
+        canonical form — with a partial result if one is requested — the
+        stored answer is returned without touching the instance; the history
+        records the ``cache`` strategy.
+        """
         keep_partial = (
             self._materialize_partial if materialize_partial is None else materialize_partial
         )
         started = time.perf_counter()
-        materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
+        entry = self._cache.get(query, self.instance, require_partial=keep_partial)
+        if entry is not None:
+            materialized = entry.materialized
+            strategy = "cache" if entry.origin == "memory" else "cache[disk]"
+            input_rows = len(materialized.answer)
+        else:
+            materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
+            self._cache.put(query, materialized, self.instance)
+            strategy = "scratch"
+            input_rows = len(self.instance)
         elapsed = time.perf_counter() - started
-        self._materialized[query.name] = materialized
+        self._queries[query.name] = query
         answer = materialized.answer
         self.history.append(
             TransformationRecord(
                 query_name=query.name,
                 operation="execute",
-                strategy="scratch",
+                strategy=strategy,
                 seconds=elapsed,
-                input_rows=len(self.instance),
+                input_rows=input_rows,
                 output_cells=len(answer),
             )
         )
         return Cube(answer, query)
 
+    def _resolve_query(self, query: Union[str, AnalyticalQuery]) -> AnalyticalQuery:
+        if isinstance(query, str):
+            if query not in self._queries:
+                raise MaterializationError(
+                    f"query {query!r} has not been executed in this session; call execute() first"
+                )
+            return self._queries[query]
+        return query
+
     def materialized(self, query: Union[str, AnalyticalQuery]) -> MaterializedQueryResults:
-        """The materialized results of a previously executed query."""
-        name = query if isinstance(query, str) else query.name
-        if name not in self._materialized:
+        """The materialized results of a previously executed query.
+
+        Raises :class:`~repro.errors.MaterializationError` when the query
+        was never executed here or its cache entry has been evicted or
+        invalidated by an instance mutation.
+        """
+        resolved = self._resolve_query(query)
+        entry = self._cache.get(resolved, self.instance)
+        if entry is None:
             raise MaterializationError(
-                f"query {name!r} has not been executed in this session; call execute() first"
+                f"query {resolved.name!r} has not been executed in this session (or its "
+                f"cached results were evicted); call execute() first"
             )
-        return self._materialized[name]
+        return entry.materialized
 
     def executed_queries(self) -> Tuple[str, ...]:
-        return tuple(self._materialized)
+        return tuple(self._queries)
 
     def forget(self, query: Union[str, AnalyticalQuery]) -> None:
-        """Drop the materialized results of a query (frees memory)."""
+        """Drop a query's materialized results and name binding (frees memory)."""
         name = query if isinstance(query, str) else query.name
-        self._materialized.pop(name, None)
+        resolved = self._queries.pop(name, None)
+        if resolved is not None:
+            self._cache.discard(resolved)
+        elif isinstance(query, AnalyticalQuery):
+            self._cache.discard(query)
 
     # ------------------------------------------------------------------
     # persistence of materialized results
@@ -139,7 +219,8 @@ class OLAPSession:
         from repro.persistence import load_materialized_results
 
         materialized = load_materialized_results(directory, query)
-        self._materialized[query.name] = materialized
+        self._queries[query.name] = query
+        self._cache.put(query, materialized, self.instance, persist=False)
         return materialized
 
     # ------------------------------------------------------------------
@@ -150,52 +231,90 @@ class OLAPSession:
         self,
         query: Union[str, AnalyticalQuery],
         operation: OLAPOperation,
-        strategy: str = "auto",
+        strategy: str = "plan",
         materialize: bool = True,
     ) -> Cube:
-        """Apply an OLAP operation to an executed query and answer the result.
+        """Apply an OLAP operation to a query and answer the result.
 
         Parameters
         ----------
         query:
-            The original query (or its name) whose results are reused.
+            The origin query (or its name) the operation transforms.
         operation:
             The OLAP operation (SLICE / DICE / DRILL-OUT / DRILL-IN).
         strategy:
-            ``"rewrite"`` — use the paper's rewriting algorithms (raises when
-            the needed materialized input is missing);
-            ``"scratch"`` — re-evaluate the transformed query on the instance;
+            ``"plan"`` (default) — cost-based choice among cached answers,
+            the paper's rewritings, compatible cached views and scratch;
+            ``"rewrite"`` — force the paper's rewriting algorithms (raises
+            when the needed materialized input is missing);
+            ``"scratch"`` — force re-evaluation on the instance;
             ``"auto"`` — rewrite when possible, otherwise scratch.
         materialize:
-            Whether to store the transformed query's answer for further
-            navigation (its partial result is additionally stored only when
-            the scratch path computed one).
+            Whether to store the transformed query's results for further
+            navigation.
         """
-        if strategy not in ("auto", "rewrite", "scratch"):
-            raise OLAPError(f"unknown strategy {strategy!r}; expected auto, rewrite or scratch")
-        materialized = self.materialized(query)
-        original_query = materialized.query
+        if strategy not in ("plan", "auto", "rewrite", "scratch"):
+            raise OLAPError(
+                f"unknown strategy {strategy!r}; expected plan, auto, rewrite or scratch"
+            )
+        original_query = self._resolve_query(query)
+        origin_entry = self._cache.get(original_query, self.instance)
+        origin_materialized = origin_entry.materialized if origin_entry is not None else None
+        if strategy == "rewrite" and origin_materialized is None:
+            raise MaterializationError(
+                f"query {original_query.name!r} has no materialized results in this session; "
+                f"call execute() first (or use the plan/auto/scratch strategies)"
+            )
         transformed_query = operation.apply(original_query)
 
+        details: Dict[str, object] = {}
         started = time.perf_counter()
         transformed_partial = None
         if strategy == "scratch":
             answer, used, input_rows = self._scratch(original_query, operation, transformed_query)
         elif strategy == "rewrite":
             answer, used, input_rows, transformed_partial = self._rewrite(
-                materialized, operation, transformed_query, materialize_partial=materialize
+                origin_materialized, operation, transformed_query, materialize_partial=materialize
             )
-        else:
+        elif strategy == "auto":
+            # "Rewrite when possible, otherwise scratch": a missing origin
+            # entry (capacity 0, LRU eviction, graph mutation) means the
+            # rewriting inputs are gone, which is just another reason to
+            # fall back.
             try:
+                if origin_materialized is None:
+                    raise MaterializationError(
+                        f"no materialized results for {original_query.name!r}"
+                    )
                 answer, used, input_rows, transformed_partial = self._rewrite(
-                    materialized, operation, transformed_query, materialize_partial=materialize
+                    origin_materialized, operation, transformed_query, materialize_partial=materialize
                 )
             except (MaterializationError, OLAPError):
                 answer, used, input_rows = self._scratch(original_query, operation, transformed_query)
+        else:  # plan
+            plan = self._planner.plan(
+                original_query,
+                operation,
+                transformed_query,
+                origin_materialized,
+                materialize_partial=materialize,
+            )
+            answer, transformed_partial = plan.execute()
+            chosen = plan.chosen
+            used = f"plan[{chosen.strategy}]"
+            input_rows = chosen.input_rows
+            details["plan"] = plan.explain()
+            details["estimated_cost"] = chosen.cost
         elapsed = time.perf_counter() - started
 
         if materialize:
-            self._store_transformed(transformed_query, answer, transformed_partial)
+            if used == "plan[cached]":
+                # The answer came out of the cache entry for this very
+                # query: re-storing (and re-persisting) it would be pure
+                # overhead; the planner's lookup already refreshed recency.
+                self._queries[transformed_query.name] = transformed_query
+            else:
+                self._store_transformed(transformed_query, answer, transformed_partial)
 
         self.history.append(
             TransformationRecord(
@@ -205,6 +324,7 @@ class OLAPSession:
                 seconds=elapsed,
                 input_rows=input_rows,
                 output_cells=len(answer),
+                details=details,
             )
         )
         return Cube(answer, transformed_query)
@@ -241,9 +361,20 @@ class OLAPSession:
     def _store_transformed(
         self, transformed_query: AnalyticalQuery, answer: CubeAnswer, partial=None
     ) -> None:
-        self._materialized[transformed_query.name] = MaterializedQueryResults(
-            transformed_query, answer=answer, partial=partial
+        self._queries[transformed_query.name] = transformed_query
+        self._cache.put(
+            transformed_query,
+            MaterializedQueryResults(transformed_query, answer=answer, partial=partial),
+            self.instance,
         )
+
+    def explain_last(self) -> str:
+        """The costed plan of the most recent planned transformation."""
+        for record in reversed(self.history):
+            plan = record.details.get("plan")
+            if plan is not None:
+                return str(plan)
+        return "(no planned operation in this session's history)"
 
     # ------------------------------------------------------------------
     # roll-up along dimension hierarchies (extension beyond the paper)
@@ -324,5 +455,5 @@ class OLAPSession:
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"OLAPSession({len(self.instance)} instance triples, "
-            f"{len(self._materialized)} materialized queries)"
+            f"{len(self._cache)} cached results)"
         )

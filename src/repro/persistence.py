@@ -39,6 +39,8 @@ __all__ = [
     "load_relation",
     "save_materialized_results",
     "load_materialized_results",
+    "save_cache_entry",
+    "load_cache_entry",
 ]
 
 _MANIFEST_NAME = "manifest.json"
@@ -120,8 +122,17 @@ def load_relation(path: str) -> Relation:
 # ---------------------------------------------------------------------------
 
 
-def save_materialized_results(materialized: MaterializedQueryResults, directory: str) -> None:
-    """Persist a query's materialized results into ``directory`` (created if needed)."""
+def save_materialized_results(
+    materialized: MaterializedQueryResults,
+    directory: str,
+    extra_manifest: Optional[Dict[str, object]] = None,
+) -> None:
+    """Persist a query's materialized results into ``directory`` (created if needed).
+
+    ``extra_manifest`` entries are merged into ``manifest.json`` — the result
+    cache uses this to stamp entries with their canonical query key and the
+    size of the instance they were computed against.
+    """
     os.makedirs(directory, exist_ok=True)
     query = materialized.query
     manifest: Dict[str, object] = {
@@ -140,18 +151,22 @@ def save_materialized_results(materialized: MaterializedQueryResults, directory:
         manifest["partial_key_column"] = partial.key_column
         manifest["partial_dimension_columns"] = list(partial.dimension_columns)
         save_relation(partial.relation, os.path.join(directory, _PARTIAL_NAME))
+    if extra_manifest:
+        manifest.update(extra_manifest)
     with open(os.path.join(directory, _MANIFEST_NAME), "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
-def load_materialized_results(directory: str, query) -> MaterializedQueryResults:
+def load_materialized_results(directory: str, query, check_name: bool = True) -> MaterializedQueryResults:
     """Load materialized results saved by :func:`save_materialized_results`.
 
     ``query`` is the :class:`~repro.analytics.query.AnalyticalQuery` the
     results belong to; the manifest is checked against it (name, aggregate
     and column roles) so stale directories are rejected rather than silently
-    producing wrong cubes.
+    producing wrong cubes.  ``check_name=False`` skips the display-name
+    check — used by the result cache, whose canonical keys already prove
+    semantic equality while session-assigned names may differ.
     """
     manifest_path = os.path.join(directory, _MANIFEST_NAME)
     if not os.path.exists(manifest_path):
@@ -160,12 +175,13 @@ def load_materialized_results(directory: str, query) -> MaterializedQueryResults
         manifest = json.load(handle)
 
     expected = {
-        "query_name": query.name,
         "aggregate": query.aggregate.name,
         "fact_column": query.fact_variable.name,
         "dimension_columns": list(query.dimension_names),
         "measure_column": query.measure_variable.name,
     }
+    if check_name:
+        expected["query_name"] = query.name
     for key, value in expected.items():
         if manifest.get(key) != value:
             raise MaterializationError(
@@ -188,3 +204,64 @@ def load_materialized_results(directory: str, query) -> MaterializedQueryResults
             measure_column=manifest["measure_column"],
         )
     return MaterializedQueryResults(query, answer=answer, partial=partial)
+
+
+# ---------------------------------------------------------------------------
+# result-cache entries (warm start across sessions)
+# ---------------------------------------------------------------------------
+
+
+def save_cache_entry(
+    materialized: MaterializedQueryResults,
+    directory: str,
+    canonical_key: str,
+    instance_triples: int,
+    instance_fingerprint: str,
+) -> None:
+    """Persist one result-cache entry (see :mod:`repro.olap.cache`).
+
+    On top of the plain materialized results the manifest records the
+    canonical query key the cache indexed the entry under, the size of the
+    AnS instance the results were computed against, and the instance's
+    content fingerprint (:func:`repro.olap.cache.graph_fingerprint`), so a
+    later session can validate the entry before trusting it.
+    """
+    save_materialized_results(
+        materialized,
+        directory,
+        extra_manifest={
+            "canonical_key": canonical_key,
+            "instance_triples": int(instance_triples),
+            "instance_fingerprint": instance_fingerprint,
+        },
+    )
+
+
+def load_cache_entry(
+    directory: str,
+    query,
+    canonical_key: str,
+    instance_triples: int,
+    instance_fingerprint: str,
+) -> Optional[MaterializedQueryResults]:
+    """Load a persisted cache entry, or None when absent or stale.
+
+    The entry must carry the expected canonical key and have been computed
+    against an instance with the same triple count *and* the same content
+    fingerprint — a graph whose mutations cancel out in size (one triple
+    removed, another added) is still detected as different content.  A
+    corrupt directory (unreadable manifest / relations) raises
+    :class:`~repro.errors.MaterializationError` as usual.
+    """
+    manifest_path = os.path.join(directory, _MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        return None
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("canonical_key") != canonical_key:
+        return None
+    if manifest.get("instance_triples") != int(instance_triples):
+        return None
+    if manifest.get("instance_fingerprint") != instance_fingerprint:
+        return None
+    return load_materialized_results(directory, query, check_name=False)

@@ -54,9 +54,21 @@ class Graph:
         self._spo: Dict[int, Dict[int, Set[int]]] = {}
         self._pos: Dict[int, Dict[int, Set[int]]] = {}
         self._osp: Dict[int, Dict[int, Set[int]]] = {}
+        self._version = 0
         if triples is not None:
             for triple in triples:
                 self.add(triple)
+
+    @property
+    def version(self) -> int:
+        """Monotonic change counter: bumped by every effective mutation.
+
+        Results computed against a graph snapshot (materialized ``pres(Q)``
+        / ``ans(Q)`` cache entries, statistics) are stamped with the version
+        they were built at; a stamp mismatch means the graph has been
+        mutated since and the derived result can no longer be trusted.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # dictionary access
@@ -97,6 +109,7 @@ class Graph:
             return False
         self._triples.add(encoded)
         self._index_add(encoded)
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable) -> int:
@@ -121,10 +134,13 @@ class Graph:
             return False
         self._triples.discard(encoded)
         self._index_remove(encoded)
+        self._version += 1
         return True
 
     def clear(self) -> None:
         """Remove all triples (the term dictionary is kept)."""
+        if self._triples:
+            self._version += 1
         self._triples.clear()
         self._spo.clear()
         self._pos.clear()
@@ -410,8 +426,10 @@ class Graph:
             return False
         return all(triple in other for triple in self)
 
-    def __hash__(self):  # graphs are mutable
-        raise TypeError("Graph objects are unhashable")
+    # Graphs are mutable and compare by triple-set contents, so they must
+    # not be hashable; assigning None (rather than a raising method) makes
+    # them fail isinstance(graph, collections.abc.Hashable) checks too.
+    __hash__ = None  # type: ignore[assignment]
 
     # ------------------------------------------------------------------
     # presentation

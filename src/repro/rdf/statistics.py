@@ -114,6 +114,40 @@ class GraphStatistics:
             return float(self.triple_count)
         return self._exact_count(pattern)
 
+    def estimate_bgp_cardinality(self, query) -> float:
+        """Estimate the answer cardinality of a BGP query.
+
+        Classical lightweight model: start from the most selective pattern
+        and treat each further pattern as a filter whose selectivity is its
+        own match fraction of the graph (independence assumption).  Rooted
+        star-shaped classifier/measure queries — the shape every analytical
+        query in this repo uses — are joined on a shared variable, so each
+        extra pattern can only keep or shrink the running cardinality, which
+        this model reflects.
+        """
+        estimates = sorted(self.estimate_pattern(pattern) for pattern in query.body)
+        if not estimates:
+            return 0.0
+        if estimates[0] == 0.0:
+            return 0.0
+        cardinality = estimates[0]
+        total = max(float(self.triple_count), 1.0)
+        for estimate in estimates[1:]:
+            cardinality *= min(estimate / total, 1.0)
+        return max(cardinality, 1.0)
+
+    def estimate_evaluation_cost(self, query) -> float:
+        """Estimate the work (rows touched) of evaluating a BGP query.
+
+        The evaluator scans each pattern's index entries and builds join
+        results, so the cost is modelled as the sum of per-pattern match
+        estimates plus the estimated output cardinality.  The unit is
+        "rows", directly comparable with the reuse costs of
+        :mod:`repro.olap.planner` (which count rows of materialized inputs).
+        """
+        scan_cost = sum(self.estimate_pattern(pattern) for pattern in query.body)
+        return scan_cost + self.estimate_bgp_cardinality(query)
+
     def _exact_count(self, pattern: TriplePattern) -> float:
         graph = self._graph
         ids = []

@@ -149,3 +149,83 @@ class TestSigma:
         b = Sigma(["dage"]).restrict("dage", DimensionRestriction.to_values([28]))
         assert a == b
         assert "dage" in a.describe()
+
+
+class TestCanonicalTokens:
+    def test_full_token(self):
+        assert DimensionRestriction.full().canonical_token() == "*"
+
+    def test_value_sets_canonicalize_order_insensitively(self):
+        a = DimensionRestriction.to_values([Literal(28), Literal(35)])
+        b = DimensionRestriction.to_values([Literal(35), Literal(28)])
+        assert a.canonical_token() == b.canonical_token()
+
+    def test_value_sets_distinguish_contents(self):
+        a = DimensionRestriction.to_values([Literal(28)])
+        b = DimensionRestriction.to_values([Literal(29)])
+        assert a.canonical_token() != b.canonical_token()
+
+    def test_ranges_canonicalize_by_bounds(self):
+        assert (
+            DimensionRestriction.to_range(20, 30).canonical_token()
+            == DimensionRestriction.to_range(20, 30).canonical_token()
+        )
+        assert (
+            DimensionRestriction.to_range(20, 30).canonical_token()
+            != DimensionRestriction.to_range(20, 31).canonical_token()
+        )
+
+    def test_opaque_predicates_canonicalize_by_identity(self):
+        even = DimensionRestriction.to_predicate(lambda v: True)
+        other = DimensionRestriction.to_predicate(lambda v: True)
+        assert even.canonical_token() != other.canonical_token()
+        assert even.canonical_token() == even.canonical_token()
+
+    def test_sigma_tokens_follow_dimension_order(self):
+        sigma = Sigma(["dage", "dcity"]).restrict(
+            "dage", DimensionRestriction.to_value(Literal(28))
+        )
+        tokens = sigma.canonical_tokens()
+        assert [name for name, _ in tokens] == ["dage", "dcity"]
+        assert tokens[1][1] == "*"
+
+
+class TestSubsumption:
+    def test_full_subsumes_everything(self):
+        full = DimensionRestriction.full()
+        narrow = DimensionRestriction.to_value(Literal(28))
+        assert full.subsumes(narrow)
+        assert not narrow.subsumes(full)
+
+    def test_value_set_superset_subsumes(self):
+        wide = DimensionRestriction.to_values([Literal(28), Literal(35)])
+        narrow = DimensionRestriction.to_values([Literal(35)])
+        assert wide.subsumes(narrow)
+        assert not narrow.subsumes(wide)
+
+    def test_range_subsumes_contained_values(self):
+        in_range = DimensionRestriction.to_range(20, 40)
+        values = DimensionRestriction.to_values([Literal(25), Literal(30)])
+        assert in_range.subsumes(values)
+        assert not in_range.subsumes(DimensionRestriction.to_values([Literal(45)]))
+
+    def test_range_subsumes_narrower_range(self):
+        assert DimensionRestriction.to_range(20, 40).subsumes(
+            DimensionRestriction.to_range(25, 30)
+        )
+        assert not DimensionRestriction.to_range(25, 30).subsumes(
+            DimensionRestriction.to_range(20, 40)
+        )
+
+    def test_sigma_subsumption_is_pointwise(self):
+        weaker = Sigma(["dage", "dcity"]).restrict(
+            "dage", DimensionRestriction.to_values([Literal(28), Literal(35)])
+        )
+        stronger = weaker.restrict("dcity", DimensionRestriction.to_value(EX.term("NY"))).restrict(
+            "dage", DimensionRestriction.to_value(Literal(35))
+        )
+        assert weaker.subsumes(stronger)
+        assert not stronger.subsumes(weaker)
+
+    def test_sigma_subsumption_requires_same_dimensions(self):
+        assert not Sigma(["dage"]).subsumes(Sigma(["dcity"]))

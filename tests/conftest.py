@@ -33,6 +33,21 @@ from repro.datagen import (
 RDF_TYPE = RDF.term("type")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/*.json cube fixtures from current results",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden cube fixtures instead of checking them."""
+    return request.config.getoption("--update-golden")
+
+
 # ---------------------------------------------------------------------------
 # hand-built paper examples
 # ---------------------------------------------------------------------------

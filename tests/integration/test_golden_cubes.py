@@ -1,0 +1,213 @@
+"""Golden-cube regression suite.
+
+Every paper example and both datagen workloads have their expected cubes
+serialized under ``tests/golden/*.json``; each case is answered through
+**every** answering strategy the session offers (the cost-based planner,
+the forced rewriting path, forced from-scratch evaluation and the auto
+fallback) and must reproduce the golden cells exactly — same cell keys,
+same measures (numeric measures within 1e-9).
+
+Regenerating the fixtures after an intended cube-semantics change::
+
+    python -m pytest tests/integration/test_golden_cubes.py --update-golden
+
+(Only the from-scratch strategy writes, so a broken rewrite can never
+overwrite a golden file with its own wrong answer.)
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.rdf import EX, Literal
+from repro.olap import Dice, DrillIn, DrillOut, OLAPSession, Slice
+from repro.persistence import _decode_cell, _encode_cell
+
+from tests.conftest import make_sites_query, make_views_query, make_words_query
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "golden")
+
+#: Strategies every transform case must reproduce the golden cube under.
+STRATEGIES = ("scratch", "rewrite", "auto", "plan")
+
+
+# ---------------------------------------------------------------------------
+# case definitions: name -> (fixture name, builder(session, strategy) -> Cube)
+# ---------------------------------------------------------------------------
+
+
+def _root(query_factory):
+    def build(session, strategy):
+        return session.execute(query_factory())
+
+    return build
+
+
+def _transform(query_factory, operation):
+    def build(session, strategy):
+        query = query_factory()
+        session.execute(query)
+        return session.transform(query, operation, strategy=strategy)
+
+    return build
+
+
+def _blogger_query(dataset):
+    from repro.datagen.blogger import sites_per_blogger_query
+
+    return sites_per_blogger_query(dataset.schema)
+
+
+def _video_query(dataset):
+    from repro.datagen.videos import views_per_url_query
+
+    return views_per_url_query(dataset.schema)
+
+
+CASES = {
+    # paper worked examples -------------------------------------------------
+    "example2_sites_root": ("example2_instance", _root(make_sites_query)),
+    "example2_slice_age35": (
+        "example2_instance",
+        _transform(make_sites_query, Slice("dage", Literal(35))),
+    ),
+    "example2_dice_madrid": (
+        "example2_instance",
+        _transform(
+            make_sites_query,
+            Dice({"dage": [Literal(28)], "dcity": [EX.term("Madrid"), EX.term("Kyoto")]}),
+        ),
+    ),
+    "example2_drillout_age": (
+        "example2_instance",
+        _transform(make_sites_query, DrillOut("dage")),
+    ),
+    "example4_words_root": ("example4_instance", _root(make_words_query)),
+    "example4_dice_range": (
+        "example4_instance",
+        _transform(make_words_query, Dice({"dage": (20, 30)})),
+    ),
+    "figure3_views_root": ("figure3_instance", _root(make_views_query)),
+    "figure3_drillin_browser": (
+        "figure3_instance",
+        _transform(make_views_query, DrillIn("d3")),
+    ),
+}
+
+#: Datagen workload cases: name -> (dataset fixture, query builder, operation or None)
+WORKLOAD_CASES = {
+    "blogger_workload_root": ("small_blogger_dataset", _blogger_query, None),
+    "blogger_workload_dice": (
+        "small_blogger_dataset",
+        _blogger_query,
+        Dice({"dage": (20, 40)}),
+    ),
+    "blogger_workload_drillout": (
+        "small_blogger_dataset",
+        _blogger_query,
+        DrillOut("dage"),
+    ),
+    "video_workload_root": ("small_video_dataset", _video_query, None),
+    "video_workload_drillin": ("small_video_dataset", _video_query, DrillIn("d3")),
+}
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+
+def _cube_payload(cube):
+    cells = [
+        {"key": [_encode_cell(value) for value in key], "value": _encode_cell(measure)}
+        for key, measure in cube.cells().items()
+    ]
+    cells.sort(key=lambda cell: cell["key"])
+    return {
+        "dimensions": list(cube.dimensions),
+        "measure": cube.measure_column,
+        "cells": cells,
+    }
+
+
+def _golden_path(name):
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def _write_golden(name, cube):
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    with open(_golden_path(name), "w", encoding="utf-8") as handle:
+        json.dump(_cube_payload(cube), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _check_against_golden(name, cube):
+    path = _golden_path(name)
+    assert os.path.exists(path), (
+        f"golden fixture {path} is missing; run pytest with --update-golden to create it"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert list(cube.dimensions) == golden["dimensions"]
+    assert cube.measure_column == golden["measure"]
+
+    actual = _cube_payload(cube)
+    golden_cells = {tuple(cell["key"]): cell["value"] for cell in golden["cells"]}
+    actual_cells = {tuple(cell["key"]): cell["value"] for cell in actual["cells"]}
+    assert set(actual_cells) == set(golden_cells), (
+        f"{name}: cell keys diverge from golden "
+        f"(missing: {sorted(set(golden_cells) - set(actual_cells))[:5]}, "
+        f"extra: {sorted(set(actual_cells) - set(golden_cells))[:5]})"
+    )
+    for key, encoded in golden_cells.items():
+        expected = _decode_cell(encoded)
+        observed = _decode_cell(actual_cells[key])
+        if isinstance(expected, (int, float)) and isinstance(observed, (int, float)):
+            assert observed == pytest.approx(expected, abs=1e-9), f"{name}: cell {key}"
+        else:
+            assert observed == expected, f"{name}: cell {key}"
+
+
+# ---------------------------------------------------------------------------
+# the tests
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_paper_example_golden_cubes(name, strategy, request, update_golden):
+    fixture_name, build = CASES[name]
+    instance = request.getfixturevalue(fixture_name)
+    session = OLAPSession(instance)
+    cube = build(session, strategy)
+    if update_golden:
+        if strategy == "scratch":
+            _write_golden(name, cube)
+        return
+    _check_against_golden(name, cube)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("name", sorted(WORKLOAD_CASES))
+def test_workload_golden_cubes(name, strategy, request, update_golden):
+    fixture_name, query_builder, operation = WORKLOAD_CASES[name]
+    dataset = request.getfixturevalue(fixture_name)
+    session = OLAPSession(dataset.instance, dataset.schema)
+    query = query_builder(dataset)
+    if operation is None:
+        cube = session.execute(query)
+    else:
+        session.execute(query)
+        cube = session.transform(query, operation, strategy=strategy)
+    if update_golden:
+        if strategy == "scratch":
+            _write_golden(name, cube)
+        return
+    _check_against_golden(name, cube)
+
+
+def test_golden_fixtures_exist():
+    """Every case has its committed fixture (catches forgotten --update-golden)."""
+    for name in list(CASES) + list(WORKLOAD_CASES):
+        assert os.path.exists(_golden_path(name)), f"missing golden fixture for {name}"

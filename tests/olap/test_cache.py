@@ -1,0 +1,336 @@
+"""Unit tests for the bounded result cache (:mod:`repro.olap.cache`)."""
+
+import pytest
+
+from repro.errors import MaterializationError
+from repro.rdf import EX, Literal, RDF, Triple
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.olap.cache import ResultCache, canonical_core_key, canonical_query_key
+from repro.olap.cube import Cube
+from repro.olap.operations import Dice, DrillOut, Slice
+from repro.olap.session import OLAPSession
+
+from tests.conftest import make_sites_query
+
+RDF_TYPE = RDF.term("type")
+
+
+@pytest.fixture()
+def materialized(example2_instance, sites_query):
+    return AnalyticalQueryEvaluator(example2_instance).evaluate(sites_query)
+
+
+def _variant(query, index):
+    """Distinct canonical forms of the same core query (different slices)."""
+    return Slice("dage", Literal(index)).apply(query)
+
+
+def _evaluate(instance, query):
+    return AnalyticalQueryEvaluator(instance).evaluate(query)
+
+
+class TestCanonicalKeys:
+    def test_name_does_not_matter(self, sites_query):
+        renamed = sites_query.with_sigma(sites_query.sigma, name="completely_different")
+        assert canonical_query_key(sites_query) == canonical_query_key(renamed)
+
+    def test_sigma_changes_key_but_not_core(self, sites_query):
+        sliced = Slice("dage", Literal(35)).apply(sites_query)
+        assert canonical_query_key(sliced) != canonical_query_key(sites_query)
+        assert canonical_core_key(sliced) == canonical_core_key(sites_query)
+
+    def test_value_set_order_is_canonical(self, sites_query):
+        forward = Dice({"dcity": [EX.term("Madrid"), EX.term("NY")]}).apply(sites_query)
+        backward = Dice({"dcity": [EX.term("NY"), EX.term("Madrid")]}).apply(sites_query)
+        assert canonical_query_key(forward) == canonical_query_key(backward)
+
+    def test_navigation_path_does_not_matter(self, sites_query):
+        """slice∘dice and dice∘slice reaching the same Σ share one key."""
+        slice_op = Slice("dage", Literal(35))
+        dice_op = Dice({"dcity": [EX.term("NY")]})
+        one = dice_op.apply(slice_op.apply(sites_query))
+        other = slice_op.apply(dice_op.apply(sites_query))
+        assert canonical_query_key(one) == canonical_query_key(other)
+
+    def test_range_dices_canonicalize_by_bounds(self, sites_query):
+        one = Dice({"dage": (20, 40)}).apply(sites_query)
+        other = Dice({"dage": (20, 40)}).apply(sites_query)
+        assert canonical_query_key(one) == canonical_query_key(other)
+        different = Dice({"dage": (20, 41)}).apply(sites_query)
+        assert canonical_query_key(one) != canonical_query_key(different)
+
+
+class TestLRUBehaviour:
+    def test_eviction_order_is_lru(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=2)
+        q1, q2, q3 = (_variant(sites_query, i) for i in (1, 2, 3))
+        cache.put(q1, materialized, example2_instance)
+        cache.put(q2, materialized, example2_instance)
+        cache.put(q3, materialized, example2_instance)  # evicts q1
+        assert cache.stats.evictions == 1
+        assert cache.get(q1, example2_instance) is None
+        assert cache.get(q2, example2_instance) is not None
+        assert cache.get(q3, example2_instance) is not None
+
+    def test_get_refreshes_recency(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=2)
+        q1, q2, q3 = (_variant(sites_query, i) for i in (1, 2, 3))
+        cache.put(q1, materialized, example2_instance)
+        cache.put(q2, materialized, example2_instance)
+        assert cache.get(q1, example2_instance) is not None  # q1 now most recent
+        cache.put(q3, materialized, example2_instance)  # evicts q2, not q1
+        assert cache.get(q1, example2_instance) is not None
+        assert cache.get(q2, example2_instance) is None
+
+    def test_capacity_zero_stores_nothing(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=0)
+        cache.put(sites_query, materialized, example2_instance)
+        assert len(cache) == 0
+        assert cache.get(sites_query, example2_instance) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+
+class TestAccounting:
+    def test_hit_and_miss_counts(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=4)
+        assert cache.get(sites_query, example2_instance) is None
+        assert cache.stats.misses == 1
+        cache.put(sites_query, materialized, example2_instance)
+        assert cache.stats.puts == 1
+        assert cache.get(sites_query, example2_instance) is not None
+        assert cache.get(sites_query, example2_instance) is not None
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_answer_only_entry_is_a_miss_when_partial_required(
+        self, example2_instance, sites_query
+    ):
+        """An entry the caller cannot use must not count as a hit nor gain recency."""
+        from repro.analytics.answer import MaterializedQueryResults
+
+        evaluated = AnalyticalQueryEvaluator(example2_instance).evaluate(sites_query)
+        answer_only = MaterializedQueryResults(sites_query, answer=evaluated.answer)
+        cache = ResultCache(capacity=2)
+        other = _variant(sites_query, 1)
+        cache.put(sites_query, answer_only, example2_instance)
+        cache.put(other, evaluated, example2_instance)  # more recent than answer_only
+        assert cache.get(sites_query, example2_instance, require_partial=True) is None
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 1
+        # Recency untouched: inserting a third entry evicts the unusable one.
+        cache.put(_variant(sites_query, 2), evaluated, example2_instance)
+        assert cache.get(sites_query, example2_instance) is None
+        assert cache.get(other, example2_instance) is not None
+
+    def test_execute_recomputes_when_cached_entry_lacks_partial(
+        self, example2_instance, sites_query
+    ):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query, materialize_partial=False)
+        hits_before = session.cache.stats.hits
+        session.execute(sites_query)  # needs pres(Q): must re-evaluate, not "hit"
+        assert session.history[-1].strategy == "scratch"
+        assert session.cache.stats.hits == hits_before
+        assert session.materialized(sites_query).has_partial()
+
+    def test_entry_hit_counter(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=4)
+        cache.put(sites_query, materialized, example2_instance)
+        entry = cache.get(sites_query, example2_instance)
+        assert entry.hits == 1
+        assert cache.get(sites_query, example2_instance).hits == 2
+
+
+class TestGraphMutationInvalidation:
+    def test_mutated_graph_invalidates_entry(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=4)
+        cache.put(sites_query, materialized, example2_instance)
+        example2_instance.add(Triple(EX.term("userX"), RDF_TYPE, EX.Blogger))
+        assert cache.get(sites_query, example2_instance) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+
+    def test_noop_mutation_keeps_entry(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=4)
+        cache.put(sites_query, materialized, example2_instance)
+        duplicate = next(iter(example2_instance))
+        assert not example2_instance.add(duplicate)  # already present: no version bump
+        assert cache.get(sites_query, example2_instance) is not None
+
+    def test_session_never_serves_stale_results(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        example2_instance.add(Triple(EX.term("userY"), RDF_TYPE, EX.Blogger))
+        with pytest.raises(MaterializationError):
+            session.materialized(sites_query)
+
+    def test_planner_recomputes_after_mutation(self, example2_instance, sites_query):
+        """A transform after a mutation falls back to scratch and is correct."""
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        user5 = EX.term("user5")
+        example2_instance.add(Triple(user5, RDF_TYPE, EX.Blogger))
+        example2_instance.add(Triple(user5, EX.hasAge, Literal(35)))
+        example2_instance.add(Triple(user5, EX.livesIn, EX.term("NY")))
+        post = EX.term("p6")
+        example2_instance.add(Triple(post, RDF_TYPE, EX.BlogPost))
+        example2_instance.add(Triple(user5, EX.wrotePost, post))
+        example2_instance.add(Triple(post, EX.postedOn, EX.term("s3")))
+        cube = session.transform(sites_query, Slice("dage", Literal(35)), strategy="plan")
+        assert session.history[-1].strategy == "plan[scratch]"
+        assert cube.cell(Literal(35), EX.term("NY")) == 3
+
+
+class TestPersistenceWarmStart:
+    def test_round_trip_warm_start(self, tmp_path, example2_instance, sites_query, materialized):
+        store = str(tmp_path / "cache")
+        first = ResultCache(capacity=4, store_dir=store)
+        first.put(sites_query, materialized, example2_instance)
+
+        second = ResultCache(capacity=4, store_dir=store)
+        entry = second.get(sites_query, example2_instance)
+        assert entry is not None
+        assert entry.origin == "disk"
+        assert second.stats.disk_hits == 1
+        restored = Cube(entry.materialized.answer, sites_query)
+        original = Cube(materialized.answer, sites_query)
+        assert restored.same_cells(original)
+        assert entry.materialized.has_partial()
+
+    def test_disk_entry_for_other_instance_size_is_stale(
+        self, tmp_path, example2_instance, sites_query, materialized
+    ):
+        store = str(tmp_path / "cache")
+        ResultCache(capacity=4, store_dir=store).put(sites_query, materialized, example2_instance)
+        example2_instance.add(Triple(EX.term("userZ"), RDF_TYPE, EX.Blogger))
+        cold = ResultCache(capacity=4, store_dir=store)
+        assert cold.get(sites_query, example2_instance) is None
+        assert cold.stats.disk_hits == 0
+
+    def test_disk_entry_rejected_when_content_changed_but_size_did_not(
+        self, tmp_path, example2_instance, sites_query, materialized
+    ):
+        """Remove one triple, add another: same triple count, different
+        content — the fingerprint must keep the disk entry from being
+        resurrected (and from being re-stamped as valid)."""
+        store = str(tmp_path / "cache")
+        cache = ResultCache(capacity=4, store_dir=store)
+        cache.put(sites_query, materialized, example2_instance)
+        removed = Triple(EX.term("user1"), EX.hasAge, Literal(28))
+        assert example2_instance.remove(removed)
+        assert example2_instance.add(Triple(EX.term("userW"), RDF_TYPE, EX.Blogger))
+        # In-memory entry: invalidated by the version stamp...
+        assert cache.get(sites_query, example2_instance) is None
+        # ...and the disk copy must not come back either, now or later.
+        assert cache.get(sites_query, example2_instance) is None
+        cold = ResultCache(capacity=4, store_dir=store)
+        assert cold.get(sites_query, example2_instance) is None
+        assert cold.stats.disk_hits == 0
+
+    def test_opaque_predicate_keys_never_persist(
+        self, tmp_path, example2_instance, sites_query
+    ):
+        """Identity-based (pred@...) canonical tokens are process-local: an
+        id can be recycled across processes, so such entries must stay out
+        of the disk store entirely."""
+        import os
+
+        from repro.analytics.sigma import DimensionRestriction
+
+        predicate_query = sites_query.with_sigma(
+            sites_query.sigma.restrict(
+                "dage", DimensionRestriction.to_predicate(lambda value: True)
+            )
+        )
+        store = str(tmp_path / "cache")
+        cache = ResultCache(capacity=4, store_dir=store)
+        cache.put(
+            predicate_query, _evaluate(example2_instance, predicate_query), example2_instance
+        )
+        assert not os.path.isdir(store) or not os.listdir(store)
+        # The in-memory entry still works as usual.
+        assert cache.get(predicate_query, example2_instance) is not None
+
+    def test_capacity_zero_still_writes_through(
+        self, tmp_path, example2_instance, sites_query, materialized
+    ):
+        store = str(tmp_path / "cache")
+        writer = ResultCache(capacity=0, store_dir=store)
+        writer.put(sites_query, materialized, example2_instance)
+        assert len(writer) == 0
+        reader = ResultCache(capacity=4, store_dir=store)
+        assert reader.get(sites_query, example2_instance) is not None
+
+    def test_session_warm_start(self, tmp_path, example2_instance, sites_query):
+        store = str(tmp_path / "session-cache")
+        warm = OLAPSession(example2_instance, cache_dir=store)
+        expected = warm.execute(sites_query)
+
+        fresh = OLAPSession(example2_instance, cache_dir=store)
+        cube = fresh.execute(sites_query)
+        assert fresh.history[-1].strategy == "cache[disk]"
+        assert cube.same_cells(expected)
+        # The warm-started partial supports drill rewritings immediately.
+        drilled = fresh.transform(sites_query, DrillOut("dage"), strategy="rewrite")
+        assert drilled.cell(EX.term("Madrid")) == 3
+
+
+class TestSessionCacheIntegration:
+    def test_auto_falls_back_to_scratch_when_origin_evicted(
+        self, example2_instance, sites_query
+    ):
+        """'Rewrite when possible, otherwise scratch' covers a missing origin
+        entry too (capacity 0 here; LRU eviction and invalidation likewise)."""
+        session = OLAPSession(example2_instance, cache_capacity=0)
+        session.execute(sites_query)
+        cube = session.transform(sites_query, Slice("dage", Literal(35)), strategy="auto")
+        assert session.history[-1].strategy == "scratch"
+        assert cube.cells() == {(Literal(35), EX.term("NY")): 2}
+
+    def test_repeated_planned_operation_writes_disk_once(
+        self, tmp_path, example2_instance, sites_query
+    ):
+        """A plan[cached] hit must not re-serialize the entry to disk."""
+        import os
+
+        store = str(tmp_path / "cache")
+        session = OLAPSession(example2_instance, cache_dir=store)
+        session.execute(sites_query)
+        operation = Slice("dage", Literal(35))
+        session.transform(sites_query, operation, strategy="plan")
+        entry_dirs = sorted(os.listdir(store))
+        stamps = {
+            name: os.path.getmtime(os.path.join(store, name, "manifest.json"))
+            for name in entry_dirs
+        }
+        session.transform(sites_query, operation, strategy="plan")  # cached
+        assert session.history[-1].strategy == "plan[cached]"
+        assert sorted(os.listdir(store)) == entry_dirs
+        for name, stamp in stamps.items():
+            assert os.path.getmtime(os.path.join(store, name, "manifest.json")) == stamp
+
+    def test_forget_discards_cache_entry(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        assert len(session.cache) == 1
+        session.forget(sites_query)
+        assert len(session.cache) == 0
+
+    def test_eviction_under_session_pressure(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance, cache_capacity=1)
+        session.execute(sites_query)
+        session.transform(sites_query, Slice("dage", Literal(35)), strategy="plan")
+        # Capacity 1: materializing the slice evicted the root query.
+        assert len(session.cache) == 1
+        with pytest.raises(MaterializationError):
+            session.materialized(sites_query)
+
+    def test_entries_with_core(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=4)
+        sliced = Slice("dage", Literal(35)).apply(sites_query)
+        cache.put(sites_query, materialized, example2_instance)
+        cache.put(sliced, _evaluate(example2_instance, sliced), example2_instance)
+        assert len(list(cache.entries_with_core(sites_query))) == 2

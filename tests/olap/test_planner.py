@@ -1,0 +1,183 @@
+"""Unit tests for the cost-based OLAP planner (:mod:`repro.olap.planner`)."""
+
+import pytest
+
+from repro.rdf import EX, Literal
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.olap.cube import Cube
+from repro.olap.operations import Dice, DrillIn, DrillOut, Slice
+from repro.olap.planner import Plan
+from repro.olap.session import OLAPSession
+
+from tests.conftest import make_sites_query, make_views_query
+
+
+@pytest.fixture()
+def session(example2_instance):
+    return OLAPSession(example2_instance)
+
+
+@pytest.fixture()
+def executed(session):
+    query = make_sites_query()
+    session.execute(query)
+    return session, query
+
+
+def _plan(session, query, operation) -> Plan:
+    entry = session.cache.get(query, session.instance)
+    return session.planner.plan(
+        query,
+        operation,
+        operation.apply(query),
+        entry.materialized if entry is not None else None,
+    )
+
+
+class TestPlanEnumeration:
+    def test_scratch_is_always_a_candidate(self, session):
+        query = make_sites_query()  # never executed: nothing cached
+        plan = _plan(session, query, Slice("dage", Literal(35)))
+        assert [candidate.strategy for candidate in plan.candidates] == ["scratch"]
+
+    def test_rewrite_candidate_beats_scratch_when_materialized(self, executed):
+        session, query = executed
+        plan = _plan(session, query, Slice("dage", Literal(35)))
+        strategies = [candidate.strategy for candidate in plan.candidates]
+        assert strategies[0] == "rewrite[slice-dice/ans]"
+        assert "scratch" in strategies
+        assert plan.chosen.cost <= plan.candidates[-1].cost
+
+    def test_drill_out_uses_partial(self, executed):
+        session, query = executed
+        plan = _plan(session, query, DrillOut("dage"))
+        assert plan.chosen.strategy == "rewrite[drill-out/pres]"
+
+    def test_drill_out_without_partial_falls_back_to_scratch(self, example2_instance):
+        session = OLAPSession(example2_instance, materialize_partial=False)
+        query = make_sites_query()
+        session.execute(query)
+        plan = _plan(session, query, DrillOut("dage"))
+        assert plan.chosen.strategy == "scratch"
+
+    def test_repeated_operation_prefers_cached_answer(self, executed):
+        session, query = executed
+        operation = Slice("dage", Literal(35))
+        session.transform(query, operation, strategy="plan")
+        plan = _plan(session, query, operation)
+        assert plan.chosen.strategy == "cached"
+
+    def test_compatible_cached_view_is_found(self, executed):
+        """A DICE strengthening a cached SLICE reuses the slice's answer."""
+        session, query = executed
+        sliced = session.transform(query, Slice("dage", Literal(35)), strategy="plan")
+        session.forget(query)  # the root's results are gone: only the slice remains
+        operation = Dice({"dage": [Literal(35)], "dcity": [EX.term("NY")]})
+        cube = session.transform(query, operation, strategy="plan")
+        assert session.history[-1].strategy == "plan[compat[slice-dice/ans]]"
+        assert cube.cells() == {(Literal(35), EX.term("NY")): 2}
+        assert sliced.same_cells(sliced)  # the slice itself is untouched
+
+    def test_plans_are_sorted_by_cost(self, executed):
+        session, query = executed
+        plan = _plan(session, query, Slice("dage", Literal(35)))
+        costs = [candidate.cost for candidate in plan.candidates]
+        assert costs == sorted(costs)
+
+
+class TestPlanExecution:
+    @pytest.mark.parametrize(
+        "operation",
+        [
+            Slice("dage", Literal(35)),
+            Dice({"dcity": [EX.term("Madrid")]}),
+            DrillOut("dage"),
+        ],
+        ids=["slice", "dice", "drill-out"],
+    )
+    def test_planned_answers_match_scratch(self, executed, operation):
+        session, query = executed
+        planned = session.transform(query, operation, strategy="plan")
+        scratch = Cube(
+            AnalyticalQueryEvaluator(session.instance).answer(planned.query), planned.query
+        )
+        assert planned.same_cells(scratch)
+
+    def test_drill_in_planned_on_paper_example(self, figure3_instance):
+        """On the 10-triple Figure 3 graph any strategy is cheap; the planner
+        may legitimately pick scratch — only the cells are pinned here."""
+        session = OLAPSession(figure3_instance)
+        query = make_views_query()
+        session.execute(query)
+        cube = session.transform(query, DrillIn("d3"), strategy="plan")
+        assert session.history[-1].strategy.startswith("plan[")
+        assert cube.cells() == {
+            (Literal("URL1"), Literal("firefox")): 100,
+            (Literal("URL2"), Literal("chrome")): 100,
+        }
+
+    def test_drill_in_planned_prefers_rewriting_at_scale(self, small_video_dataset):
+        """With a realistically sized instance, pres(Q) + q_aux wins the plan."""
+        from repro.datagen.videos import views_per_url_query
+
+        dataset = small_video_dataset
+        session = OLAPSession(dataset.instance, dataset.schema)
+        query = views_per_url_query(dataset.schema)
+        session.execute(query)
+        cube = session.transform(query, DrillIn("d3"), strategy="plan")
+        assert session.history[-1].strategy == "plan[rewrite[drill-in/pres+aux]]"
+        scratch = Cube(
+            AnalyticalQueryEvaluator(dataset.instance).answer(cube.query), cube.query
+        )
+        assert cube.same_cells(scratch)
+
+    def test_planned_transform_materializes_partial_for_chaining(self, executed):
+        session, query = executed
+        sliced = session.transform(query, Slice("dage", Literal(35)), strategy="plan")
+        materialized = session.materialized(sliced.query.name)
+        assert materialized.has_partial()
+        # ... so drilling out an *unrestricted* dimension of the slice stays
+        # on the reuse path.
+        session.transform(sliced.query.name, DrillOut("dcity"), strategy="plan")
+        assert session.history[-1].strategy == "plan[rewrite[drill-out/pres]]"
+
+    def test_drill_out_of_restricted_dimension_replans_to_scratch(self, executed):
+        """DRILL-OUT drops the removed dimension's Σ entry, re-admitting facts
+        the restriction excluded — pres(Q) lacks those, so the rewriting is
+        inapplicable and the planner must go back to the instance."""
+        from repro.errors import RewritingError
+
+        session, query = executed
+        sliced = session.transform(query, Slice("dage", Literal(35)), strategy="plan")
+        drilled = session.transform(sliced.query.name, DrillOut("dage"), strategy="plan")
+        assert session.history[-1].strategy == "plan[scratch]"
+        scratch = Cube(
+            AnalyticalQueryEvaluator(session.instance).answer(drilled.query), drilled.query
+        )
+        assert drilled.same_cells(scratch)
+        # Madrid (dage=28, excluded by the slice) is back in the drilled cube.
+        assert drilled.cell(EX.term("Madrid")) == 3
+        with pytest.raises(RewritingError):
+            session.transform(sliced.query.name, DrillOut("dage"), strategy="rewrite")
+
+
+class TestExplain:
+    def test_explain_lists_all_candidates(self, executed):
+        session, query = executed
+        session.transform(query, Slice("dage", Literal(35)), strategy="plan")
+        explanation = session.history[-1].details["plan"]
+        assert explanation.startswith("plan: slice dage")
+        assert "rewrite[slice-dice/ans]" in explanation
+        assert "scratch" in explanation
+        assert "->" in explanation
+
+    def test_explain_last_helper(self, executed):
+        session, query = executed
+        assert "no planned operation" in session.explain_last()
+        session.transform(query, DrillOut("dage"), strategy="plan")
+        assert "drill-out" in session.explain_last()
+
+    def test_record_carries_estimated_cost(self, executed):
+        session, query = executed
+        session.transform(query, Slice("dage", Literal(35)), strategy="plan")
+        assert session.history[-1].details["estimated_cost"] > 0

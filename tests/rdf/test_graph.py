@@ -168,3 +168,49 @@ class TestDictionaryIntegration:
 
     def test_unknown_term_encodes_to_none(self, small_graph):
         assert small_graph.encode_term(EX.term("missing")) is None
+
+
+class TestUnhashability:
+    def test_hash_attribute_is_none(self):
+        """Explicitly unhashable: __hash__ is None, like other mutable containers."""
+        assert Graph.__hash__ is None
+
+    def test_not_an_instance_of_hashable(self, small_graph):
+        from collections.abc import Hashable
+
+        assert not isinstance(small_graph, Hashable)
+
+    def test_cannot_be_used_in_sets_or_dict_keys(self, small_graph):
+        with pytest.raises(TypeError):
+            {small_graph}
+        with pytest.raises(TypeError):
+            {small_graph: 1}
+
+
+class TestChangeCounter:
+    def test_fresh_graph_version(self):
+        graph = Graph()
+        assert graph.version == 0
+        graph.add(Triple(EX.a, EX.p, EX.b))
+        assert graph.version == 1
+
+    def test_duplicate_add_does_not_bump(self, small_graph):
+        version = small_graph.version
+        duplicate = next(iter(small_graph))
+        assert not small_graph.add(duplicate)
+        assert small_graph.version == version
+
+    def test_remove_bumps_only_when_present(self, small_graph):
+        version = small_graph.version
+        triple = next(iter(small_graph))
+        assert small_graph.remove(triple)
+        assert small_graph.version == version + 1
+        assert not small_graph.remove(triple)
+        assert small_graph.version == version + 1
+
+    def test_clear_bumps_once_when_non_empty(self, small_graph):
+        version = small_graph.version
+        small_graph.clear()
+        assert small_graph.version == version + 1
+        small_graph.clear()  # already empty: no change
+        assert small_graph.version == version + 1

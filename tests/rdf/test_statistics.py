@@ -92,3 +92,63 @@ class TestEstimates:
         statistics = GraphStatistics(stats_graph)
         pattern = TriplePattern(EX.term("user0"), Variable("p"), Variable("o"))
         assert statistics.estimate_pattern(pattern) == 2.0
+
+
+class TestBGPEstimates:
+    @pytest.fixture()
+    def query_graph(self):
+        graph = Graph()
+        rdf_type = RDF.term("type")
+        for index in range(20):
+            user = EX.term(f"user{index}")
+            graph.add(Triple(user, rdf_type, EX.Blogger))
+            graph.add(Triple(user, EX.hasAge, Literal(20 + index % 5)))
+            if index < 5:
+                graph.add(Triple(user, EX.livesIn, EX.term("Madrid")))
+        return graph
+
+    def _query(self, *patterns):
+        from repro.bgp.query import BGPQuery
+
+        return BGPQuery([Variable("x")], list(patterns))
+
+    def test_cardinality_bounded_by_most_selective_pattern(self, query_graph):
+        statistics = GraphStatistics(query_graph)
+        x = Variable("x")
+        query = self._query(
+            TriplePattern(x, RDF.term("type"), EX.Blogger),
+            TriplePattern(x, EX.livesIn, EX.term("Madrid")),
+        )
+        estimate = statistics.estimate_bgp_cardinality(query)
+        assert 1.0 <= estimate <= 5.0
+
+    def test_extra_patterns_never_raise_the_estimate(self, query_graph):
+        statistics = GraphStatistics(query_graph)
+        x = Variable("x")
+        single = self._query(TriplePattern(x, RDF.term("type"), EX.Blogger))
+        joined = self._query(
+            TriplePattern(x, RDF.term("type"), EX.Blogger),
+            TriplePattern(x, EX.hasAge, Variable("a")),
+        )
+        assert statistics.estimate_bgp_cardinality(joined) <= statistics.estimate_bgp_cardinality(
+            single
+        )
+
+    def test_unmatchable_pattern_zeroes_the_estimate(self, query_graph):
+        statistics = GraphStatistics(query_graph)
+        x = Variable("x")
+        query = self._query(
+            TriplePattern(x, RDF.term("type"), EX.Blogger),
+            TriplePattern(x, EX.unknownPredicate, Variable("y")),
+        )
+        assert statistics.estimate_bgp_cardinality(query) == 0.0
+
+    def test_evaluation_cost_at_least_scan_cost(self, query_graph):
+        statistics = GraphStatistics(query_graph)
+        x = Variable("x")
+        query = self._query(
+            TriplePattern(x, RDF.term("type"), EX.Blogger),
+            TriplePattern(x, EX.hasAge, Variable("a")),
+        )
+        scan = sum(statistics.estimate_pattern(pattern) for pattern in query.body)
+        assert statistics.estimate_evaluation_cost(query) >= scan

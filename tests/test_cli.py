@@ -68,3 +68,13 @@ class TestDemoCommand:
         output = capsys.readouterr().out
         assert "slice" in output and "drill-out" in output
         assert "equal=True" in output
+
+    def test_demo_explain_prints_costed_plans(self, capsys):
+        exit_code = main(["demo", "--bloggers", "60", "--explain"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "plan: slice dage" in output
+        assert "plan: drill-out dage" in output
+        assert "cost~" in output
+        assert "scratch" in output
+        assert "executed plan[" in output

@@ -1,0 +1,137 @@
+"""REFRESH — incremental cube maintenance vs. recompute under updates.
+
+The PR-3 claim: when the instance changes by a *small* batch of triples,
+patching cached ``pres(Q)``/``ans(Q)`` from the graph's change log beats
+re-answering from scratch by a wide margin — the work scales with the
+delta, not the instance.  These benchmarks warm a planner session with the
+replayed operation chains of ``bench_planner_sessions``, apply an update
+batch of a given size, and time the post-update re-answering phase under
+two policies:
+
+* ``refresh``   — the warmed session keeps serving; stale results are
+  delta-patched (or rewritten from patched origins), falling back to
+  scratch only where the planner prices it cheaper;
+* ``replan``    — a cold planner session on the updated instance: what
+  invalidation-only caching *with* the PR-2 planner must do (recompute the
+  root once, then rewrite/reuse from its own fresh results);
+* ``recompute`` — a cold session answering every operation from scratch on
+  the updated instance (no reuse at all).
+
+The headline ≥3x is against ``recompute``; ``replan`` is the tougher,
+honest baseline (it recomputes the root only once) and is benchmarked side
+by side.  Every benchmark replay is checked cell-for-cell against
+from-scratch evaluation, so no policy can win by answering wrongly.
+"""
+
+import pytest
+
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.bench.workloads import (
+    bench_scale_from_env,
+    blogger_session_replay,
+    blogger_update_batch,
+    replay_after_update,
+    video_session_replay,
+    video_update_batch,
+)
+from repro.olap.cube import Cube
+
+#: Update-batch sizes exercised, as fractions of the instance's triples.
+FRACTIONS = (0.005, 0.01, 0.05)
+
+
+@pytest.fixture(scope="module")
+def blogger_replay(blogger_bench_dataset):
+    root_query, steps = blogger_session_replay(blogger_bench_dataset)
+    return blogger_bench_dataset, root_query, steps
+
+
+@pytest.fixture(scope="module")
+def video_replay(video_bench_dataset):
+    root_query, steps = video_session_replay(video_bench_dataset)
+    return video_bench_dataset, root_query, steps
+
+
+def _update(batch, dataset, fraction):
+    size = max(1, int(len(dataset.instance) * fraction))
+    return lambda instance: batch(instance, size, seed=17)
+
+
+def _run(dataset, root_query, steps, update, policy):
+    instance = dataset.instance.copy()
+    elapsed, cubes, session = replay_after_update(
+        instance, dataset.schema, root_query, steps, update, policy
+    )
+    return instance, cubes, session
+
+
+def _check(instance, cubes):
+    evaluator = AnalyticalQueryEvaluator(instance)
+    for cube in cubes:
+        assert cube.same_cells(Cube(evaluator.answer(cube.query), cube.query))
+
+
+# --- timed replays -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("policy", ["refresh", "replan", "recompute"])
+def test_blogger_refresh(benchmark, blogger_replay, policy, fraction):
+    dataset, root_query, steps = blogger_replay
+    update = _update(blogger_update_batch, dataset, fraction)
+    instance, cubes, _ = benchmark(
+        lambda: _run(dataset, root_query, steps, update, policy)
+    )
+    _check(instance, cubes)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("policy", ["refresh", "replan", "recompute"])
+def test_video_refresh(benchmark, video_replay, policy, fraction):
+    dataset, root_query, steps = video_replay
+    update = _update(video_update_batch, dataset, fraction)
+    instance, cubes, _ = benchmark(
+        lambda: _run(dataset, root_query, steps, update, policy)
+    )
+    _check(instance, cubes)
+
+
+# --- the refresh win, asserted -----------------------------------------------
+
+
+def test_small_batch_refresh_beats_recompute(blogger_replay):
+    """Small batches (≤1%% of triples): refresh ≥3x faster than recompute.
+
+    Best-of-3 timings on the blogger 12-op dashboard session with a 0.5%%
+    update batch.  At the ``tiny`` CI smoke scale the instance is so small
+    that from-scratch evaluation is nearly free, so the bar is lowered to
+    2x there; at ``small`` (the default) and above the 3x claim is
+    enforced as stated.
+    """
+    import time
+
+    dataset, root_query, steps = blogger_replay
+    update = _update(blogger_update_batch, dataset, 0.005)
+    timings = {}
+    for policy in ("refresh", "recompute"):
+        best = float("inf")
+        for _ in range(3):
+            instance = dataset.instance.copy()
+            started = time.perf_counter()
+            elapsed, cubes, session = replay_after_update(
+                instance, dataset.schema, root_query, steps, update, policy
+            )
+            best = min(best, elapsed)
+        timings[policy] = best
+        _check(instance, cubes)
+        if policy == "refresh":
+            assert session.cache.stats.refreshes > 0, (
+                "the refresh policy never exercised the delta-patching path"
+            )
+    threshold = 2.0 if bench_scale_from_env() == "tiny" else 3.0
+    speedup = timings["recompute"] / timings["refresh"]
+    assert speedup >= threshold, (
+        f"refresh replay only {speedup:.2f}x faster than recompute "
+        f"(refresh {timings['refresh'] * 1000:.1f} ms, "
+        f"recompute {timings['recompute'] * 1000:.1f} ms)"
+    )

@@ -86,10 +86,12 @@ class AnalyticalQueryEvaluator:
     # engine-space building blocks (id relations in id_space mode)
     # ------------------------------------------------------------------
 
-    def _bgp_result(self, query, semantics: str) -> Relation:
+    def _bgp_result(self, query, semantics: str, initial_binding=None) -> Relation:
         if self._id_space:
-            return self._bgp.evaluate_ids(query, semantics=semantics)
-        return self._bgp.evaluate(query, semantics=semantics)
+            return self._bgp.evaluate_ids(
+                query, semantics=semantics, initial_binding=initial_binding
+            )
+        return self._bgp.evaluate(query, semantics=semantics, initial_binding=initial_binding)
 
     def _classifier_relation(self, query: AnalyticalQuery) -> Relation:
         relation = self._bgp_result(query.classifier, "set")
@@ -188,6 +190,62 @@ class AnalyticalQueryEvaluator:
             key_column=KEY_COLUMN,
             measure_column=measure_column,
         )
+
+    def fact_partial_rows(
+        self,
+        query: AnalyticalQuery,
+        fact_term,
+        key_generator: KeyGenerator,
+        memo: Optional[Dict] = None,
+    ) -> Relation:
+        """Freshly evaluated ``pres(Q)`` rows of a **single** fact.
+
+        The workhorse of incremental maintenance
+        (:mod:`repro.olap.maintenance`): after a graph update, only the
+        facts whose embeddings touch changed triples need new partial-result
+        rows, and each is re-derived here by evaluating classifier and
+        measure with the fact variable pre-bound — a handful of index
+        lookups instead of a full BGP join.
+
+        The returned relation has the exact ``pres(Q)`` layout
+        ``(x, d₁..dₙ, k, v)`` in the engine's value space.  Keys come from
+        ``key_generator`` — one per measure embedding, duplicated across
+        classifier rows, matching :meth:`partial_result`'s ``c ⋈ₓ mᵏ``
+        construction (Algorithm 1's key-dedup semantics depend on this).
+
+        ``memo`` (optional) caches the raw classifier / measure evaluations
+        keyed by (query, fact) across calls — refresh waves re-derive the
+        same facts for many cached entries that share bodies, and only the
+        Σ-selection and the keys differ per entry.  Callers own the memo's
+        lifetime and must drop it when the graph changes.
+        """
+        fact = query.fact_variable.name
+        measure_column = query.measure_variable.name
+        columns = (fact, *query.dimension_names, KEY_COLUMN, measure_column)
+        binding = {query.fact_variable: fact_term}
+        classifier = measure = None
+        if memo is not None:
+            classifier_key = ("classifier", query.classifier, fact_term)
+            measure_key = ("measure", query.measure, fact_term)
+            classifier = memo.get(classifier_key)
+            measure = memo.get(measure_key)
+        if classifier is None:
+            classifier = self._bgp_result(query.classifier, "set", initial_binding=binding)
+            if memo is not None:
+                memo[classifier_key] = classifier
+        if measure is None:
+            measure = self._bgp_result(query.measure, "bag", initial_binding=binding)
+            if memo is not None:
+                memo[measure_key] = measure
+        if not query.sigma.is_unrestricted():
+            classifier = select(classifier, query.sigma.predicate())
+        keyed = [(row[1], key_generator()) for row in measure]
+        rows = [
+            tuple(classifier_row) + (key, value)
+            for classifier_row in classifier
+            for value, key in keyed
+        ]
+        return relation_like(columns, rows, classifier, measure, plain_columns=(KEY_COLUMN,))
 
     def answer_from_partial(self, query: AnalyticalQuery, partial: PartialResult) -> CubeAnswer:
         """Equation (3): aggregate the partial result into ``ans(Q)``."""

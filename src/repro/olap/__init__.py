@@ -8,14 +8,23 @@
 * :mod:`repro.olap.baseline` — the from-scratch baseline;
 * :mod:`repro.olap.cube` — the cube result abstraction;
 * :mod:`repro.olap.cache` — the bounded canonical-form result cache;
+* :mod:`repro.olap.maintenance` — incremental refresh of cached results
+  from triple-level graph deltas;
 * :mod:`repro.olap.planner` — cost-based strategy planning per operation;
 * :mod:`repro.olap.session` — :class:`OLAPSession`, the top-level API.
 """
 
 from repro.olap.auxiliary import auxiliary_join_columns, build_auxiliary_query
 from repro.olap.baseline import answer_from_scratch, transformed_answer_from_scratch
-from repro.olap.cache import CacheEntry, CacheStats, ResultCache, canonical_query_key
+from repro.olap.cache import (
+    CacheEntry,
+    CacheStats,
+    ResultCache,
+    ResultCacheStats,
+    canonical_query_key,
+)
 from repro.olap.cube import Cube
+from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.planner import OLAPPlanner, Plan, PlanCandidate
 from repro.olap.hierarchy import (
     DimensionHierarchy,
@@ -58,7 +67,10 @@ __all__ = [
     "ResultCache",
     "CacheEntry",
     "CacheStats",
+    "ResultCacheStats",
     "canonical_query_key",
+    "DeltaMaintainer",
+    "estimate_scratch_cost",
     "OLAPPlanner",
     "Plan",
     "PlanCandidate",

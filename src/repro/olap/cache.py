@@ -16,7 +16,13 @@ process that computed them.  :class:`ResultCache` provides exactly that:
   ``capacity`` evict the least recently used entry;
 * every entry is stamped with the instance graph's change counter
   (:attr:`repro.rdf.graph.Graph.version`); a stamped-version mismatch on
-  lookup invalidates the entry instead of returning a stale result;
+  lookup never returns the stale result — but when the graph's change log
+  can still produce the triple deltas since the stamp
+  (:meth:`~repro.rdf.graph.Graph.deltas_since`), the entry is *retained*
+  for :meth:`ResultCache.refresh`, which patches it in place via a
+  :class:`~repro.olap.maintenance.DeltaMaintainer` instead of throwing the
+  work away; only entries past the log window (or lacking the partial
+  result patching needs) are dropped as invalidated;
 * with a ``store_dir`` the cache writes entries through to disk
   (:func:`repro.persistence.save_cache_entry`) and serves misses from disk,
   which is how a new session warm-starts from a previous one's work.
@@ -41,6 +47,7 @@ __all__ = [
     "canonical_query_key",
     "graph_fingerprint",
     "CacheStats",
+    "ResultCacheStats",
     "CacheEntry",
     "ResultCache",
 ]
@@ -149,15 +156,30 @@ def _key_is_persistable(key: str) -> bool:
 
 
 class CacheStats:
-    """Hit / miss / eviction / invalidation accounting of one cache."""
+    """Hit / miss / eviction / invalidation / refresh accounting of one cache.
 
-    __slots__ = ("hits", "misses", "evictions", "invalidations", "disk_hits", "puts")
+    ``refreshes`` counts stale entries successfully patched from graph
+    deltas (see :meth:`ResultCache.refresh`); ``invalidations`` counts
+    entries actually dropped because they could not (or should not) be
+    patched.
+    """
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "refreshes",
+        "disk_hits",
+        "puts",
+    )
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.refreshes = 0
         self.disk_hits = 0
         self.puts = 0
 
@@ -167,6 +189,10 @@ class CacheStats:
     def __repr__(self) -> str:  # pragma: no cover
         parts = ", ".join(f"{name}={getattr(self, name)}" for name in self.__slots__)
         return f"CacheStats({parts})"
+
+
+#: Alias matching the ``ResultCache`` naming (both refer to the same class).
+ResultCacheStats = CacheStats
 
 
 class CacheEntry:
@@ -274,20 +300,24 @@ class ResultCache:
         """The entry for ``query``'s canonical form, or None.
 
         A hit refreshes LRU recency.  An entry stamped with an older graph
-        version is dropped (counted as an invalidation *and* a miss) — a
-        cache hit must never return a result computed against a graph that
-        has since been mutated.  With ``require_partial=True`` an entry
-        lacking ``pres(Q)`` counts as a miss and keeps its recency: the
-        caller cannot use it, so it must neither inflate the hit statistics
-        nor crowd out genuinely reusable entries.  On a miss the disk
-        store, when configured, is consulted and a disk hit is promoted
-        into memory.
+        version is never served — a cache hit must not return a result
+        computed against a graph that has since been mutated.  When the
+        graph can still report the triple deltas since the stamp and the
+        entry carries the partial result patching needs, the stale entry is
+        *retained* (a miss, awaiting :meth:`refresh`); otherwise it is
+        dropped and counted as an invalidation.  With
+        ``require_partial=True`` an entry lacking ``pres(Q)`` counts as a
+        miss and keeps its recency: the caller cannot use it, so it must
+        neither inflate the hit statistics nor crowd out genuinely reusable
+        entries.  On a miss the disk store, when configured, is consulted
+        and a disk hit is promoted into memory.
         """
         key = canonical_query_key(query)
         entry = self._entries.get(key)
         if entry is not None and entry.graph_version != graph.version:
-            del self._entries[key]
-            self.stats.invalidations += 1
+            if not self._refreshable(entry, graph):
+                del self._entries[key]
+                self.stats.invalidations += 1
             entry = None
         if entry is not None and require_partial and not entry.materialized.has_partial():
             # The persisted copy (same entry, written at put time) cannot
@@ -304,6 +334,82 @@ class ResultCache:
         if loaded is not None and require_partial and not loaded.materialized.has_partial():
             return None
         return loaded
+
+    @staticmethod
+    def _refreshable(entry: CacheEntry, graph: Graph) -> bool:
+        """True when a stale entry is worth retaining for a later refresh."""
+        if not entry.materialized.has_partial():
+            return False
+        return graph.deltas_since(entry.graph_version) is not None
+
+    def peek(self, query: AnalyticalQuery, graph: Graph) -> Optional[CacheEntry]:
+        """The *fresh* in-memory entry for ``query``, without side effects.
+
+        No statistics, no recency, no disk lookup, no invalidation — used by
+        callers deciding whether other work (e.g. refreshing an origin
+        query) is worth doing before the accounted lookup happens.
+        """
+        entry = self._entries.get(canonical_query_key(query))
+        if entry is None or entry.graph_version != graph.version:
+            return None
+        return entry
+
+    def stale_entry(self, query: AnalyticalQuery, graph: Graph):
+        """The retained stale entry for ``query`` plus its pending deltas.
+
+        Returns ``(entry, delta)`` when the in-memory entry for ``query``'s
+        canonical form is stamped with an older graph version, still holds
+        its partial result, and the graph can produce the deltas since that
+        stamp; None otherwise (entries that turn out unpatchable are dropped
+        and counted as invalidations).  No statistics or recency updates —
+        this is the planner's candidate-enumeration probe.
+        """
+        key = canonical_query_key(query)
+        entry = self._entries.get(key)
+        if entry is None or entry.graph_version == graph.version:
+            return None
+        delta = (
+            graph.deltas_since(entry.graph_version)
+            if entry.materialized.has_partial()
+            else None
+        )
+        if delta is None:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return None
+        return entry, delta
+
+    def refresh(self, query: AnalyticalQuery, graph: Graph, maintainer) -> Optional[CacheEntry]:
+        """Patch the stale entry for ``query`` from graph deltas, in place.
+
+        ``maintainer`` is a :class:`~repro.olap.maintenance.DeltaMaintainer`
+        over the same graph.  On success the entry holds results equal to a
+        from-scratch recompute at the graph's current version, is re-stamped
+        and re-persisted (write-through), gains recency, and ``refreshes``
+        is counted.  When the entry is missing, already fresh, or the patch
+        is not possible, None is returned (an unpatchable entry is dropped
+        as an invalidation) and the caller should fall back to recomputing.
+        """
+        found = self.stale_entry(query, graph)
+        if found is None:
+            return None
+        entry, delta = found
+        refreshed = maintainer.refresh(entry.materialized, delta)
+        if refreshed is None:
+            del self._entries[entry.key]
+            self.stats.invalidations += 1
+            return None
+        entry.materialized = refreshed
+        entry.graph_version = graph.version
+        self.stats.refreshes += 1
+        self._entries.move_to_end(entry.key)
+        if self._store_dir is not None and _key_is_persistable(entry.key):
+            from repro.persistence import save_cache_entry
+
+            save_cache_entry(
+                refreshed, self._entry_dir(entry.key), entry.key, len(graph), graph_fingerprint(graph)
+            )
+        return entry
 
     def put(
         self,

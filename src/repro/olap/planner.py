@@ -27,6 +27,15 @@ Candidate strategies, in the order they are enumerated:
     This is how a DICE of a SLICE reuses the SLICE's materialized results
     even when the origin query handed to the session is the root query.
 
+``refresh-cached``
+    The transformed query's canonical form is cached but **stale** (the
+    instance was mutated since), and the graph's change log still covers
+    the gap: patch the entry's ``pres(Q)``/``ans(Q)`` from the triple
+    deltas (:class:`~repro.olap.maintenance.DeltaMaintainer`) instead of
+    recomputing.  Priced by delta size plus the cached input sizes, so the
+    planner — not a heuristic flag — decides when patching beats rewriting
+    or starting from scratch.
+
 ``scratch``
     Re-evaluate ``Q_T`` on the AnS instance with the id-space engine,
     priced with :class:`~repro.rdf.statistics.GraphStatistics` estimates.
@@ -53,9 +62,11 @@ from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, Partial
 from repro.analytics.evaluator import AnalyticalQueryEvaluator
 from repro.analytics.query import AnalyticalQuery
 from repro.olap.auxiliary import build_auxiliary_query
-from repro.olap.cache import ResultCache, canonical_query_key
+from repro.olap.cache import CacheEntry, ResultCache, canonical_query_key
+from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
 from repro.olap.rewriting import OLAPRewriter, slice_dice_from_answer, transform_partial
+from repro.rdf.graph import GraphDelta
 
 __all__ = ["PlanCandidate", "Plan", "OLAPPlanner"]
 
@@ -155,11 +166,18 @@ class OLAPPlanner:
         evaluator: AnalyticalQueryEvaluator,
         cache: ResultCache,
         rewriter: Optional[OLAPRewriter] = None,
+        maintainer: Optional[DeltaMaintainer] = None,
     ):
         self._evaluator = evaluator
         self._cache = cache
         self._rewriter = rewriter or OLAPRewriter(evaluator.bgp_evaluator)
         self._statistics = evaluator.bgp_evaluator.statistics
+        self._maintainer = maintainer or DeltaMaintainer(evaluator)
+
+    @property
+    def maintainer(self) -> DeltaMaintainer:
+        """The delta maintainer pricing and executing refresh candidates."""
+        return self._maintainer
 
     # ------------------------------------------------------------------
     # planning
@@ -186,6 +204,14 @@ class OLAPPlanner:
         exact = self._cache.get(transformed_query, graph)
         if exact is not None and exact.materialized.has_answer():
             candidates.append(self._cached_candidate(exact.materialized))
+        else:
+            stale = self._cache.stale_entry(transformed_query, graph)
+            if stale is not None:
+                candidates.append(
+                    self._refresh_candidate(
+                        transformed_query, stale[0], stale[1], materialize_partial
+                    )
+                )
 
         if origin_materialized is not None:
             candidates.extend(
@@ -217,6 +243,42 @@ class OLAPPlanner:
             BASE_COST + cells * CACHED_CELL_COST,
             cells,
             f"ans already cached: {cells} cells",
+            run,
+        )
+
+    def _refresh_candidate(
+        self,
+        transformed_query: AnalyticalQuery,
+        entry: CacheEntry,
+        delta: GraphDelta,
+        materialize_partial: bool,
+    ) -> PlanCandidate:
+        cost = BASE_COST + self._maintainer.estimate_refresh_cost(entry.materialized, delta)
+        pres_rows = len(entry.materialized.partial)
+
+        def run() -> Tuple[CubeAnswer, Optional[PartialResult]]:
+            refreshed = self._cache.refresh(
+                transformed_query, self._evaluator.instance, self._maintainer
+            )
+            if refreshed is not None:
+                materialized = refreshed.materialized
+                partial = materialized.partial if materialized.has_partial() else None
+                return materialized.answer, partial
+            # The entry turned out unpatchable (e.g. the change log rolled
+            # over between planning and execution): recompute instead, and
+            # store the result — the session skips re-storing for this
+            # strategy because the cache normally already holds it.
+            materialized = self._evaluator.evaluate(
+                transformed_query, materialize_partial=materialize_partial
+            )
+            self._cache.put(transformed_query, materialized, self._evaluator.instance)
+            return materialized.answer, materialized.partial if materialize_partial else None
+
+        return PlanCandidate(
+            "refresh-cached",
+            cost,
+            pres_rows,
+            f"patch stale pres/ans ({pres_rows} rows) from {len(delta)} triple deltas",
             run,
         )
 
@@ -332,16 +394,11 @@ class OLAPPlanner:
     def _estimate_scratch_cost(self, query: AnalyticalQuery) -> float:
         """Estimated rows touched by a from-scratch evaluation of ``query``.
 
-        Classifier and measure are evaluated independently and joined on the
-        fact variable; the join reads both results once more.
+        Shared with the refresh-vs-recompute decision (see
+        :func:`repro.olap.maintenance.estimate_scratch_cost`) so every
+        strategy is priced in the same unit.
         """
-        statistics = self._statistics
-        classifier_cost = statistics.estimate_evaluation_cost(query.classifier)
-        measure_cost = statistics.estimate_evaluation_cost(query.measure)
-        join_cost = statistics.estimate_bgp_cardinality(
-            query.classifier
-        ) + statistics.estimate_bgp_cardinality(query.measure)
-        return classifier_cost + measure_cost + join_cost
+        return estimate_scratch_cost(self._statistics, query)
 
     def _auxiliary_cost(
         self, original_query: AnalyticalQuery, transformed_query: AnalyticalQuery

@@ -42,8 +42,9 @@ from repro.analytics.evaluator import AnalyticalQueryEvaluator
 from repro.analytics.query import AnalyticalQuery
 from repro.analytics.schema import AnalyticalSchema
 from repro.olap.baseline import transformed_answer_from_scratch
-from repro.olap.cache import DEFAULT_CAPACITY, ResultCache
+from repro.olap.cache import DEFAULT_CAPACITY, CacheEntry, ResultCache
 from repro.olap.cube import Cube
+from repro.olap.maintenance import DeltaMaintainer
 from repro.olap.operations import OLAPOperation
 from repro.olap.planner import OLAPPlanner
 from repro.olap.rewriting import OLAPRewriter
@@ -105,7 +106,10 @@ class OLAPSession:
         self._rewriter = OLAPRewriter(self.evaluator.bgp_evaluator)
         self._materialize_partial = materialize_partial
         self._cache = ResultCache(cache_capacity, store_dir=cache_dir)
-        self._planner = OLAPPlanner(self.evaluator, self._cache, rewriter=self._rewriter)
+        self._maintainer = DeltaMaintainer(self.evaluator)
+        self._planner = OLAPPlanner(
+            self.evaluator, self._cache, rewriter=self._rewriter, maintainer=self._maintainer
+        )
         self._queries: Dict[str, AnalyticalQuery] = {}
         self.history: List[TransformationRecord] = []
 
@@ -121,6 +125,30 @@ class OLAPSession:
     @property
     def planner(self) -> OLAPPlanner:
         return self._planner
+
+    @property
+    def maintainer(self) -> DeltaMaintainer:
+        """The delta maintainer patching cached results after instance updates."""
+        return self._maintainer
+
+    def _try_refresh(self, query: AnalyticalQuery) -> Optional[CacheEntry]:
+        """Refresh a stale cache entry for ``query`` when priced cheaper.
+
+        Compares the delta-based refresh estimate against the from-scratch
+        estimate (same rows-touched unit the planner uses) and patches the
+        entry only when refreshing wins; returns the refreshed (now fresh)
+        entry or None.  This is how ``execute`` — and the plan-strategy
+        origin lookup in :meth:`transform` — keeps serving materialized
+        results across instance updates instead of recomputing them.
+        """
+        found = self._cache.stale_entry(query, self.instance)
+        if found is None:
+            return None
+        entry, delta = found
+        refresh_cost = self._maintainer.estimate_refresh_cost(entry.materialized, delta)
+        if refresh_cost >= self._maintainer.estimate_scratch_cost(query):
+            return None
+        return self._cache.refresh(query, self.instance, self._maintainer)
 
     # ------------------------------------------------------------------
     # query execution
@@ -139,11 +167,19 @@ class OLAPSession:
         )
         started = time.perf_counter()
         entry = self._cache.get(query, self.instance, require_partial=keep_partial)
-        if entry is not None:
-            materialized = entry.materialized
-            strategy = "cache" if entry.origin == "memory" else "cache[disk]"
-            input_rows = len(materialized.answer)
+        if entry is None:
+            # A stale entry may be cheaper to patch from the graph's change
+            # log than to recompute (refreshed entries always carry pres).
+            entry = self._try_refresh(query)
+            if entry is not None:
+                strategy = "refresh"
+                materialized = entry.materialized
+                input_rows = len(materialized.answer)
         else:
+            strategy = "cache" if entry.origin == "memory" else "cache[disk]"
+            materialized = entry.materialized
+            input_rows = len(materialized.answer)
+        if entry is None:
             materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
             self._cache.put(query, materialized, self.instance)
             strategy = "scratch"
@@ -258,14 +294,29 @@ class OLAPSession:
                 f"unknown strategy {strategy!r}; expected plan, auto, rewrite or scratch"
             )
         original_query = self._resolve_query(query)
+        transformed_query = operation.apply(original_query)
         origin_entry = self._cache.get(original_query, self.instance)
+        if (
+            origin_entry is None
+            and strategy == "plan"
+            and self._cache.peek(transformed_query, self.instance) is None
+            and self._cache.stale_entry(transformed_query, self.instance) is None
+        ):
+            # The origin's materialized results went stale under an instance
+            # update.  Unless the transformed query itself is freshly cached
+            # (the planner will just serve it) or patchable in place (the
+            # planner's refresh-cached candidate covers it without touching
+            # the origin), patching the origin when priced cheaper than
+            # recomputing restores every rewrite candidate for this and
+            # subsequent operations.  The forced rewrite/scratch/auto
+            # baselines stay pure and never refresh.
+            origin_entry = self._try_refresh(original_query)
         origin_materialized = origin_entry.materialized if origin_entry is not None else None
         if strategy == "rewrite" and origin_materialized is None:
             raise MaterializationError(
                 f"query {original_query.name!r} has no materialized results in this session; "
                 f"call execute() first (or use the plan/auto/scratch strategies)"
             )
-        transformed_query = operation.apply(original_query)
 
         details: Dict[str, object] = {}
         started = time.perf_counter()
@@ -308,10 +359,11 @@ class OLAPSession:
         elapsed = time.perf_counter() - started
 
         if materialize:
-            if used == "plan[cached]":
-                # The answer came out of the cache entry for this very
-                # query: re-storing (and re-persisting) it would be pure
-                # overhead; the planner's lookup already refreshed recency.
+            if used in ("plan[cached]", "plan[refresh-cached]"):
+                # The answer is already the cache entry for this very query
+                # (served, or patched in place and re-stamped by the refresh
+                # path): re-storing and re-persisting it would be pure
+                # overhead.
                 self._queries[transformed_query.name] = transformed_query
             else:
                 self._store_transformed(transformed_query, answer, transformed_partial)

@@ -14,7 +14,7 @@ what the analytics layer needs:
 """
 
 from repro.rdf.dictionary import TermDictionary
-from repro.rdf.graph import Graph
+from repro.rdf.graph import DEFAULT_CHANGE_LOG_LIMIT, Graph, GraphDelta
 from repro.rdf.namespaces import ANS, EX, RDF, RDFS, XSD, Namespace, PrefixMap
 from repro.rdf.ntriples import (
     dump_ntriples,
@@ -46,6 +46,8 @@ __all__ = [
     "ANS",
     "TermDictionary",
     "Graph",
+    "GraphDelta",
+    "DEFAULT_CHANGE_LOG_LIMIT",
     "GraphStatistics",
     "RDFSRules",
     "saturate",

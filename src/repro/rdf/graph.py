@@ -25,12 +25,51 @@ from repro.rdf.namespaces import RDF
 from repro.rdf.terms import IRI, BlankNode, Literal, Term, TermOrVariable, Variable
 from repro.rdf.triples import Triple, TriplePattern
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "GraphDelta", "DEFAULT_CHANGE_LOG_LIMIT"]
 
 #: Encoded triple: (subject id, predicate id, object id).
 EncodedTriple = Tuple[int, int, int]
 
 _RDF_TYPE = RDF.term("type")
+
+#: Default bound on the number of retained change-log records.
+DEFAULT_CHANGE_LOG_LIMIT = 4096
+
+
+class GraphDelta:
+    """The coalesced triple-level difference between two graph versions.
+
+    ``added`` holds the encoded triples present at ``to_version`` but not at
+    ``from_version``; ``removed`` the converse.  A triple added *and*
+    removed inside the window coalesces away entirely — consumers only ever
+    see the net effect, which is what incremental view maintenance needs.
+    """
+
+    __slots__ = ("added", "removed", "from_version", "to_version")
+
+    def __init__(
+        self,
+        added: Tuple[EncodedTriple, ...],
+        removed: Tuple[EncodedTriple, ...],
+        from_version: int,
+        to_version: int,
+    ):
+        self.added = added
+        self.removed = removed
+        self.from_version = from_version
+        self.to_version = to_version
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"GraphDelta(+{len(self.added)}/-{len(self.removed)}, "
+            f"v{self.from_version}->v{self.to_version})"
+        )
 
 
 class Graph:
@@ -45,7 +84,14 @@ class Graph:
         Optional human-readable name, used in ``repr`` and benchmark reports.
     """
 
-    def __init__(self, triples: Optional[Iterable] = None, name: str | None = None):
+    def __init__(
+        self,
+        triples: Optional[Iterable] = None,
+        name: str | None = None,
+        change_log_limit: int = DEFAULT_CHANGE_LOG_LIMIT,
+    ):
+        if change_log_limit < 0:
+            raise ValueError(f"change_log_limit must be >= 0, got {change_log_limit}")
         self.name = name
         self._dictionary = TermDictionary()
         self._triples: Set[EncodedTriple] = set()
@@ -55,6 +101,17 @@ class Graph:
         self._pos: Dict[int, Dict[int, Set[int]]] = {}
         self._osp: Dict[int, Dict[int, Set[int]]] = {}
         self._version = 0
+        # Bounded log of effective mutations: (version after the mutation,
+        # +1 / -1, encoded triple).  ``_log_base`` is the oldest version the
+        # log can still reconstruct deltas from; anything older degrades to
+        # the full-invalidation answer (deltas_since -> None).
+        self._change_log_limit = change_log_limit
+        self._change_log: List[Tuple[int, int, EncodedTriple]] = []
+        self._log_base = 0
+        # Single-slot memo for deltas_since: refresh waves ask for the same
+        # window once per cached entry.  Keyed by (asked-for version,
+        # current version), so any mutation naturally invalidates it.
+        self._delta_memo: Optional[Tuple[int, int, GraphDelta]] = None
         if triples is not None:
             for triple in triples:
                 self.add(triple)
@@ -110,6 +167,7 @@ class Graph:
         self._triples.add(encoded)
         self._index_add(encoded)
         self._version += 1
+        self._log_change(1, encoded)
         return True
 
     def add_all(self, triples: Iterable) -> int:
@@ -135,16 +193,25 @@ class Graph:
         self._triples.discard(encoded)
         self._index_remove(encoded)
         self._version += 1
+        self._log_change(-1, encoded)
         return True
 
     def clear(self) -> None:
-        """Remove all triples (the term dictionary is kept)."""
+        """Remove all triples (the term dictionary is kept).
+
+        Clearing degrades the change log to the full-invalidation sentinel:
+        logging one removal per triple would usually blow the log bound
+        anyway, and consumers patching derived results from deltas are
+        better served by an honest "recompute from scratch" answer.
+        """
         if self._triples:
             self._version += 1
         self._triples.clear()
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._change_log.clear()
+        self._log_base = self._version
 
     def _index_add(self, encoded: EncodedTriple) -> None:
         s, p, o = encoded
@@ -171,6 +238,63 @@ class Graph:
             del second[b]
             if not second:
                 del index[a]
+
+    # ------------------------------------------------------------------
+    # change log (incremental-maintenance support)
+    # ------------------------------------------------------------------
+
+    def _log_change(self, sign: int, encoded: EncodedTriple) -> None:
+        if len(self._change_log) >= self._change_log_limit:
+            # Overflow: drop the history (including this record) and move
+            # the base forward — deltas are only answerable from here on.
+            self._change_log.clear()
+            self._log_base = self._version
+            return
+        self._change_log.append((self._version, sign, encoded))
+
+    @property
+    def change_log_limit(self) -> int:
+        """Maximum number of retained change records (0 disables the log)."""
+        return self._change_log_limit
+
+    @property
+    def change_log_length(self) -> int:
+        """Number of change records currently retained."""
+        return len(self._change_log)
+
+    @property
+    def change_log_base(self) -> int:
+        """The oldest version :meth:`deltas_since` can still answer for."""
+        return self._log_base
+
+    def deltas_since(self, version: int) -> Optional[GraphDelta]:
+        """The coalesced triple deltas between ``version`` and now, or None.
+
+        ``None`` is the **full-invalidation sentinel**: the graph cannot
+        reconstruct the difference (the log overflowed past ``version``, the
+        graph was cleared, or ``version`` is from the future), so derived
+        results stamped at ``version`` must be recomputed, not patched.
+        Opposite mutations of the same triple inside the window coalesce to
+        nothing.
+        """
+        if version > self._version:
+            return None
+        if version == self._version:
+            return GraphDelta((), (), version, self._version)
+        if version < self._log_base:
+            return None
+        memo = self._delta_memo
+        if memo is not None and memo[0] == version and memo[1] == self._version:
+            return memo[2]
+        net: Dict[EncodedTriple, int] = {}
+        for logged_version, sign, encoded in self._change_log:
+            if logged_version > version:
+                net[encoded] = net.get(encoded, 0) + sign
+        added = tuple(triple for triple, balance in net.items() if balance > 0)
+        removed = tuple(triple for triple, balance in net.items() if balance < 0)
+        delta = GraphDelta(added, removed, version, self._version)
+        self._delta_memo = (version, self._version, delta)
+        return delta
 
     # ------------------------------------------------------------------
     # size / membership
@@ -402,8 +526,12 @@ class Graph:
     # ------------------------------------------------------------------
 
     def copy(self, name: str | None = None) -> "Graph":
-        """Return an independent copy of this graph (shared nothing)."""
-        clone = Graph(name=name or self.name)
+        """Return an independent copy of this graph (shared nothing).
+
+        The copy keeps this graph's ``change_log_limit`` (but not its log:
+        a fresh graph starts its own history).
+        """
+        clone = Graph(name=name or self.name, change_log_limit=self._change_log_limit)
         clone.add_all(self)
         return clone
 

@@ -20,11 +20,13 @@ import os
 
 import pytest
 
-from repro.rdf import EX, Literal
+from repro.rdf import EX, Literal, RDF, Triple
 from repro.olap import Dice, DrillIn, DrillOut, OLAPSession, Slice
 from repro.persistence import _decode_cell, _encode_cell
 
 from tests.conftest import make_sites_query, make_views_query, make_words_query
+
+RDF_TYPE = RDF.term("type")
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "golden")
 
@@ -94,6 +96,60 @@ CASES = {
         _transform(make_views_query, DrillIn("d3")),
     ),
 }
+
+def _example2_update_batch(instance):
+    """Scripted update: one new 35/NY blogger posting on s1, one post moves."""
+    user5 = EX.term("user5")
+    post = EX.term("p6")
+    instance.add(Triple(user5, RDF_TYPE, EX.Blogger))
+    instance.add(Triple(user5, EX.hasAge, Literal(35)))
+    instance.add(Triple(user5, EX.livesIn, EX.term("NY")))
+    instance.add(Triple(post, RDF_TYPE, EX.BlogPost))
+    instance.add(Triple(user5, EX.wrotePost, post))
+    instance.add(Triple(post, EX.postedOn, EX.term("s1")))
+    instance.remove(Triple(EX.term("p4"), EX.postedOn, EX.term("s2")))
+    instance.add(Triple(EX.term("p4"), EX.postedOn, EX.term("s3")))
+
+
+def _blogger_workload_update_batch(instance):
+    """Scripted update on the generated blogger instance: two new bloggers
+    (one landing in an existing group, one opening a new city) and one
+    removed authorship."""
+    for tag, age, city, site in (
+        ("upd_user1", 31, "Madrid", "site_0"),
+        ("upd_user2", 77, "Reykjavik", "site_1"),
+    ):
+        user = EX.term(tag)
+        post = EX.term(f"{tag}_post")
+        instance.add(Triple(user, RDF_TYPE, EX.Blogger))
+        instance.add(Triple(user, EX.hasAge, Literal(age)))
+        instance.add(Triple(user, EX.livesIn, EX.term(city)))
+        instance.add(Triple(post, RDF_TYPE, EX.BlogPost))
+        instance.add(Triple(user, EX.wrotePost, post))
+        instance.add(Triple(post, EX.postedOn, EX.term(site)))
+    authorships = sorted(
+        (triple for triple in instance if triple.predicate == EX.wrotePost),
+        key=repr,
+    )
+    instance.remove(authorships[0])
+
+
+#: Update cases: name -> (fixture, query builder, scripted update batch).
+#: Each case executes the query, applies the batch, and re-answers; the
+#: warmed session must take the refresh path and reproduce the golden cells.
+UPDATE_CASES = {
+    "example2_sites_after_update": (
+        "example2_instance",
+        lambda dataset: make_sites_query(),
+        _example2_update_batch,
+    ),
+    "blogger_workload_after_update": (
+        "small_blogger_dataset",
+        _blogger_query,
+        _blogger_workload_update_batch,
+    ),
+}
+
 
 #: Datagen workload cases: name -> (dataset fixture, query builder, operation or None)
 WORKLOAD_CASES = {
@@ -207,7 +263,43 @@ def test_workload_golden_cubes(name, strategy, request, update_golden):
     _check_against_golden(name, cube)
 
 
+@pytest.mark.parametrize("mode", ["refresh", "scratch"])
+@pytest.mark.parametrize("name", sorted(UPDATE_CASES))
+def test_after_update_golden_cubes(name, mode, request, update_golden):
+    """Apply a scripted update batch; the refreshed cube must equal golden.
+
+    ``scratch`` answers the query on the updated instance with a cold
+    session (and is the only mode that writes fixtures, so a broken refresh
+    can never canonize its own wrong cells); ``refresh`` warms a session
+    first, applies the batch, and re-answers — asserting the session really
+    took the delta-patching path rather than recomputing.
+    """
+    fixture_name, query_builder, update_batch = UPDATE_CASES[name]
+    fixture = request.getfixturevalue(fixture_name)
+    if hasattr(fixture, "instance"):
+        instance, schema = fixture.instance.copy(), fixture.schema
+    else:
+        instance, schema = fixture.copy(), None
+    query = query_builder(fixture)
+
+    if mode == "scratch":
+        update_batch(instance)
+        cube = OLAPSession(instance, schema).execute(query)
+    else:
+        session = OLAPSession(instance, schema)
+        session.execute(query)
+        update_batch(instance)
+        cube = session.execute(query)
+        assert session.history[-1].strategy == "refresh"
+        assert session.cache.stats.refreshes == 1
+    if update_golden:
+        if mode == "scratch":
+            _write_golden(name, cube)
+        return
+    _check_against_golden(name, cube)
+
+
 def test_golden_fixtures_exist():
     """Every case has its committed fixture (catches forgotten --update-golden)."""
-    for name in list(CASES) + list(WORKLOAD_CASES):
+    for name in list(CASES) + list(WORKLOAD_CASES) + list(UPDATE_CASES):
         assert os.path.exists(_golden_path(name)), f"missing golden fixture for {name}"

@@ -145,13 +145,48 @@ class TestAccounting:
 
 
 class TestGraphMutationInvalidation:
-    def test_mutated_graph_invalidates_entry(self, example2_instance, sites_query, materialized):
+    def test_mutated_graph_never_serves_stale_entry(
+        self, example2_instance, sites_query, materialized
+    ):
+        """A stale entry is not served — but with deltas available it is
+        *retained* for refresh (a miss, not an invalidation)."""
         cache = ResultCache(capacity=4)
         cache.put(sites_query, materialized, example2_instance)
         example2_instance.add(Triple(EX.term("userX"), RDF_TYPE, EX.Blogger))
         assert cache.get(sites_query, example2_instance) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.invalidations == 0
+        assert cache.stale_entry(sites_query, example2_instance) is not None
+
+    def test_mutation_past_the_log_window_invalidates(
+        self, sites_query, materialized
+    ):
+        """When the change log cannot cover the gap, the entry is dropped."""
+        from repro.rdf import Graph
+
+        instance = Graph(change_log_limit=0)  # the log never answers
+        instance.add(Triple(EX.term("user1"), RDF_TYPE, EX.Blogger))
+        cache = ResultCache(capacity=4)
+        cache.put(sites_query, materialized, instance)
+        instance.add(Triple(EX.term("userX"), RDF_TYPE, EX.Blogger))
+        assert cache.get(sites_query, instance) is None
         assert cache.stats.invalidations == 1
         assert cache.stats.misses == 1
+        assert cache.stale_entry(sites_query, instance) is None
+
+    def test_answer_only_stale_entry_is_invalidated(
+        self, example2_instance, sites_query
+    ):
+        """Without pres(Q) there is nothing to patch: stale -> dropped."""
+        from repro.analytics.answer import MaterializedQueryResults
+
+        evaluated = _evaluate(example2_instance, sites_query)
+        answer_only = MaterializedQueryResults(sites_query, answer=evaluated.answer)
+        cache = ResultCache(capacity=4)
+        cache.put(sites_query, answer_only, example2_instance)
+        example2_instance.add(Triple(EX.term("userX"), RDF_TYPE, EX.Blogger))
+        assert cache.get(sites_query, example2_instance) is None
+        assert cache.stats.invalidations == 1
 
     def test_noop_mutation_keeps_entry(self, example2_instance, sites_query, materialized):
         cache = ResultCache(capacity=4)
@@ -167,8 +202,13 @@ class TestGraphMutationInvalidation:
         with pytest.raises(MaterializationError):
             session.materialized(sites_query)
 
-    def test_planner_recomputes_after_mutation(self, example2_instance, sites_query):
-        """A transform after a mutation falls back to scratch and is correct."""
+    def test_planner_answers_correctly_after_mutation(self, example2_instance, sites_query):
+        """A transform after a mutation never serves the stale cube.
+
+        (Pre-maintenance this was forced to fall back to scratch; with the
+        change log the session may instead patch the stale origin and
+        rewrite — either way the answer must reflect the mutation.)
+        """
         session = OLAPSession(example2_instance)
         session.execute(sites_query)
         user5 = EX.term("user5")
@@ -180,7 +220,6 @@ class TestGraphMutationInvalidation:
         example2_instance.add(Triple(user5, EX.wrotePost, post))
         example2_instance.add(Triple(post, EX.postedOn, EX.term("s3")))
         cube = session.transform(sites_query, Slice("dage", Literal(35)), strategy="plan")
-        assert session.history[-1].strategy == "plan[scratch]"
         assert cube.cell(Literal(35), EX.term("NY")) == 3
 
 
@@ -334,3 +373,137 @@ class TestSessionCacheIntegration:
         cache.put(sites_query, materialized, example2_instance)
         cache.put(sliced, _evaluate(example2_instance, sliced), example2_instance)
         assert len(list(cache.entries_with_core(sites_query))) == 2
+
+
+def _grow_instance(instance, suffix="X"):
+    """A small semantically meaningful update batch: one new NY blogger."""
+    user = EX.term(f"user{suffix}")
+    post = EX.term(f"post{suffix}")
+    instance.add(Triple(user, RDF_TYPE, EX.Blogger))
+    instance.add(Triple(user, EX.hasAge, Literal(35)))
+    instance.add(Triple(user, EX.livesIn, EX.term("NY")))
+    instance.add(Triple(post, RDF_TYPE, EX.BlogPost))
+    instance.add(Triple(user, EX.wrotePost, post))
+    instance.add(Triple(post, EX.postedOn, EX.term("s1")))
+
+
+class TestRefreshAccounting:
+    """Accounting of the refresh path across mixed read/write workloads."""
+
+    def test_cache_refresh_patches_and_restamps(
+        self, example2_instance, sites_query, materialized
+    ):
+        from repro.analytics.evaluator import AnalyticalQueryEvaluator
+        from repro.olap.maintenance import DeltaMaintainer
+
+        cache = ResultCache(capacity=4)
+        cache.put(sites_query, materialized, example2_instance)
+        _grow_instance(example2_instance)
+        maintainer = DeltaMaintainer(AnalyticalQueryEvaluator(example2_instance))
+        entry = cache.refresh(sites_query, example2_instance, maintainer)
+        assert entry is not None
+        assert entry.graph_version == example2_instance.version
+        assert cache.stats.refreshes == 1
+        assert cache.stats.invalidations == 0
+        # The refreshed entry is a plain hit from now on, and it is correct.
+        assert cache.get(sites_query, example2_instance) is entry
+        assert cache.stats.hits == 1
+        refreshed = Cube(entry.materialized.answer, sites_query)
+        scratch = Cube(
+            AnalyticalQueryEvaluator(example2_instance).answer(sites_query), sites_query
+        )
+        assert refreshed.same_cells(scratch)
+
+    def test_refresh_without_stale_entry_is_none(self, example2_instance, sites_query):
+        from repro.analytics.evaluator import AnalyticalQueryEvaluator
+        from repro.olap.maintenance import DeltaMaintainer
+
+        cache = ResultCache(capacity=4)
+        maintainer = DeltaMaintainer(AnalyticalQueryEvaluator(example2_instance))
+        assert cache.refresh(sites_query, example2_instance, maintainer) is None
+        assert cache.stats.refreshes == 0
+
+    def test_session_mixed_workload_counts(self, example2_instance, sites_query):
+        """execute / transform / update / re-execute: every counter lands."""
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)  # miss + put
+        session.execute(sites_query)  # hit
+        operation = Slice("dage", Literal(35))
+        session.transform(sites_query, operation, strategy="plan")
+        _grow_instance(example2_instance)
+        cube = session.execute(sites_query)  # stale -> refresh
+        assert session.history[-1].strategy == "refresh"
+        stats = session.cache.stats
+        assert stats.refreshes == 1
+        assert stats.invalidations == 0
+        assert stats.hits >= 1
+        assert stats.misses >= 2
+        from repro.analytics.evaluator import AnalyticalQueryEvaluator
+
+        scratch = Cube(
+            AnalyticalQueryEvaluator(example2_instance).answer(sites_query), sites_query
+        )
+        assert cube.same_cells(scratch)
+        # The new blogger landed in the refreshed cube.
+        assert cube.cell(Literal(35), EX.term("NY")) == 3
+
+    def test_transform_after_update_prefers_patching_over_scratch(
+        self, example2_instance, sites_query
+    ):
+        """After a small update batch the planner never falls back to scratch:
+        it patches the stale origin (counted as a refresh) and answers the
+        repeated operation from reuse candidates."""
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        operation = Slice("dage", Literal(35))
+        session.transform(sites_query, operation, strategy="plan")
+        _grow_instance(example2_instance)
+        cube = session.transform(sites_query, operation, strategy="plan")
+        assert session.history[-1].strategy != "plan[scratch]"
+        assert session.cache.stats.refreshes >= 1
+        from repro.analytics.evaluator import AnalyticalQueryEvaluator
+
+        transformed = operation.apply(sites_query)
+        scratch = Cube(
+            AnalyticalQueryEvaluator(example2_instance).answer(transformed), transformed
+        )
+        assert cube.same_cells(scratch)
+
+    def test_disk_loaded_entry_refreshes_correctly(
+        self, tmp_path, example2_instance, sites_query
+    ):
+        """An origin="disk" entry (decoded relations) survives updates too."""
+        from repro.analytics.evaluator import AnalyticalQueryEvaluator
+
+        store = str(tmp_path / "cache")
+        warm = OLAPSession(example2_instance, cache_dir=store)
+        warm.execute(sites_query)
+
+        fresh = OLAPSession(example2_instance, cache_dir=store)
+        fresh.execute(sites_query)
+        assert fresh.history[-1].strategy == "cache[disk]"
+        _grow_instance(example2_instance, suffix="Y")
+        cube = fresh.execute(sites_query)
+        assert fresh.history[-1].strategy == "refresh"
+        assert fresh.cache.stats.refreshes == 1
+        entry = fresh.cache.get(sites_query, example2_instance)
+        assert entry is not None and entry.origin == "disk"
+        scratch = Cube(
+            AnalyticalQueryEvaluator(example2_instance).answer(sites_query), sites_query
+        )
+        assert cube.same_cells(scratch)
+        # Drill rewritings work off the patched (decoded) partial result.
+        drilled = fresh.transform(sites_query, DrillOut("dage"), strategy="rewrite")
+        drilled_query = DrillOut("dage").apply(sites_query)
+        drilled_scratch = Cube(
+            AnalyticalQueryEvaluator(example2_instance).answer(drilled_query), drilled_query
+        )
+        assert drilled.same_cells(drilled_scratch)
+
+    def test_capacity_zero_never_refreshes(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance, cache_capacity=0)
+        session.execute(sites_query)
+        _grow_instance(example2_instance, suffix="Z")
+        session.execute(sites_query)
+        assert session.history[-1].strategy == "scratch"
+        assert session.cache.stats.refreshes == 0

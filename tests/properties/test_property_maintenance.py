@@ -1,0 +1,280 @@
+"""Differential oracle for incremental cube maintenance under graph updates.
+
+Hypothesis generates streams of interleaved instance updates (triple adds /
+removals) and OLAP transformations over blogger and video instances; after
+**every** step the cube the session serves — whether it came from a cache
+hit, a delta-patched refresh, a rewriting over (possibly refreshed)
+materialized results, or a from-scratch fallback — must equal a from-scratch
+recomputation on the *current* instance, cell for cell
+(:meth:`repro.olap.cube.Cube.same_cells`), for every aggregate
+(COUNT/SUM/AVG/MIN/MAX) and at cache capacities 0, 1 and the default.
+
+The hypothesis profile is pinned for this suite: ``deadline=None`` (instance
+copies and recomputations dwarf any per-example deadline) and
+``print_blob=True`` so CI failures print the reproduction seed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import EX, Literal, RDF, Triple
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.query import AnalyticalQuery
+from repro.datagen import BloggerConfig, VideoConfig, blogger_dataset, video_dataset
+from repro.datagen.blogger import words_per_blogger_query
+from repro.datagen.videos import views_per_url_query
+from repro.olap.cube import Cube
+from repro.olap.operations import Dice, DrillIn, DrillOut, Slice
+from repro.olap.session import OLAPSession
+
+#: Pinned profile: no deadline, reproduction blob printed on failure.
+_SETTINGS = dict(max_examples=8, deadline=None, print_blob=True)
+
+RDF_TYPE = RDF.term("type")
+
+_dataset_cache = {}
+
+
+def _blogger(seed: int):
+    if ("blogger", seed) not in _dataset_cache:
+        _dataset_cache[("blogger", seed)] = blogger_dataset(
+            BloggerConfig(bloggers=12 + seed % 6, seed=seed)
+        )
+    return _dataset_cache[("blogger", seed)]
+
+
+def _video(seed: int):
+    if ("video", seed) not in _dataset_cache:
+        _dataset_cache[("video", seed)] = video_dataset(
+            VideoConfig(videos=10 + seed % 5, websites=5, seed=seed)
+        )
+    return _dataset_cache[("video", seed)]
+
+
+# ---------------------------------------------------------------------------
+# update and transform generators
+# ---------------------------------------------------------------------------
+
+
+def _apply_update(draw, instance, counter):
+    """Mutate the instance: add a new fact, extend one, or remove triples."""
+    kind = draw(st.sampled_from(["add_fact", "add_measure", "remove", "remove_add"]))
+    if kind == "add_fact":
+        tag = f"hyp_user{next(counter)}"
+        user = EX.term(tag)
+        instance.add(Triple(user, RDF_TYPE, EX.Blogger))
+        instance.add(Triple(user, EX.hasAge, Literal(draw(st.integers(18, 60)))))
+        instance.add(Triple(user, EX.livesIn, EX.term(draw(st.sampled_from(["Madrid", "NY", "Kyoto"])))))
+        post = EX.term(f"{tag}_post")
+        instance.add(Triple(post, RDF_TYPE, EX.BlogPost))
+        instance.add(Triple(user, EX.wrotePost, post))
+        instance.add(Triple(post, EX.postedOn, EX.term("hyp_site")))
+        instance.add(Triple(post, EX.hasWordCount, Literal(draw(st.integers(1, 900)))))
+        return
+    triples = sorted(instance, key=repr)
+    if not triples:
+        return
+    if kind == "add_measure":
+        bloggers = [t.subject for t in triples if t.predicate == RDF_TYPE and t.object == EX.Blogger]
+        if not bloggers:
+            return
+        author = draw(st.sampled_from(sorted(bloggers, key=repr)))
+        post = EX.term(f"hyp_post{next(counter)}")
+        instance.add(Triple(post, RDF_TYPE, EX.BlogPost))
+        instance.add(Triple(author, EX.wrotePost, post))
+        instance.add(Triple(post, EX.postedOn, EX.term("hyp_site2")))
+        instance.add(Triple(post, EX.hasWordCount, Literal(draw(st.integers(1, 900)))))
+        return
+    victim = triples[draw(st.integers(0, len(triples) - 1))]
+    instance.remove(victim)
+    if kind == "remove_add":
+        # Remove one triple and immediately re-add it: the change log must
+        # coalesce the pair away and derived results must be unaffected.
+        instance.add(victim)
+
+
+def _apply_video_update(draw, instance, counter):
+    kind = draw(st.sampled_from(["add_video", "remove", "remove_add"]))
+    if kind == "add_video":
+        tag = f"hyp_video{next(counter)}"
+        video = EX.term(tag)
+        instance.add(Triple(video, RDF_TYPE, EX.Video))
+        instance.add(Triple(video, EX.viewNum, Literal(draw(st.integers(1, 500)))))
+        websites = sorted(
+            {t.subject for t in instance if t.predicate == EX.hasUrl}, key=repr
+        )
+        if websites:
+            instance.add(Triple(video, EX.postedOn, draw(st.sampled_from(websites))))
+        return
+    triples = sorted(instance, key=repr)
+    if not triples:
+        return
+    victim = triples[draw(st.integers(0, len(triples) - 1))]
+    instance.remove(victim)
+    if kind == "remove_add":
+        instance.add(victim)
+
+
+def _value_pool(instance, query):
+    cube = Cube(AnalyticalQueryEvaluator(instance).answer(query), query)
+    return {
+        dimension: sorted(cube.dimension_values(dimension), key=repr)
+        for dimension in query.dimension_names
+    }
+
+
+def _draw_operation(draw, query, pools):
+    """One applicable OLAP operation for ``query`` (None when stuck)."""
+    dimensions = list(query.dimension_names)
+    sliceable = [
+        (d, [v for v in pools.get(d, []) if query.sigma[d].allows(v)]) for d in dimensions
+    ]
+    sliceable = [(d, values) for d, values in sliceable if values]
+    choices = []
+    if sliceable:
+        choices += ["slice", "dice"]
+    if dimensions:
+        choices.append("drill-out")
+    body = {variable.name for variable in query.classifier.variables()}
+    drillable = sorted(
+        name
+        for name in body - set(dimensions) - {query.fact_variable.name}
+        if name in pools
+    )
+    if drillable:
+        choices.append("drill-in")
+    if not choices:
+        return None
+    kind = draw(st.sampled_from(choices))
+    if kind == "slice":
+        dimension, values = draw(st.sampled_from(sliceable))
+        return Slice(dimension, draw(st.sampled_from(values)))
+    if kind == "dice":
+        dimension, values = draw(st.sampled_from(sliceable))
+        count = draw(st.integers(1, min(3, len(values))))
+        start = draw(st.integers(0, len(values) - count))
+        return Dice({dimension: values[start : start + count]})
+    if kind == "drill-out":
+        return DrillOut(draw(st.sampled_from(dimensions)))
+    return DrillIn(draw(st.sampled_from(drillable)))
+
+
+def _check(session, cube, query, capacity):
+    scratch = Cube(AnalyticalQueryEvaluator(session.instance).answer(query), query)
+    assert cube.same_cells(scratch), (
+        f"maintained cube diverged from scratch on {query.name} "
+        f"(strategy {session.history[-1].strategy}, capacity {capacity}): "
+        f"{cube.cells()} != {scratch.cells()}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the oracles
+# ---------------------------------------------------------------------------
+
+
+@given(
+    data=st.data(),
+    seed=st.integers(min_value=0, max_value=12),
+    aggregate=st.sampled_from(["count", "sum", "avg", "min", "max"]),
+    capacity=st.sampled_from([0, 1, None]),
+    steps=st.integers(min_value=2, max_value=8),
+)
+@settings(**_SETTINGS)
+def test_blogger_update_streams(data, seed, aggregate, capacity, steps):
+    import itertools
+
+    dataset = _blogger(seed)
+    instance = dataset.instance.copy()
+    base = words_per_blogger_query(dataset.schema)
+    query = AnalyticalQuery(
+        base.classifier, base.measure, aggregate, name=f"Q_{aggregate}"
+    )
+    pools = _value_pool(instance, query)
+    kwargs = {} if capacity is None else {"cache_capacity": capacity}
+    session = OLAPSession(instance, dataset.schema, **kwargs)
+    counter = itertools.count()
+
+    _check(session, session.execute(query), query, capacity)
+    current = query
+    for _ in range(steps):
+        action = data.draw(st.sampled_from(["update", "transform", "re-execute"]))
+        if action == "update":
+            _apply_update(data.draw, instance, counter)
+            _check(session, session.execute(query), query, capacity)
+        elif action == "re-execute":
+            _check(session, session.execute(current), current, capacity)
+        else:
+            operation = _draw_operation(data.draw, current, pools)
+            if operation is None:
+                continue
+            cube = session.transform(current, operation, strategy="plan")
+            current = cube.query
+            _check(session, cube, current, capacity)
+
+
+@given(
+    data=st.data(),
+    seed=st.integers(min_value=0, max_value=10),
+    capacity=st.sampled_from([0, 1, None]),
+    steps=st.integers(min_value=2, max_value=6),
+)
+@settings(**_SETTINGS)
+def test_video_update_streams(data, seed, capacity, steps):
+    import itertools
+
+    dataset = _video(seed)
+    instance = dataset.instance.copy()
+    query = views_per_url_query(dataset.schema)
+    drilled = DrillIn("d3").apply(query)
+    pools = _value_pool(instance, query)
+    pools.update(
+        {
+            name: values
+            for name, values in _value_pool(instance, drilled).items()
+            if name not in pools
+        }
+    )
+    kwargs = {} if capacity is None else {"cache_capacity": capacity}
+    session = OLAPSession(instance, dataset.schema, **kwargs)
+    counter = itertools.count()
+
+    _check(session, session.execute(query), query, capacity)
+    current = query
+    for _ in range(steps):
+        action = data.draw(st.sampled_from(["update", "transform", "re-execute"]))
+        if action == "update":
+            _apply_video_update(data.draw, instance, counter)
+            _check(session, session.execute(query), query, capacity)
+        elif action == "re-execute":
+            _check(session, session.execute(current), current, capacity)
+        else:
+            operation = _draw_operation(data.draw, current, pools)
+            if operation is None:
+                continue
+            cube = session.transform(current, operation, strategy="plan")
+            current = cube.query
+            _check(session, cube, current, capacity)
+
+
+@given(seed=st.integers(min_value=0, max_value=12))
+@settings(**_SETTINGS)
+def test_small_updates_do_refresh_not_recompute(seed):
+    """The refresh machinery is actually exercised: a small update batch on
+    a warmed session patches the cached root instead of recomputing it."""
+    dataset = _blogger(seed)
+    instance = dataset.instance.copy()
+    query = words_per_blogger_query(dataset.schema)
+    session = OLAPSession(instance, dataset.schema)
+    session.execute(query)
+    tag = EX.term(f"refresh_probe{seed}")
+    post = EX.term(f"refresh_probe{seed}_post")
+    instance.add(Triple(tag, RDF_TYPE, EX.Blogger))
+    instance.add(Triple(tag, EX.hasAge, Literal(30)))
+    instance.add(Triple(tag, EX.livesIn, EX.term("Madrid")))
+    instance.add(Triple(post, RDF_TYPE, EX.BlogPost))
+    instance.add(Triple(tag, EX.wrotePost, post))
+    instance.add(Triple(post, EX.hasWordCount, Literal(123)))
+    cube = session.execute(query)
+    assert session.history[-1].strategy == "refresh"
+    assert session.cache.stats.refreshes == 1
+    _check(session, cube, query, None)

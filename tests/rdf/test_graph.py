@@ -10,6 +10,14 @@ from repro.rdf.triples import TriplePattern
 RDF_TYPE = RDF.term("type")
 
 
+def _encoded(graph: Graph, triple: Triple):
+    return (
+        graph.encode_term(triple.subject),
+        graph.encode_term(triple.predicate),
+        graph.encode_term(triple.object),
+    )
+
+
 @pytest.fixture()
 def small_graph() -> Graph:
     graph = Graph(name="small")
@@ -214,3 +222,105 @@ class TestChangeCounter:
         assert small_graph.version == version + 1
         small_graph.clear()  # already empty: no change
         assert small_graph.version == version + 1
+
+
+class TestChangeLog:
+    """The bounded triple-delta log feeding incremental cube maintenance."""
+
+    def test_empty_delta_at_current_version(self, small_graph):
+        delta = small_graph.deltas_since(small_graph.version)
+        assert delta is not None and delta.is_empty()
+        assert len(delta) == 0
+
+    def test_add_and_remove_are_reported(self, small_graph):
+        version = small_graph.version
+        added = Triple(EX.user3, RDF_TYPE, EX.Blogger)
+        removed = Triple(EX.user1, EX.hasAge, Literal(28))
+        small_graph.add(added)
+        small_graph.remove(removed)
+        delta = small_graph.deltas_since(version)
+        assert delta is not None
+        assert delta.added == (_encoded(small_graph, added),)
+        assert delta.removed == (_encoded(small_graph, removed),)
+        assert len(delta) == 2
+        assert (delta.from_version, delta.to_version) == (version, small_graph.version)
+
+    def test_add_then_remove_coalesces_to_nothing(self, small_graph):
+        version = small_graph.version
+        triple = Triple(EX.user3, RDF_TYPE, EX.Blogger)
+        small_graph.add(triple)
+        small_graph.remove(triple)
+        delta = small_graph.deltas_since(version)
+        assert delta is not None and delta.is_empty()
+
+    def test_remove_then_readd_coalesces_to_nothing(self, small_graph):
+        version = small_graph.version
+        triple = Triple(EX.user1, EX.hasAge, Literal(28))
+        small_graph.remove(triple)
+        small_graph.add(triple)
+        delta = small_graph.deltas_since(version)
+        assert delta is not None and delta.is_empty()
+
+    def test_noop_mutations_do_not_log(self, small_graph):
+        length = small_graph.change_log_length
+        small_graph.add(next(iter(small_graph)))  # duplicate
+        small_graph.remove(Triple(EX.nobody, EX.hasAge, Literal(1)))  # absent
+        assert small_graph.change_log_length == length
+
+    def test_clear_degrades_to_full_invalidation(self, small_graph):
+        version = small_graph.version
+        small_graph.clear()
+        assert small_graph.deltas_since(version) is None
+        assert small_graph.change_log_length == 0
+        # Post-clear mutations are trackable again.
+        base = small_graph.version
+        small_graph.add(Triple(EX.a, EX.p, EX.b))
+        delta = small_graph.deltas_since(base)
+        assert delta is not None and len(delta.added) == 1
+
+    def test_overflow_degrades_to_full_invalidation(self):
+        graph = Graph(change_log_limit=4)
+        stamps = []
+        for index in range(8):
+            stamps.append(graph.version)
+            graph.add(Triple(EX.term(f"s{index}"), EX.p, EX.o))
+        # Versions from before the overflow window: not answerable.
+        assert graph.deltas_since(stamps[0]) is None
+        # The base moved forward to the overflow point; deltas since then work.
+        base = graph.change_log_base
+        assert base > 0
+        delta = graph.deltas_since(base)
+        assert delta is not None
+        assert len(delta.added) == graph.version - base
+
+    def test_future_version_is_unanswerable(self, small_graph):
+        assert small_graph.deltas_since(small_graph.version + 1) is None
+
+    def test_zero_limit_disables_the_log(self):
+        graph = Graph(change_log_limit=0)
+        version = graph.version
+        graph.add(Triple(EX.a, EX.p, EX.b))
+        assert graph.deltas_since(version) is None
+        assert graph.deltas_since(graph.version) is not None  # empty delta
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(change_log_limit=-1)
+
+    def test_version_stamping_consistent_with_log(self, small_graph):
+        """Every logged record carries the version its mutation produced."""
+        version = small_graph.version
+        first = Triple(EX.x1, EX.p, EX.o)
+        second = Triple(EX.x2, EX.p, EX.o)
+        small_graph.add(first)
+        mid_version = small_graph.version
+        small_graph.add(second)
+        assert mid_version == version + 1
+        assert small_graph.version == version + 2
+        delta_mid = small_graph.deltas_since(mid_version)
+        assert delta_mid.added == (_encoded(small_graph, second),)
+        delta_all = small_graph.deltas_since(version)
+        assert set(delta_all.added) == {
+            _encoded(small_graph, first),
+            _encoded(small_graph, second),
+        }

@@ -1,0 +1,93 @@
+"""PARALLEL (Figure/Table): partitioned evaluation vs. serial as instances grow.
+
+Benchmarks the from-scratch answering of the scaling-slice-dice workload's
+generic count query with the serial id-space engine and with the
+partitioned executor at 1, 2 and 4 workers (``shard_count = 2 × workers``).
+Every parallel run is checked cell-for-cell against the serial answer —
+the speedup claim is only meaningful because the cubes are equal.
+
+The ``workers=1`` configuration isolates what sharding itself costs/buys
+(range-restricted per-shard evaluation + partial-aggregate merge, no pool);
+the multi-worker configurations add the process pool (with its thread
+fallback) on top.  Wall-clock speedup beyond the sharding effect requires
+real cores; run on a multi-core host for the headline serial-vs-4-worker
+ratio, and see ``experiment_parallel_scaling`` for the table-generating
+variant that records the host's CPU count.
+"""
+
+import pytest
+
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+from repro.olap.cube import Cube
+from repro.olap.parallel import ParallelExecutor
+
+from repro.bench.workloads import SCALES, bench_scale_from_env
+
+SWEEP = [int(value) for value in SCALES[bench_scale_from_env()]["sweep"]]
+WORKER_COUNTS = [1, 2, 4]
+
+_CACHE = {}
+
+
+def _workload(facts: int):
+    if facts not in _CACHE:
+        config = GenericConfig(
+            facts=facts, dimensions=3, values_per_dimension=1.4, measures_per_fact=2.0
+        )
+        dataset = generic_dataset(config)
+        query = generic_query(config, aggregate="count")
+        evaluator = AnalyticalQueryEvaluator(dataset.instance)
+        oracle = Cube(evaluator.answer(query), query)
+        _CACHE[facts] = (dataset, query, evaluator, oracle)
+    return _CACHE[facts]
+
+
+_EXECUTORS = {}
+
+
+def _executor(facts: int, workers: int) -> ParallelExecutor:
+    """One warm executor per (workload, workers): pools persist across rounds."""
+    key = (facts, workers)
+    if key not in _EXECUTORS:
+        dataset, query, _, _ = _workload(facts)
+        executor = ParallelExecutor(
+            AnalyticalQueryEvaluator(dataset.instance),
+            workers=workers,
+            shard_count=2 * workers,
+        )
+        executor.answer(query)  # warm the pool outside the timed region
+        _EXECUTORS[key] = executor
+    return _EXECUTORS[key]
+
+
+@pytest.mark.parametrize("facts", SWEEP)
+def test_parallel_serial_baseline(benchmark, facts):
+    _, query, evaluator, oracle = _workload(facts)
+    benchmark.extra_info["facts"] = facts
+    benchmark.extra_info["engine"] = "serial"
+    answer = benchmark(lambda: evaluator.answer(query))
+    assert Cube(answer, query).same_cells(oracle)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("facts", SWEEP)
+def test_parallel_workers_scaling(benchmark, facts, workers):
+    import os
+
+    _, query, _, oracle = _workload(facts)
+    executor = _executor(facts, workers)
+    benchmark.extra_info["facts"] = facts
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["shards"] = executor.shard_count
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    answer = benchmark(lambda: executor.answer(query))
+    benchmark.extra_info["backend"] = executor.last_backend
+    assert Cube(answer, query).same_cells(oracle)
+
+
+def test_parallel_executors_shut_down():
+    """Not a benchmark: release every pool the parametrized runs created."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.close()

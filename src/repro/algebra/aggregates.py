@@ -10,6 +10,21 @@ registered aggregate carries it as metadata.
 All aggregates operate on **bags** of values (Python sequences where
 duplicates matter).  Values may be RDF literals; they are converted to
 Python numbers/strings first through :func:`~repro.algebra.expressions.comparable`.
+
+Partial-aggregate algebra
+-------------------------
+
+The partitioned execution engine (:mod:`repro.olap.parallel`) evaluates γ
+per fact shard and combines the per-shard results.  Plain distributivity is
+not enough for that: ``avg`` and ``count_distinct`` are not distributive,
+yet both *are* mergeable through a richer intermediate state — ``avg`` as a
+``(sum, count)`` pair, ``count_distinct`` as the set of distinct raw values
+(term ids on encoded relations, so shards never decode).  Each standard
+aggregate therefore carries a :class:`PartialAggregate`: a small algebra of
+``make`` (bag → state), ``merge`` (state × state → state, associative and
+commutative) and ``finalize`` (state → aggregated value).  Aggregates
+without a registered partial form simply cannot be parallelized; callers
+ask via :func:`partial_aggregate`.
 """
 
 from __future__ import annotations
@@ -23,8 +38,10 @@ from repro.algebra.expressions import comparable
 __all__ = [
     "AggregateFunction",
     "AggregateRegistry",
+    "PartialAggregate",
     "default_registry",
     "get_aggregate",
+    "partial_aggregate",
     "COUNT",
     "COUNT_DISTINCT",
     "SUM",
@@ -90,6 +107,18 @@ class AggregateFunction:
             raise AggregationError(f"aggregate {self.name!r} is undefined on an empty bag")
         return self._combine(prepared)
 
+    def prepare(self, values: Iterable) -> List:
+        """Convert a bag to the value space ⊕ aggregates over.
+
+        Public counterpart of the internal conversion applied by
+        :meth:`__call__`: literals become Python values and, for
+        numeric-only aggregates, everything is coerced to a number (or
+        :class:`AggregationError` is raised).  The partitioned γ uses this
+        so per-shard partial states are built from exactly the values the
+        serial aggregate would see.
+        """
+        return self._prepare(values)
+
     def _prepare(self, values: Iterable) -> List:
         prepared = [comparable(value) for value in values]
         if self.numeric_only:
@@ -152,6 +181,170 @@ SUM = AggregateFunction("sum", _sum, distributive=True)
 AVG = AggregateFunction("avg", _avg, distributive=False)
 MIN = AggregateFunction("min", _min, distributive=True, numeric_only=False)
 MAX = AggregateFunction("max", _max, distributive=True, numeric_only=False)
+
+
+# ---------------------------------------------------------------------------
+# partial-aggregate algebra (mergeable γ states for partitioned execution)
+# ---------------------------------------------------------------------------
+
+
+class PartialAggregate:
+    """The mergeable-state algebra of one aggregation function ⊕.
+
+    ``make`` builds a state from one shard's (non-empty) bag, ``merge``
+    combines the states of two disjoint sub-bags and ``finalize`` turns a
+    state into the aggregated value.  The algebra's contract is
+
+        ``finalize(merge(make(A), make(B))) = ⊕(A ⊎ B)``
+
+    with ``merge`` associative and commutative, so per-shard γ results
+    combine in any order and grouping into exactly the serial answer.
+
+    ``wants_raw`` states hold the *raw* relation column values (term ids on
+    encoded relations): shards then ship integer sets instead of decoded
+    terms, and ``finalize`` receives an optional unary ``decode`` to bring
+    the merged members into value space once, at the merge boundary.  All
+    other states are built from :meth:`AggregateFunction.prepare`'d values
+    and ignore ``decode``.  States must be plain picklable Python data —
+    they cross process boundaries.
+    """
+
+    __slots__ = ("name", "wants_raw")
+
+    def __init__(self, name: str, wants_raw: bool = False):
+        self.name = name
+        self.wants_raw = wants_raw
+
+    def make(self, values: Sequence) -> object:
+        raise NotImplementedError
+
+    def merge(self, left: object, right: object) -> object:
+        raise NotImplementedError
+
+    def finalize(self, state: object, decode: Optional[Callable[[object], object]] = None) -> object:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PartialAggregate({self.name})"
+
+
+class _CountPartial(PartialAggregate):
+    """count: the state is the bag's cardinality; merge adds."""
+
+    def __init__(self):
+        super().__init__("count", wants_raw=True)  # cardinality needs no decoding
+
+    def make(self, values: Sequence) -> int:
+        return len(values)
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+    def finalize(self, state: int, decode=None) -> int:
+        return state
+
+
+class _SumPartial(PartialAggregate):
+    """sum: the state is the running sum; merge adds (exact on ints/Decimals)."""
+
+    def __init__(self):
+        super().__init__("sum")
+
+    def make(self, values: Sequence) -> object:
+        return _sum(values)
+
+    def merge(self, left: object, right: object) -> object:
+        return left + right
+
+    def finalize(self, state: object, decode=None) -> object:
+        return state
+
+
+class _AvgPartial(PartialAggregate):
+    """avg: the state is ``(sum, count)``; division happens once, at finalize.
+
+    Per-shard sums of integer bags stay integers, so the merged total —
+    and therefore ``float(total) / n`` — is bit-identical to the serial
+    ``avg`` regardless of how the rows were sharded.
+    """
+
+    def __init__(self):
+        super().__init__("avg")
+
+    def make(self, values: Sequence) -> tuple:
+        return (_sum(values), len(values))
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state: tuple, decode=None) -> float:
+        total, count = state
+        return float(total) / count
+
+
+class _ExtremumPartial(PartialAggregate):
+    """min / max: the state is the extremum so far; merge re-compares."""
+
+    __slots__ = ("_pick",)
+
+    def __init__(self, name: str, pick: Callable):
+        super().__init__(name)
+        self._pick = pick
+
+    def make(self, values: Sequence) -> object:
+        return self._pick(values)
+
+    def merge(self, left: object, right: object) -> object:
+        return self._pick((left, right))
+
+    def finalize(self, state: object, decode=None) -> object:
+        return state
+
+
+class _CountDistinctPartial(PartialAggregate):
+    """count_distinct: the state is the set of distinct raw values.
+
+    Shards collect raw column values (term ids on encoded relations — no
+    per-shard decoding), merge unions the sets, and only the merged set's
+    members are decoded and converted, each exactly once.  This matches the
+    serial semantics, where two ids decoding to equal comparable values
+    (e.g. ``28`` and ``28.0``) count as one.
+    """
+
+    def __init__(self):
+        super().__init__("count_distinct", wants_raw=True)
+
+    def make(self, values: Sequence) -> frozenset:
+        return frozenset(values)
+
+    def merge(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    def finalize(self, state: frozenset, decode=None) -> int:
+        members = state if decode is None else (decode(value) for value in state)
+        return len({comparable(value) for value in members})
+
+
+_PARTIAL_FORMS: Dict[str, PartialAggregate] = {
+    "count": _CountPartial(),
+    "sum": _SumPartial(),
+    "avg": _AvgPartial(),
+    "min": _ExtremumPartial("min", _min),
+    "max": _ExtremumPartial("max", _max),
+    "count_distinct": _CountDistinctPartial(),
+}
+
+
+def partial_aggregate(function) -> Optional[PartialAggregate]:
+    """The mergeable partial form of an aggregate, or None when it has none.
+
+    ``function`` may be a name or an :class:`AggregateFunction`.  A ``None``
+    answer means γ over this aggregate cannot be partitioned (a custom
+    registered aggregate without a merge algebra): callers must evaluate
+    serially.
+    """
+    aggregate = get_aggregate(function)
+    return _PARTIAL_FORMS.get(aggregate.name)
 
 
 class AggregateRegistry:

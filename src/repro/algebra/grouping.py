@@ -10,18 +10,62 @@ this happens naturally because such facts contribute no rows.
 ``group_rows`` is the lower-level helper returning the groups themselves,
 used by the analytics evaluator when it needs to post-process bags (e.g. to
 deduplicate measure keys in Algorithm 1).
+
+``group_partial_states`` is the per-shard half of a **partitioned** γ: it
+produces one mergeable :class:`~repro.algebra.aggregates.PartialAggregate`
+state per group instead of a final value; ``merge_group_states`` combines
+the state maps of disjoint row partitions and ``finalize_group_states``
+turns the merged map into the rows γ would have produced serially.  Group
+keys stay in the relation's value space (term ids group exactly like terms
+— the encoding is bijective and shards share one dictionary), so merging
+never decodes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import AggregationError, UnknownColumnError
-from repro.algebra.aggregates import AggregateFunction, get_aggregate
+from repro.algebra.aggregates import AggregateFunction, get_aggregate, partial_aggregate
 from repro.algebra.expressions import comparable, memoized_unary
 from repro.algebra.relation import Relation, Row, relation_like, tuple_getter
 
-__all__ = ["group_rows", "group_aggregate", "aggregate_column"]
+__all__ = [
+    "group_rows",
+    "group_aggregate",
+    "group_partial_states",
+    "merge_group_states",
+    "finalize_group_states",
+    "aggregate_column",
+    "POISONED_GROUP",
+]
+
+
+class _PoisonedGroup:
+    """Sentinel state: the group's bag failed to prepare in some partition.
+
+    Serial γ omits a group whose bag raises "undefined" (e.g. non-numeric
+    values under ``sum``) — *as a whole*.  A partitioned γ only sees one
+    shard's slice of the bag, so a failing slice must poison the group
+    across every shard or the answer would depend on where the shard
+    boundaries fell.  The sentinel absorbs merges and is dropped at
+    finalize; pickling preserves identity across process boundaries.
+    """
+
+    __slots__ = ()
+
+    def __reduce__(self):
+        return (_poisoned_group, ())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "POISONED_GROUP"
+
+
+def _poisoned_group() -> "_PoisonedGroup":
+    return POISONED_GROUP
+
+
+POISONED_GROUP = _PoisonedGroup()
 
 
 def group_rows(relation: Relation, by: Sequence[str]) -> Dict[Tuple, List[Row]]:
@@ -111,6 +155,114 @@ def group_aggregate(
     # Group keys stay in their input space (ids group exactly like terms:
     # the encoding is bijective); the aggregated column is always plain.
     return relation_like(output_columns, rows, relation, plain_columns=(output_column,))
+
+
+def group_partial_states(
+    relation: Relation,
+    by: Sequence[str],
+    measure: str,
+    function,
+) -> Dict[Tuple, object]:
+    """The per-partition half of γ: one mergeable state per group.
+
+    Mirrors :func:`group_aggregate` — the same ``None`` filtering, the same
+    memoized decode-and-convert of encoded measure values, the same
+    skip-the-group answer to "undefined on an empty bag" — but stops at the
+    :class:`~repro.algebra.aggregates.PartialAggregate` state so results of
+    disjoint row partitions (fact shards) can be combined exactly.
+
+    Raises :class:`AggregationError` when the aggregate has no registered
+    partial form (callers should have checked :func:`partial_aggregate` and
+    fallen back to a serial γ).
+    """
+    aggregate: AggregateFunction = get_aggregate(function)
+    partial = partial_aggregate(aggregate)
+    if partial is None:
+        raise AggregationError(
+            f"aggregate {aggregate.name!r} has no mergeable partial form; evaluate serially"
+        )
+    measure_index = relation.column_index(measure)
+    groups = group_rows(relation, by)
+    states: Dict[Tuple, object] = {}
+
+    if partial.wants_raw:
+        # count / count_distinct: states are built from the raw column
+        # values (term ids on encoded relations) — no decoding on the shard.
+        for key, group in groups.items():
+            values = [row[measure_index] for row in group if row[measure_index] is not None]
+            if values:
+                states[key] = partial.make(values)
+        return states
+
+    decoder = relation.column_decoder(measure)
+    decode = (
+        memoized_unary(lambda value_id: comparable(decoder(value_id)))
+        if decoder is not None
+        else None
+    )
+    for key, group in groups.items():
+        values = [row[measure_index] for row in group if row[measure_index] is not None]
+        if not values:
+            continue
+        if decode is not None:
+            values = [decode(value) for value in values]
+        try:
+            states[key] = partial.make(aggregate.prepare(values))
+        except AggregationError:
+            # Same semantics as group_aggregate — an undefined aggregate
+            # (e.g. non-numeric values under sum) omits the group — but the
+            # omission must survive the merge: this shard only saw a slice
+            # of the bag, and other shards' slices may prepare fine.
+            states[key] = POISONED_GROUP
+    return states
+
+
+def merge_group_states(
+    state_maps: Iterable[Dict[Tuple, object]], function
+) -> Dict[Tuple, object]:
+    """Combine per-partition γ state maps (associative and commutative)."""
+    aggregate = get_aggregate(function)
+    partial = partial_aggregate(aggregate)
+    if partial is None:
+        raise AggregationError(
+            f"aggregate {aggregate.name!r} has no mergeable partial form; evaluate serially"
+        )
+    merged: Dict[Tuple, object] = {}
+    for states in state_maps:
+        for key, state in states.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = state
+            elif existing is POISONED_GROUP or state is POISONED_GROUP:
+                merged[key] = POISONED_GROUP
+            else:
+                merged[key] = partial.merge(existing, state)
+    return merged
+
+
+def finalize_group_states(
+    states: Dict[Tuple, object],
+    function,
+    decode: Optional[Callable[[object], object]] = None,
+) -> List[Row]:
+    """Turn a merged γ state map into ``key + (aggregated value,)`` rows.
+
+    ``decode`` (id → term) is forwarded to raw-state aggregates
+    (count_distinct) whose members are still encoded; pass the shared
+    dictionary's decoder when the measure column was id-encoded.  Poisoned
+    groups (undefined in some partition) are dropped, matching serial γ.
+    """
+    aggregate = get_aggregate(function)
+    partial = partial_aggregate(aggregate)
+    if partial is None:
+        raise AggregationError(
+            f"aggregate {aggregate.name!r} has no mergeable partial form; evaluate serially"
+        )
+    return [
+        key + (partial.finalize(state, decode),)
+        for key, state in states.items()
+        if state is not POISONED_GROUP
+    ]
 
 
 def aggregate_column(relation: Relation, measure: str, function) -> object:

@@ -32,10 +32,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.algebra.grouping import group_aggregate
+from repro.algebra.grouping import group_aggregate, group_partial_states
 from repro.algebra.operators import join_on, project, rename, select
 from repro.algebra.relation import Relation, relation_like
-from repro.rdf.graph import Graph
+from repro.rdf.graph import Graph, GraphShard
 from repro.rdf.statistics import GraphStatistics
 from repro.bgp.evaluator import BGPEvaluator
 from repro.analytics.answer import CubeAnswer, KeyGenerator, MaterializedQueryResults, PartialResult
@@ -86,27 +86,32 @@ class AnalyticalQueryEvaluator:
     # engine-space building blocks (id relations in id_space mode)
     # ------------------------------------------------------------------
 
-    def _bgp_result(self, query, semantics: str, initial_binding=None) -> Relation:
+    def _bgp_result(self, query, semantics: str, initial_binding=None, fact_range=None) -> Relation:
         if self._id_space:
             return self._bgp.evaluate_ids(
-                query, semantics=semantics, initial_binding=initial_binding
+                query, semantics=semantics, initial_binding=initial_binding, fact_range=fact_range
             )
-        return self._bgp.evaluate(query, semantics=semantics, initial_binding=initial_binding)
+        return self._bgp.evaluate(
+            query, semantics=semantics, initial_binding=initial_binding, fact_range=fact_range
+        )
 
-    def _classifier_relation(self, query: AnalyticalQuery) -> Relation:
-        relation = self._bgp_result(query.classifier, "set")
+    def _classifier_relation(self, query: AnalyticalQuery, fact_range=None) -> Relation:
+        relation = self._bgp_result(query.classifier, "set", fact_range=fact_range)
         if query.sigma.is_unrestricted():
             return relation
         return select(relation, query.sigma.predicate())
 
-    def _measure_relation(self, query: AnalyticalQuery) -> Relation:
-        return self._bgp_result(query.measure, "bag")
+    def _measure_relation(self, query: AnalyticalQuery, fact_range=None) -> Relation:
+        return self._bgp_result(query.measure, "bag", fact_range=fact_range)
 
     def _extended_measure_relation(
-        self, query: AnalyticalQuery, key_generator: Optional[KeyGenerator] = None
+        self,
+        query: AnalyticalQuery,
+        key_generator: Optional[KeyGenerator] = None,
+        fact_range=None,
     ) -> Relation:
         keys = key_generator or KeyGenerator()
-        measure = self._measure_relation(query)
+        measure = self._measure_relation(query, fact_range=fact_range)
         columns = (KEY_COLUMN,) + measure.columns
         return relation_like(columns, ((keys(),) + row for row in measure), measure)
 
@@ -162,7 +167,10 @@ class AnalyticalQueryEvaluator:
     # ------------------------------------------------------------------
 
     def partial_result(
-        self, query: AnalyticalQuery, key_generator: Optional[KeyGenerator] = None
+        self,
+        query: AnalyticalQuery,
+        key_generator: Optional[KeyGenerator] = None,
+        fact_range=None,
     ) -> PartialResult:
         """``pres(Q, I) = c(I) ⋈ₓ mᵏ(I)`` (Definition 4).
 
@@ -170,10 +178,14 @@ class AnalyticalQueryEvaluator:
         value space (encoded ids by default); use
         :attr:`~repro.analytics.answer.PartialResult.relation` for the
         decoded view.
+
+        ``fact_range`` restricts both sides to facts with term ids in the
+        given ``(variable, lo, hi)`` interval — the building block of
+        per-shard evaluation (see :meth:`shard_results`).
         """
         fact = query.fact_variable.name
-        classifier_relation = self._classifier_relation(query)
-        keyed_measure = self._extended_measure_relation(query, key_generator)
+        classifier_relation = self._classifier_relation(query, fact_range=fact_range)
+        keyed_measure = self._extended_measure_relation(query, key_generator, fact_range=fact_range)
         # Reorder mᵏ columns to (x, k, v) so the join drops the duplicate fact
         # column and the output layout is (x, d₁..dₙ, k, v).
         measure_column = query.measure_variable.name
@@ -267,6 +279,61 @@ class AnalyticalQueryEvaluator:
     def answer(self, query: AnalyticalQuery) -> CubeAnswer:
         """``ans(Q, I)`` computed from scratch (Definition 1 via Equation (3))."""
         return self.answer_from_partial(query, self.partial_result(query))
+
+    # ------------------------------------------------------------------
+    # per-shard evaluation (partitioned execution support)
+    # ------------------------------------------------------------------
+
+    def partial_answer_states(
+        self, query: AnalyticalQuery, partial: PartialResult
+    ) -> Dict[Tuple, object]:
+        """Mergeable γ states of ``ans(Q)`` from one (shard's) partial result.
+
+        The per-shard half of Equation (3): the same projection
+        :meth:`answer_from_partial` aggregates over, stopped at the
+        :class:`~repro.algebra.aggregates.PartialAggregate` state per
+        dimension group.  States of disjoint fact shards merge into the
+        exact serial answer (see :mod:`repro.algebra.grouping`).
+        """
+        projected = project(
+            partial.storage,
+            (partial.fact_column, *partial.dimension_columns, partial.measure_column),
+        )
+        return group_partial_states(
+            projected,
+            by=partial.dimension_columns,
+            measure=partial.measure_column,
+            function=query.aggregate,
+        )
+
+    def shard_results(
+        self,
+        query: AnalyticalQuery,
+        shard: GraphShard,
+        key_base: int = 1,
+        keep_rows: bool = True,
+    ) -> Tuple[Optional[list], Dict[Tuple, object]]:
+        """Evaluate one fact shard: (``pres(Q)`` rows, γ state map).
+
+        The fact variable is range-restricted to the shard's id interval in
+        both the classifier and the measure evaluation, so each fact's
+        partial-result rows are produced by exactly one shard.  ``newk()``
+        keys start at ``key_base`` — callers hand each shard a disjoint key
+        range, preserving Algorithm 1's key-dedup semantics across the
+        concatenated ``pres(Q)``.
+
+        Returns plain picklable data (a list of row tuples, or None when
+        ``keep_rows`` is False, and a state map keyed by dimension-value
+        tuples in the engine's value space): this is the payload worker
+        processes ship back to the merge side.
+        """
+        fact_range = (query.fact_variable, shard.lo, shard.hi)
+        partial = self.partial_result(
+            query, key_generator=KeyGenerator(key_base), fact_range=fact_range
+        )
+        states = self.partial_answer_states(query, partial)
+        rows = partial.storage.rows if keep_rows else None
+        return rows, states
 
     def evaluate(
         self,

@@ -44,6 +44,7 @@ __all__ = [
     "experiment_engine_idspace",
     "experiment_planner_sessions",
     "experiment_incremental_refresh",
+    "experiment_parallel_scaling",
     "blogger_session_replay",
     "video_session_replay",
     "blogger_update_batch",
@@ -894,6 +895,75 @@ def experiment_incremental_refresh(
     return table
 
 
+# ---------------------------------------------------------------------------
+# PARALLEL — shard-partitioned evaluation vs. the serial engine
+# ---------------------------------------------------------------------------
+
+
+def experiment_parallel_scaling(scale: str = "small", repeats: Optional[int] = None) -> ResultTable:
+    """PARALLEL — serial vs. 2/4-worker answering on the slice-dice workload.
+
+    For each instance size of the scaling sweep, answers the generic count
+    query from scratch with the serial id-space engine and with the
+    partitioned executor at 2 and 4 workers (process backend where the
+    query pickles, thread fallback otherwise; ``shard_count = 2 × workers``
+    smooths shard imbalance).  Every parallel cube is checked cell-for-cell
+    against the serial answer.  The speedup column is relative to serial;
+    genuine wall-clock wins need real cores (the table title records how
+    many this host has), while the totals also reflect the sharding's
+    smaller per-shard join and γ structures.
+    """
+    import os
+
+    from repro.olap.parallel import ParallelExecutor
+
+    parameters = _scale(scale)
+    repeats = repeats or int(parameters["repeats"])
+    sweep: Sequence[int] = parameters["sweep"]  # type: ignore[assignment]
+    cpus = os.cpu_count() or 1
+    table = ResultTable(
+        ["facts", "instance triples", "engine", "time (ms)", "speedup vs serial", "cells", "equal"],
+        title=f"PARALLEL — partitioned evaluation vs. serial from-scratch ({cpus} CPUs)",
+    )
+    for facts in sweep:
+        config = GenericConfig(
+            facts=int(facts), dimensions=3, values_per_dimension=1.4, measures_per_fact=2.0
+        )
+        dataset = generic_dataset(config)
+        query = generic_query(config, aggregate="count")
+        serial = AnalyticalQueryEvaluator(dataset.instance)
+        serial_time = time_callable(
+            "serial", lambda: serial.answer(query), repeats=repeats
+        ).milliseconds()
+        oracle = Cube(serial.answer(query), query)
+        table.add_row(facts, len(dataset.instance), "serial", serial_time, 1.0, len(oracle), True)
+        for workers in (2, 4):
+            with ParallelExecutor(
+                AnalyticalQueryEvaluator(dataset.instance),
+                workers=workers,
+                shard_count=2 * workers,
+            ) as executor:
+                executor.answer(query)  # warm the worker pool outside the timing
+                measurement = time_callable(
+                    f"workers={workers}",
+                    lambda ex=executor: ex.answer(query),
+                    repeats=repeats,
+                )
+                cube = Cube(executor.answer(query), query)
+            table.add_row(
+                facts,
+                len(dataset.instance),
+                f"parallel x{workers}",
+                measurement.milliseconds(),
+                serial_time / measurement.milliseconds()
+                if measurement.milliseconds() > 0
+                else float("inf"),
+                len(cube),
+                cube.same_cells(oracle),
+            )
+    return table
+
+
 def run_all_experiments(scale: str = "small") -> List[ResultTable]:
     """Run every experiment at the given scale and return their tables."""
     tables = [
@@ -910,5 +980,6 @@ def run_all_experiments(scale: str = "small") -> List[ResultTable]:
         experiment_engine_idspace(scale),
         experiment_planner_sessions(scale),
         experiment_incremental_refresh(scale),
+        experiment_parallel_scaling(scale),
     ]
     return tables

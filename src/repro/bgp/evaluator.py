@@ -66,17 +66,25 @@ class BGPEvaluator:
         query: BGPQuery,
         semantics: str = "set",
         initial_binding: Optional[Dict[Variable, Term]] = None,
+        fact_range: Optional[Tuple[Variable, int, Optional[int]]] = None,
     ) -> IdRelation:
         """Evaluate ``query`` and return the id-level relation over its head.
 
         Every column holds encoded term ids of this graph's dictionary; no
         term object is materialized.  This is the engine's native entry
         point — decoded results are a :meth:`materialize` call away.
+
+        ``fact_range`` — a ``(variable, lo, hi)`` triple (``hi`` may be
+        None for "unbounded") — restricts one variable's bindings to term
+        ids in ``[lo, hi)``.  This is the shard-evaluation hook of the
+        partitioned engine: bindings outside the range are pruned as soon
+        as the variable is bound, so a shard pays only for its own slice of
+        the join work, not a post-hoc filter over the full result.
         """
         if semantics not in ("set", "bag"):
             raise EvaluationError(f"unknown semantics {semantics!r}; expected 'set' or 'bag'")
 
-        bindings, slot_of = self._solve(query, initial_binding)
+        bindings, slot_of = self._solve(query, initial_binding, fact_range)
         dictionary = self._graph.dictionary
         if not bindings:
             return IdRelation.adopt_encoded(query.head_names, [], dictionary)
@@ -99,6 +107,7 @@ class BGPEvaluator:
         query: BGPQuery,
         semantics: str = "set",
         initial_binding: Optional[Dict[Variable, Term]] = None,
+        fact_range: Optional[Tuple[Variable, int, Optional[int]]] = None,
     ) -> Relation:
         """Evaluate ``query`` and return a decoded relation over its head variables.
 
@@ -113,8 +122,13 @@ class BGPEvaluator:
             Optional pre-bindings of some variables to ground terms (used by
             extended classifiers); variables bound here may also appear in
             the head.
+        fact_range:
+            Optional id-range restriction of one variable (see
+            :meth:`evaluate_ids`).
         """
-        return self.evaluate_ids(query, semantics=semantics, initial_binding=initial_binding).materialize()
+        return self.evaluate_ids(
+            query, semantics=semantics, initial_binding=initial_binding, fact_range=fact_range
+        ).materialize()
 
     def count(self, query: BGPQuery, semantics: str = "set") -> int:
         """Return the number of answers without materializing term objects."""
@@ -125,7 +139,10 @@ class BGPEvaluator:
     # ------------------------------------------------------------------
 
     def _solve(
-        self, query: BGPQuery, initial_binding: Optional[Dict[Variable, Term]] = None
+        self,
+        query: BGPQuery,
+        initial_binding: Optional[Dict[Variable, Term]] = None,
+        fact_range: Optional[Tuple[Variable, int, Optional[int]]] = None,
     ) -> Tuple[List[Tuple[Optional[int], ...]], Dict[Variable, int]]:
         """Return (list of slot tuples, variable → slot index).
 
@@ -141,6 +158,16 @@ class BGPEvaluator:
                 if term_id is None:
                     return [], {}  # a pre-bound constant absent from the graph: no answers
                 start_ids[variable] = term_id
+
+        pending_range: Optional[Tuple[Variable, int, Optional[int]]] = None
+        if fact_range is not None:
+            range_variable, range_lo, range_hi = fact_range
+            if range_variable in start_ids:
+                term_id = start_ids[range_variable]
+                if term_id < range_lo or (range_hi is not None and term_id >= range_hi):
+                    return [], {}  # the pre-bound fact lives in another shard
+            else:
+                pending_range = fact_range
 
         ordered = order_patterns(
             query.body, self._statistics, bound_variables=set(start_ids)
@@ -165,8 +192,17 @@ class BGPEvaluator:
         for pattern in ordered:
             if not bindings:
                 return [], slot_of
-            bindings = self._extend(bindings, pattern, slot_of, bound)
+            range_check: Optional[Tuple[int, int, Optional[int]]] = None
+            if pending_range is not None and pending_range[0] in pattern.variables():
+                # This pattern binds the restricted variable: prune to the
+                # shard's id interval inside the extension loop, before any
+                # out-of-range binding tuple is even allocated — later
+                # patterns never see foreign facts.
+                range_check = (slot_of[pending_range[0]], pending_range[1], pending_range[2])
+            bindings = self._extend(bindings, pattern, slot_of, bound, range_check)
             bound.update(pattern.variables())
+            if range_check is not None:
+                pending_range = None
         return bindings, slot_of
 
     def _extend(
@@ -175,6 +211,7 @@ class BGPEvaluator:
         pattern: TriplePattern,
         slot_of: Dict[Variable, int],
         bound: set,
+        range_check: Optional[Tuple[int, int, Optional[int]]] = None,
     ) -> List[Tuple[Optional[int], ...]]:
         """Extend every binding with the matches of one pattern.
 
@@ -184,6 +221,11 @@ class BGPEvaluator:
         the matched triple).  Matches are consistent by construction; only
         a variable repeated in free positions of the *same* pattern needs
         an equality check.
+
+        ``range_check`` — a ``(slot, lo, hi)`` triple — drops matches whose
+        id for that slot falls outside ``[lo, hi)`` (shard evaluation; the
+        slot is always free here, since the caller only restricts a
+        variable this pattern binds for the first time).
         """
         graph = self._graph
         positions = pattern.as_tuple()
@@ -217,6 +259,23 @@ class BGPEvaluator:
             # set directly, allocating nothing but the extended bindings.
             free_index, free_slot = free_positions[0]
             match_single = graph.match_single_ids
+            if range_check is not None and range_check[0] == free_slot:
+                # Shard evaluation of the pattern binding the fact variable:
+                # integer-compare each candidate id before allocating — the
+                # per-shard cost of the fact-enumerating pattern collapses
+                # to a range scan.
+                _, lo, hi = range_check
+                for binding in bindings:
+                    lookup = list(constants)
+                    for index, slot in bound_positions:
+                        lookup[index] = binding[slot]
+                    for value in match_single(lookup[0], lookup[1], lookup[2], free_index):
+                        if value < lo or (hi is not None and value >= hi):
+                            continue
+                        new_binding = list(binding)
+                        new_binding[free_slot] = value
+                        extended.append(tuple(new_binding))
+                return extended
             for binding in bindings:
                 lookup = list(constants)
                 for index, slot in bound_positions:
@@ -253,6 +312,12 @@ class BGPEvaluator:
                 new_binding = list(binding)
                 for index, slot in free_positions:
                     new_binding[slot] = triple_ids[index]
+                if range_check is not None:
+                    value = new_binding[range_check[0]]
+                    if value < range_check[1] or (
+                        range_check[2] is not None and value >= range_check[2]
+                    ):
+                        continue
                 extended.append(tuple(new_binding))
         return extended
 

@@ -10,6 +10,8 @@
 * :mod:`repro.olap.cache` — the bounded canonical-form result cache;
 * :mod:`repro.olap.maintenance` — incremental refresh of cached results
   from triple-level graph deltas;
+* :mod:`repro.olap.parallel` — shard-partitioned parallel evaluation with
+  mergeable partial aggregates;
 * :mod:`repro.olap.planner` — cost-based strategy planning per operation;
 * :mod:`repro.olap.session` — :class:`OLAPSession`, the top-level API.
 """
@@ -25,6 +27,7 @@ from repro.olap.cache import (
 )
 from repro.olap.cube import Cube
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
+from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
 from repro.olap.planner import OLAPPlanner, Plan, PlanCandidate
 from repro.olap.hierarchy import (
     DimensionHierarchy,
@@ -71,6 +74,8 @@ __all__ = [
     "canonical_query_key",
     "DeltaMaintainer",
     "estimate_scratch_cost",
+    "ParallelExecutor",
+    "estimate_parallel_cost",
     "OLAPPlanner",
     "Plan",
     "PlanCandidate",

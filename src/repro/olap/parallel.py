@@ -1,0 +1,401 @@
+"""Partitioned parallel execution of analytical queries.
+
+The serial engine answers ``pres(Q)``/``ans(Q)`` by walking the whole AnS
+instance on one core.  This module scales that out: the term-id space is
+split into fact shards (:meth:`repro.rdf.graph.Graph.partition`), each shard
+evaluates the query with the fact variable range-restricted to its interval
+(classifier ⋈ₓ measure per shard, via
+:meth:`~repro.analytics.evaluator.AnalyticalQueryEvaluator.shard_results`),
+and the per-shard results are combined:
+
+* ``pres(Q)`` is the concatenation of the shard partial results (facts are
+  partitioned, so the shard relations are disjoint; ``newk()`` keys come
+  from disjoint per-shard ranges);
+* ``ans(Q)`` is merged through the partial-aggregate algebra of
+  :mod:`repro.algebra.aggregates` — COUNT/SUM add, AVG merges ``(sum,
+  count)`` pairs, MIN/MAX re-compare, count_distinct unions per-shard id
+  sets — so γ results combine **without re-decoding** a single term.
+
+Backends
+--------
+
+``serial``
+    Shards evaluated inline, one after the other.  Still exercises the
+    range-restricted evaluation and the merge algebra — the oracle-testing
+    configuration, and the ``workers=1`` degenerate case.
+``thread``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor` over the live
+    evaluator.  No pickling, always-current data; concurrency is bounded by
+    the GIL, so this is the correctness/fallback backend, not the fast one.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` whose workers receive
+    the instance graph once (via the pool initializer) and tiny pickled
+    shard specs per task.  Workers ship back plain rows and state maps —
+    term ids are identical across the pickled dictionary copies, so the
+    merge side never re-encodes.  The pool is version-stamped: a graph
+    mutation rebuilds it so workers never serve a stale snapshot.
+``auto``
+    ``process`` when the query pickles (Σ range restrictions carry
+    closures and do not), ``thread`` otherwise; ``serial`` when
+    ``workers <= 1``.
+
+Cost model
+----------
+
+:func:`estimate_parallel_cost` prices the parallel candidate in the
+planner's rows-touched unit: the from-scratch estimate divided by the
+usable lanes, plus a per-cell merge term and a flat per-shard dispatch
+overhead.  Small instances therefore price parallel *above* plain scratch
+and the planner keeps them serial — parallelism has to be won, not assumed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.aggregates import partial_aggregate
+from repro.algebra.grouping import finalize_group_states, merge_group_states
+from repro.algebra.relation import IdRelation, Relation
+from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.query import KEY_COLUMN, AnalyticalQuery
+from repro.olap.maintenance import estimate_scratch_cost
+from repro.rdf.graph import GraphShard
+
+__all__ = [
+    "ParallelExecutor",
+    "estimate_parallel_cost",
+    "KEY_STRIDE",
+    "DISPATCH_SHARD_COST",
+    "MERGE_CELL_COST",
+]
+
+#: Disjoint ``newk()`` key range per shard: shard *i* draws keys from
+#: ``[1 + i * KEY_STRIDE, ...)``.  Keys only need global distinctness
+#: (Algorithm 1 dedups by key), and 2^40 keys per shard is unreachable.
+KEY_STRIDE = 1 << 40
+
+#: Flat rows-touched-equivalent overhead of dispatching one shard (task
+#: submission, result transfer, bookkeeping).  Keeps tiny instances serial.
+DISPATCH_SHARD_COST = 200.0
+
+#: Per merged γ state / answer cell: cost of the merge-and-finalize step.
+MERGE_CELL_COST = 0.5
+
+
+def estimate_parallel_cost(
+    statistics, query: AnalyticalQuery, workers: int, shard_count: int
+) -> float:
+    """Rows-touched estimate of the partitioned path for ``query``.
+
+    Per-shard evaluation splits the from-scratch work across the usable
+    lanes (``min(workers, shard_count)``); merging touches every answer
+    cell once per shard in the worst case; dispatch pays a flat overhead
+    per shard.  Same unit as
+    :func:`repro.olap.maintenance.estimate_scratch_cost`, so the planner
+    can rank the two directly.
+    """
+    lanes = max(1, min(int(workers), int(shard_count)))
+    per_lane = estimate_scratch_cost(statistics, query) / lanes
+    cells = statistics.estimate_bgp_cardinality(query.classifier)
+    merge = MERGE_CELL_COST * (cells + shard_count)
+    return per_lane + merge + DISPATCH_SHARD_COST * shard_count
+
+
+# ---------------------------------------------------------------------------
+# process-pool worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker evaluator over the graph snapshot shipped by the initializer.
+_WORKER_EVALUATOR: Optional[AnalyticalQueryEvaluator] = None
+
+
+def _initialize_worker(graph) -> None:
+    """Pool initializer: build one evaluator (and its statistics) per worker."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = AnalyticalQueryEvaluator(graph)
+
+
+def _run_shard(payload: Tuple[AnalyticalQuery, GraphShard, int, bool]):
+    """Evaluate one pickled shard spec in a worker process."""
+    query, shard, key_base, keep_rows = payload
+    assert _WORKER_EVALUATOR is not None, "worker initializer did not run"
+    return _WORKER_EVALUATOR.shard_results(query, shard, key_base=key_base, keep_rows=keep_rows)
+
+
+# ---------------------------------------------------------------------------
+# executor
+# ---------------------------------------------------------------------------
+
+
+class ParallelExecutor:
+    """Runs analytical queries shard-parallel and merges the partial results.
+
+    Parameters
+    ----------
+    evaluator:
+        The serial :class:`~repro.analytics.evaluator.AnalyticalQueryEvaluator`
+        over the AnS instance (must be id-space; it is also the fallback for
+        non-mergeable aggregates).
+    workers:
+        Pool size.  ``1`` evaluates the shards inline (the merge algebra is
+        still exercised).
+    shard_count:
+        Number of fact shards per query; defaults to ``workers``.  More
+        shards than workers smooths load imbalance at a small dispatch cost.
+    backend:
+        ``"auto"`` (default), ``"process"``, ``"thread"`` or ``"serial"``
+        — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        evaluator: AnalyticalQueryEvaluator,
+        workers: int = 2,
+        shard_count: Optional[int] = None,
+        backend: str = "auto",
+    ):
+        if backend not in ("auto", "process", "thread", "serial"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected auto, process, thread or serial"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._evaluator = evaluator
+        self._graph = evaluator.instance
+        self._workers = int(workers)
+        self._shard_count = self._workers if shard_count is None else int(shard_count)
+        if self._shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self._backend = backend
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_pool_version: Optional[int] = None
+        self._process_broken = False
+        #: Backend used by the most recent dispatch (introspection / tests).
+        self.last_backend: Optional[str] = None
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_count
+
+    @property
+    def backend(self) -> str:
+        """The *requested* backend (the effective one is :attr:`last_backend`)."""
+        return self._backend
+
+    def supports(self, query: AnalyticalQuery) -> bool:
+        """True when ``query`` can be answered by partitioned evaluation.
+
+        Requires the id-space engine (shards merge on shared term ids) and
+        a mergeable partial form of the aggregate; anything else falls back
+        to the serial evaluator inside :meth:`evaluate`.
+        """
+        return self._evaluator.id_space and partial_aggregate(query.aggregate) is not None
+
+    # -- execution -----------------------------------------------------
+
+    def evaluate(
+        self,
+        query: AnalyticalQuery,
+        materialize_partial: bool = True,
+        shard_count: Optional[int] = None,
+    ) -> MaterializedQueryResults:
+        """Answer ``query`` shard-parallel; fall back to serial when unsupported.
+
+        The result equals the serial engine's under
+        :meth:`~repro.olap.cube.Cube.same_cells` — exact for COUNT, MIN,
+        MAX, count_distinct and for SUM/AVG over integer bags; SUM/AVG over
+        float measures may differ by an ulp (float addition is not
+        associative), within same_cells' 1e-9 tolerance.  ``pres(Q)`` is
+        equal as a bag modulo the opaque ``newk()`` key values.  The
+        property suite in ``tests/properties/test_property_parallel.py``
+        holds all of this across worker/shard combinations.
+        """
+        if not self.supports(query):
+            self.last_backend = "fallback-serial"
+            return self._evaluator.evaluate(query, materialize_partial=materialize_partial)
+        count = self._shard_count if shard_count is None else int(shard_count)
+        shards = self._graph.partition(count)
+        results = self._dispatch(query, shards, materialize_partial)
+        return self._merge(query, results, materialize_partial)
+
+    def answer(self, query: AnalyticalQuery, shard_count: Optional[int] = None) -> CubeAnswer:
+        """``ans(Q)`` without retaining ``pres(Q)`` (workers ship no rows)."""
+        return self.evaluate(query, materialize_partial=False, shard_count=shard_count).answer
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(
+        self, query: AnalyticalQuery, shards: Tuple[GraphShard, ...], keep_rows: bool
+    ) -> List[Tuple[Optional[list], Dict]]:
+        backend = self._effective_backend(query, shards)
+        if backend == "process":
+            try:
+                results = self._dispatch_process(query, shards, keep_rows)
+                self.last_backend = "process"
+                return results
+            except (BrokenProcessPool, pickle.PicklingError, OSError):
+                # A torn-down pool or unpicklable instance data (workers die
+                # unpickling the initializer's graph): remember the failure
+                # and serve this (and future) queries on threads.  Genuine
+                # evaluation errors (e.g. min over mixed types) propagate —
+                # they would raise identically on any backend.
+                self._process_broken = True
+                self._shutdown_process_pool()
+                backend = "thread"
+        if backend == "thread":
+            results = self._dispatch_thread(query, shards, keep_rows)
+            self.last_backend = "thread"
+            return results
+        self.last_backend = "serial"
+        return [
+            self._evaluator.shard_results(
+                query, shard, key_base=_shard_key_base(shard), keep_rows=keep_rows
+            )
+            for shard in shards
+        ]
+
+    def _effective_backend(self, query: AnalyticalQuery, shards) -> str:
+        if self._backend == "serial" or self._workers <= 1 or len(shards) <= 1:
+            return "serial"
+        if self._backend == "thread":
+            return "thread"
+        if self._process_broken:
+            return "thread"
+        try:
+            pickle.dumps(query)
+        except Exception:
+            # Σ predicate restrictions (e.g. ranges) carry closures; those
+            # queries cannot cross a process boundary.
+            return "thread"
+        return "process"
+
+    def _dispatch_thread(self, query, shards, keep_rows):
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-shard"
+            )
+        evaluator = self._evaluator
+        futures = [
+            self._thread_pool.submit(
+                evaluator.shard_results,
+                query,
+                shard,
+                _shard_key_base(shard),
+                keep_rows,
+            )
+            for shard in shards
+        ]
+        return [future.result() for future in futures]
+
+    def _dispatch_process(self, query, shards, keep_rows):
+        pool = self._ensure_process_pool()
+        futures = [
+            pool.submit(_run_shard, (query, shard, _shard_key_base(shard), keep_rows))
+            for shard in shards
+        ]
+        return [future.result() for future in futures]
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        version = self._graph.version
+        if self._process_pool is not None and self._process_pool_version == version:
+            return self._process_pool
+        # The graph changed since the workers were seeded (or no pool exists
+        # yet): rebuild so every worker snapshot matches the live instance.
+        # An unpicklable graph surfaces as BrokenProcessPool on the first
+        # result (workers die in the initializer) — _dispatch falls back.
+        self._shutdown_process_pool()
+        self._process_pool = ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_initialize_worker,
+            initargs=(self._graph,),
+        )
+        self._process_pool_version = version
+        return self._process_pool
+
+    # -- merge ---------------------------------------------------------
+
+    def _merge(
+        self,
+        query: AnalyticalQuery,
+        results: List[Tuple[Optional[list], Dict]],
+        materialize_partial: bool,
+    ) -> MaterializedQueryResults:
+        dictionary = self._graph.dictionary
+        fact = query.fact_variable.name
+        dimension_columns = query.dimension_names
+        measure_column = query.measure_variable.name
+
+        merged = merge_group_states((states for _, states in results), query.aggregate)
+        answer_rows = finalize_group_states(merged, query.aggregate, decode=dictionary.decode)
+        answer_columns = (*dimension_columns, measure_column)
+        if dimension_columns:
+            answer_relation: Relation = IdRelation.adopt_encoded(
+                answer_columns, answer_rows, dictionary, encoded=dimension_columns
+            )
+        else:
+            answer_relation = Relation.adopt(answer_columns, answer_rows)
+        answer = CubeAnswer(answer_relation, dimension_columns, measure_column)
+
+        partial = None
+        if materialize_partial:
+            pres_columns = (fact, *dimension_columns, KEY_COLUMN, measure_column)
+            pres_rows: list = []
+            for shard_rows, _ in results:
+                pres_rows.extend(shard_rows or ())
+            pres_relation = IdRelation.adopt_encoded(
+                pres_columns,
+                pres_rows,
+                dictionary,
+                encoded=(fact, *dimension_columns, measure_column),
+            )
+            partial = PartialResult(
+                pres_relation,
+                fact_column=fact,
+                dimension_columns=dimension_columns,
+                key_column=KEY_COLUMN,
+                measure_column=measure_column,
+            )
+        return MaterializedQueryResults(query, answer=answer, partial=partial)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pools (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        self._shutdown_process_pool()
+
+    def _shutdown_process_pool(self) -> None:
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+            self._process_pool_version = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ParallelExecutor({self._workers} workers, {self._shard_count} shards, "
+            f"backend={self._backend})"
+        )
+
+
+def _shard_key_base(shard: GraphShard) -> int:
+    """The start of one shard's disjoint ``newk()`` key range."""
+    return 1 + shard.index * KEY_STRIDE

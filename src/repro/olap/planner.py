@@ -36,6 +36,14 @@ Candidate strategies, in the order they are enumerated:
     planner — not a heuristic flag — decides when patching beats rewriting
     or starting from scratch.
 
+``parallel``
+    Re-evaluate ``Q_T`` shard-parallel on the AnS instance
+    (:class:`~repro.olap.parallel.ParallelExecutor`): per-shard evaluation
+    plus a partial-aggregate merge, priced as the scratch estimate divided
+    by the usable worker lanes plus merge and dispatch overheads.  Only
+    enumerated when the session was built with ``workers > 1`` and the
+    aggregate has a mergeable partial form.
+
 ``scratch``
     Re-evaluate ``Q_T`` on the AnS instance with the id-space engine,
     priced with :class:`~repro.rdf.statistics.GraphStatistics` estimates.
@@ -65,6 +73,7 @@ from repro.olap.auxiliary import build_auxiliary_query
 from repro.olap.cache import CacheEntry, ResultCache, canonical_query_key
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
+from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
 from repro.olap.rewriting import OLAPRewriter, slice_dice_from_answer, transform_partial
 from repro.rdf.graph import GraphDelta
 
@@ -121,7 +130,11 @@ class Plan:
             raise ValueError("a plan needs at least one candidate (scratch is always available)")
         self.operation = operation
         self.transformed_query = transformed_query
-        self.candidates = sorted(candidates, key=lambda candidate: candidate.cost)
+        # The strategy name breaks cost ties: explain() output and golden
+        # comparisons must not depend on candidate enumeration order.
+        self.candidates = sorted(
+            candidates, key=lambda candidate: (candidate.cost, candidate.strategy)
+        )
 
     @property
     def chosen(self) -> PlanCandidate:
@@ -167,17 +180,24 @@ class OLAPPlanner:
         cache: ResultCache,
         rewriter: Optional[OLAPRewriter] = None,
         maintainer: Optional[DeltaMaintainer] = None,
+        parallel: Optional[ParallelExecutor] = None,
     ):
         self._evaluator = evaluator
         self._cache = cache
         self._rewriter = rewriter or OLAPRewriter(evaluator.bgp_evaluator)
         self._statistics = evaluator.bgp_evaluator.statistics
         self._maintainer = maintainer or DeltaMaintainer(evaluator)
+        self._parallel = parallel
 
     @property
     def maintainer(self) -> DeltaMaintainer:
         """The delta maintainer pricing and executing refresh candidates."""
         return self._maintainer
+
+    @property
+    def parallel(self) -> Optional[ParallelExecutor]:
+        """The shard-parallel executor, or None for a single-worker session."""
+        return self._parallel
 
     # ------------------------------------------------------------------
     # planning
@@ -223,6 +243,9 @@ class OLAPPlanner:
         candidates.extend(
             self._compatible_candidates(transformed_query, original_query, materialize_partial)
         )
+
+        if self._parallel is not None and self._parallel.supports(transformed_query):
+            candidates.append(self._parallel_candidate(transformed_query, materialize_partial))
 
         candidates.append(self._scratch_candidate(transformed_query, materialize_partial))
         return Plan(operation, transformed_query, candidates)
@@ -366,6 +389,30 @@ class OLAPPlanner:
                 )
             )
         return candidates
+
+    def _parallel_candidate(
+        self, transformed_query: AnalyticalQuery, materialize_partial: bool
+    ) -> PlanCandidate:
+        executor = self._parallel
+        cost = BASE_COST + estimate_parallel_cost(
+            self._statistics, transformed_query, executor.workers, executor.shard_count
+        )
+        instance_triples = len(self._evaluator.instance)
+
+        def run() -> Tuple[CubeAnswer, Optional[PartialResult]]:
+            materialized = executor.evaluate(
+                transformed_query, materialize_partial=materialize_partial
+            )
+            return materialized.answer, materialized.partial if materialize_partial else None
+
+        return PlanCandidate(
+            "parallel",
+            cost,
+            instance_triples,
+            f"{executor.shard_count} shards on {executor.workers} workers "
+            f"({executor.backend} backend)",
+            run,
+        )
 
     def _scratch_candidate(
         self, transformed_query: AnalyticalQuery, materialize_partial: bool

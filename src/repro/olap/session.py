@@ -44,8 +44,9 @@ from repro.analytics.schema import AnalyticalSchema
 from repro.olap.baseline import transformed_answer_from_scratch
 from repro.olap.cache import DEFAULT_CAPACITY, CacheEntry, ResultCache
 from repro.olap.cube import Cube
-from repro.olap.maintenance import DeltaMaintainer
+from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
+from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
 from repro.olap.planner import OLAPPlanner
 from repro.olap.rewriting import OLAPRewriter
 
@@ -90,6 +91,17 @@ class OLAPSession:
     cache_dir:
         Optional directory for write-through persistence of cache entries;
         a new session pointed at the same directory warm-starts from them.
+    workers:
+        Size of the shard-parallel worker pool.  With ``workers > 1`` the
+        planner enumerates a ``parallel`` candidate (per-shard evaluation +
+        partial-aggregate merge) and :meth:`execute` answers cold queries
+        in parallel when priced cheaper than serial scratch.  ``1``
+        (default) keeps everything serial.
+    shard_count:
+        Fact shards per parallel evaluation (defaults to ``workers``).
+    parallel_backend:
+        ``"auto"`` / ``"process"`` / ``"thread"`` / ``"serial"`` — see
+        :class:`~repro.olap.parallel.ParallelExecutor`.
     """
 
     def __init__(
@@ -99,6 +111,9 @@ class OLAPSession:
         materialize_partial: bool = True,
         cache_capacity: int = DEFAULT_CAPACITY,
         cache_dir: Optional[str] = None,
+        workers: int = 1,
+        shard_count: Optional[int] = None,
+        parallel_backend: str = "auto",
     ):
         self.schema = schema
         self.instance = instance
@@ -107,8 +122,22 @@ class OLAPSession:
         self._materialize_partial = materialize_partial
         self._cache = ResultCache(cache_capacity, store_dir=cache_dir)
         self._maintainer = DeltaMaintainer(self.evaluator)
+        self._parallel = (
+            ParallelExecutor(
+                self.evaluator,
+                workers=workers,
+                shard_count=shard_count,
+                backend=parallel_backend,
+            )
+            if workers > 1
+            else None
+        )
         self._planner = OLAPPlanner(
-            self.evaluator, self._cache, rewriter=self._rewriter, maintainer=self._maintainer
+            self.evaluator,
+            self._cache,
+            rewriter=self._rewriter,
+            maintainer=self._maintainer,
+            parallel=self._parallel,
         )
         self._queries: Dict[str, AnalyticalQuery] = {}
         self.history: List[TransformationRecord] = []
@@ -130,6 +159,37 @@ class OLAPSession:
     def maintainer(self) -> DeltaMaintainer:
         """The delta maintainer patching cached results after instance updates."""
         return self._maintainer
+
+    @property
+    def parallel(self) -> Optional[ParallelExecutor]:
+        """The shard-parallel executor (None for a single-worker session)."""
+        return self._parallel
+
+    @property
+    def workers(self) -> int:
+        """The session's worker-pool size (1 = fully serial)."""
+        return self._parallel.workers if self._parallel is not None else 1
+
+    def close(self) -> None:
+        """Release the parallel worker pools (no-op for serial sessions)."""
+        if self._parallel is not None:
+            self._parallel.close()
+
+    def __enter__(self) -> "OLAPSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _parallel_is_cheaper(self, query: AnalyticalQuery) -> bool:
+        """True when the partitioned path is priced below serial scratch."""
+        if self._parallel is None or not self._parallel.supports(query):
+            return False
+        statistics = self.evaluator.bgp_evaluator.statistics
+        parallel_cost = estimate_parallel_cost(
+            statistics, query, self._parallel.workers, self._parallel.shard_count
+        )
+        return parallel_cost < estimate_scratch_cost(statistics, query)
 
     def _try_refresh(self, query: AnalyticalQuery) -> Optional[CacheEntry]:
         """Refresh a stale cache entry for ``query`` when priced cheaper.
@@ -180,9 +240,15 @@ class OLAPSession:
             materialized = entry.materialized
             input_rows = len(materialized.answer)
         if entry is None:
-            materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
+            if self._parallel_is_cheaper(query):
+                materialized = self._parallel.evaluate(
+                    query, materialize_partial=keep_partial
+                )
+                strategy = "parallel"
+            else:
+                materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
+                strategy = "scratch"
             self._cache.put(query, materialized, self.instance)
-            strategy = "scratch"
             input_rows = len(self.instance)
         elapsed = time.perf_counter() - started
         self._queries[query.name] = query

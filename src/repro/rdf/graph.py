@@ -25,7 +25,7 @@ from repro.rdf.namespaces import RDF
 from repro.rdf.terms import IRI, BlankNode, Literal, Term, TermOrVariable, Variable
 from repro.rdf.triples import Triple, TriplePattern
 
-__all__ = ["Graph", "GraphDelta", "DEFAULT_CHANGE_LOG_LIMIT"]
+__all__ = ["Graph", "GraphDelta", "GraphShard", "DEFAULT_CHANGE_LOG_LIMIT"]
 
 #: Encoded triple: (subject id, predicate id, object id).
 EncodedTriple = Tuple[int, int, int]
@@ -70,6 +70,54 @@ class GraphDelta:
             f"GraphDelta(+{len(self.added)}/-{len(self.removed)}, "
             f"v{self.from_version}->v{self.to_version})"
         )
+
+
+class GraphShard:
+    """One fact-id-range shard of a partitioned graph (see :meth:`Graph.partition`).
+
+    A shard does not copy triples: it is a half-open id interval
+    ``[lo, hi)`` over the shared term dictionary's id space.  Evaluating a
+    rooted query "on a shard" means evaluating it on the *whole* graph with
+    the fact variable restricted to ids in the interval — every fact then
+    belongs to exactly one shard, so per-shard ``pres(Q)`` relations are
+    disjoint and per-shard γ states merge into the exact serial answer.
+    The last shard of a partition is open-ended (``hi is None``), so ids
+    assigned after partitioning still map to a shard.
+
+    Shard specs are tiny, immutable and picklable by design: they are what
+    the parallel executor ships to worker processes.
+    """
+
+    __slots__ = ("index", "count", "lo", "hi")
+
+    def __init__(self, index: int, count: int, lo: int, hi: Optional[int]):
+        self.index = index
+        self.count = count
+        self.lo = lo
+        self.hi = hi
+
+    def contains(self, term_id: int) -> bool:
+        """True when ``term_id`` falls in this shard's id range."""
+        if term_id < self.lo:
+            return False
+        return self.hi is None or term_id < self.hi
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphShard):
+            return NotImplemented
+        return (self.index, self.count, self.lo, self.hi) == (
+            other.index,
+            other.count,
+            other.lo,
+            other.hi,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.count, self.lo, self.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        upper = "∞" if self.hi is None else self.hi
+        return f"GraphShard({self.index + 1}/{self.count}, ids [{self.lo}, {upper}))"
 
 
 class Graph:
@@ -520,6 +568,35 @@ class Graph:
     def instances_of(self, klass: IRI) -> Iterator[Term]:
         """Iterate over subjects with ``rdf:type klass``."""
         return self.subjects(_RDF_TYPE, klass)
+
+    # ------------------------------------------------------------------
+    # partitioning (parallel execution support)
+    # ------------------------------------------------------------------
+
+    def partition(self, count: int) -> Tuple[GraphShard, ...]:
+        """Split the term-id space into ``count`` contiguous fact shards.
+
+        Shards share this graph's dictionary and copy nothing; they are
+        id-interval specs consumed by the per-shard evaluation paths
+        (:meth:`repro.bgp.evaluator.BGPEvaluator.evaluate_ids` with a
+        ``fact_range``, and :mod:`repro.olap.parallel` above it).  The
+        intervals are equal-width over the ids assigned so far, disjoint,
+        and jointly cover the whole id space — the last shard is open-ended
+        so terms encoded after partitioning still land in it.
+
+        ``count`` may exceed the dictionary size; the surplus shards are
+        simply empty, which the merge algebra handles (an empty shard
+        contributes no γ states and no ``pres(Q)`` rows).
+        """
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        size = len(self._dictionary)
+        boundaries = [(index * size) // count for index in range(count)]
+        boundaries.append(None)  # the last shard is open-ended
+        return tuple(
+            GraphShard(index, count, boundaries[index], boundaries[index + 1])
+            for index in range(count)
+        )
 
     # ------------------------------------------------------------------
     # set-style operations

@@ -13,7 +13,7 @@ from __future__ import annotations
 import re
 from typing import IO, Iterable, Iterator, List, Union
 
-from repro.errors import ParseError
+from repro.errors import InvalidTermError, ParseError
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI, BlankNode, Literal, Term
 from repro.rdf.triples import Triple
@@ -61,18 +61,23 @@ def _parse_term(text: str, position: int, line_number: int) -> tuple[Term, int]:
     match = _TERM_RE.match(text, position)
     if not match:
         raise ParseError(f"expected an RDF term at: {text[position:position + 40]!r}", line=line_number)
-    if match.group("iri") is not None:
-        return IRI(_unescape(match.group("iri"))), match.end()
-    if match.group("bnode") is not None:
-        return BlankNode(match.group("bnode")), match.end()
-    lexical = _unescape(match.group("literal"))
-    language = match.group("lang")
-    datatype = match.group("datatype")
-    if language:
-        return Literal(lexical, language=language), match.end()
-    if datatype:
-        return Literal(lexical, datatype=datatype), match.end()
-    return Literal(lexical), match.end()
+    try:
+        if match.group("iri") is not None:
+            return IRI(_unescape(match.group("iri"))), match.end()
+        if match.group("bnode") is not None:
+            return BlankNode(match.group("bnode")), match.end()
+        lexical = _unescape(match.group("literal"))
+        language = match.group("lang")
+        datatype = match.group("datatype")
+        if language:
+            return Literal(lexical, language=language), match.end()
+        if datatype:
+            return Literal(lexical, datatype=datatype), match.end()
+        return Literal(lexical), match.end()
+    except InvalidTermError as exc:
+        # e.g. an unclosed IRI swallowing the rest of the line: report it as
+        # a parse failure with the line number, not a bare term error.
+        raise ParseError(str(exc), line=line_number) from exc
 
 
 def parse_ntriples_line(line: str, line_number: int = 0) -> Triple | None:

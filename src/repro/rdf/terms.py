@@ -47,6 +47,19 @@ class Term:
 
     __slots__ = ()
 
+    def __reduce__(self):
+        # Terms are immutable (every subclass blocks __setattr__), which
+        # breaks the default slots unpickling; restore through
+        # object.__setattr__ instead.  Picklable terms are what lets graphs
+        # and queries cross process boundaries (the parallel executor ships
+        # both to its worker pool).
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(self, slot):
+                    state[slot] = getattr(self, slot)
+        return (_restore_term, (type(self), state))
+
     def n3(self) -> str:
         """Return the term in N-Triples / Turtle surface syntax."""
         raise NotImplementedError
@@ -353,6 +366,14 @@ class Variable(Term):
 
     def __str__(self) -> str:
         return self.name
+
+
+def _restore_term(cls, state):
+    """Unpickling helper: rebuild an immutable term without re-validating."""
+    instance = cls.__new__(cls)
+    for name, value in state.items():
+        object.__setattr__(instance, name, value)
+    return instance
 
 
 TermOrVariable = Union[IRI, Literal, BlankNode, Variable]

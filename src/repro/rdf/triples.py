@@ -52,6 +52,11 @@ class Triple:
     def __setattr__(self, name, value):
         raise AttributeError("Triple instances are immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks default slots unpickling; rebuild
+        # through the constructor (terms pickle on their own).
+        return (Triple, (self.subject, self.predicate, self.object))
+
     def as_tuple(self) -> Tuple[SubjectTerm, PredicateTerm, ObjectTerm]:
         return (self.subject, self.predicate, self.object)
 
@@ -106,6 +111,10 @@ class TriplePattern:
 
     def __setattr__(self, name, value):
         raise AttributeError("TriplePattern instances are immutable")
+
+    def __reduce__(self):
+        # See Triple.__reduce__: constructor-based pickling around the guard.
+        return (TriplePattern, (self.subject, self.predicate, self.object))
 
     # -- introspection -----------------------------------------------------
 

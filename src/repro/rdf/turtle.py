@@ -53,6 +53,9 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
+#: A prefixed name exactly as the tokenizer accepts it (serializer guard).
+_PNAME_RE = re.compile(r"^(?:[A-Za-z_][A-Za-z0-9_.-]*)?:(?:[A-Za-z0-9_][A-Za-z0-9_.-]*)?$")
+
 _UNESCAPES = {
     "\\\\": "\\",
     '\\"': '"',
@@ -279,10 +282,21 @@ def serialize_turtle(graph: Graph, prefixes: PrefixMap | None = None) -> str:
             if term == _RDF_TYPE:
                 return "a"
             short = prefixes.shrink(term)
-            return short if short else term.n3()
+            # Only emit the prefixed form when it is a valid pname the
+            # parser accepts back (local parts with '/', '#', ... are not).
+            return short if short and _PNAME_RE.match(short) else term.n3()
         if isinstance(term, Literal):
             if term.datatype in (XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE, XSD_BOOLEAN) and term.language is None:
-                return term.lexical
+                # Shorthand only when re-parsing restores the same datatype:
+                # a double without an exponent reads back as a decimal (and a
+                # decimal without a dot as an integer), so those keep the
+                # explicit form.
+                lexical = term.lexical
+                if term.datatype == XSD_DOUBLE and not ("e" in lexical or "E" in lexical):
+                    return term.n3()
+                if term.datatype == XSD_DECIMAL and "." not in lexical:
+                    return term.n3()
+                return lexical
             return term.n3()
         if isinstance(term, BlankNode):
             return term.n3()

@@ -43,6 +43,8 @@ def _root(query_factory):
     def build(session, strategy):
         return session.execute(query_factory())
 
+    build.query_factory = query_factory
+    build.operation = None
     return build
 
 
@@ -52,6 +54,8 @@ def _transform(query_factory, operation):
         session.execute(query)
         return session.transform(query, operation, strategy=strategy)
 
+    build.query_factory = query_factory
+    build.operation = operation
     return build
 
 
@@ -296,6 +300,56 @@ def test_after_update_golden_cubes(name, mode, request, update_golden):
         if mode == "scratch":
             _write_golden(name, cube)
         return
+    _check_against_golden(name, cube)
+
+
+@pytest.mark.parametrize("workers,shards", [(1, 3), (2, 3), (2, 7)])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_paper_example_golden_cubes_parallel(name, workers, shards, request, update_golden):
+    """The partitioned engine reproduces every golden cube cell for cell.
+
+    The final (transformed) query of each case is answered directly by the
+    shard-parallel executor — per-shard evaluation plus partial-aggregate
+    merge — and must match the committed fixture, at several worker/shard
+    configurations including the workers=1 merge-only degenerate.
+    """
+    if update_golden:
+        return  # fixtures are written by the scratch strategy only
+    from repro.analytics.evaluator import AnalyticalQueryEvaluator
+    from repro.olap import Cube, ParallelExecutor
+
+    fixture_name, build = CASES[name]
+    instance = request.getfixturevalue(fixture_name)
+    query = build.query_factory()
+    if build.operation is not None:
+        query = build.operation.apply(query)
+    with ParallelExecutor(
+        AnalyticalQueryEvaluator(instance),
+        workers=workers,
+        shard_count=shards,
+        backend="thread" if workers > 1 else "serial",
+    ) as executor:
+        cube = Cube(executor.answer(query), query)
+    _check_against_golden(name, cube)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_CASES))
+def test_workload_golden_cubes_parallel(name, request, update_golden):
+    """Same as above for the datagen workload cases (one configuration)."""
+    if update_golden:
+        return
+    from repro.analytics.evaluator import AnalyticalQueryEvaluator
+    from repro.olap import Cube, ParallelExecutor
+
+    fixture_name, query_builder, operation = WORKLOAD_CASES[name]
+    dataset = request.getfixturevalue(fixture_name)
+    query = query_builder(dataset)
+    if operation is not None:
+        query = operation.apply(query)
+    with ParallelExecutor(
+        AnalyticalQueryEvaluator(dataset.instance), workers=2, shard_count=5, backend="thread"
+    ) as executor:
+        cube = Cube(executor.answer(query), query)
     _check_against_golden(name, cube)
 
 

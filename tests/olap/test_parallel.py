@@ -1,0 +1,448 @@
+"""Unit tests for the partial-aggregate merge algebra and the parallel executor.
+
+The merge algebra is tested directly (empty shards, one-shard degeneracy,
+AVG merge exactness, count_distinct dedup across shards, associativity and
+commutativity); the executor is tested against the serial engine on the
+paper's hand-built instances across backends, including the fallback paths
+(non-mergeable aggregates, unpicklable Σ restrictions).
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import AggregationError
+from repro.rdf import EX, Literal, RDF, Triple
+from repro.rdf.terms import Variable
+from repro.algebra.aggregates import (
+    AggregateFunction,
+    default_registry,
+    get_aggregate,
+    partial_aggregate,
+)
+from repro.algebra.grouping import (
+    finalize_group_states,
+    group_partial_states,
+    merge_group_states,
+)
+from repro.algebra.relation import Relation
+from repro.algebra.operators import project
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.analytics.query import AnalyticalQuery, KEY_COLUMN
+from repro.olap.cube import Cube
+from repro.olap.parallel import KEY_STRIDE, ParallelExecutor, estimate_parallel_cost
+from repro.olap.maintenance import estimate_scratch_cost
+
+from tests.conftest import make_sites_query, make_words_query
+
+ALL_AGGREGATES = ("count", "sum", "avg", "min", "max", "count_distinct")
+
+
+def _aggregate_via_states(aggregate_name, partitions):
+    """Aggregate a partitioned bag through make → merge → finalize."""
+    partial = partial_aggregate(aggregate_name)
+    aggregate = get_aggregate(aggregate_name)
+    states = []
+    for part in partitions:
+        if not part:
+            continue  # empty shards contribute no state
+        values = part if partial.wants_raw else aggregate.prepare(part)
+        states.append(partial.make(values))
+    merged = states[0]
+    for state in states[1:]:
+        merged = partial.merge(merged, state)
+    return partial.finalize(merged)
+
+
+class TestPartialAggregateAlgebra:
+    def test_every_standard_aggregate_has_a_partial_form(self):
+        for name in ALL_AGGREGATES:
+            assert partial_aggregate(name) is not None, name
+
+    def test_merged_result_equals_serial_aggregate(self):
+        bag = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        for name in ALL_AGGREGATES:
+            serial = get_aggregate(name)(bag)
+            merged = _aggregate_via_states(name, [bag[:3], bag[3:7], bag[7:]])
+            assert merged == serial, name
+
+    def test_empty_shards_do_not_perturb_the_merge(self):
+        bag = [10, 20, 30]
+        for name in ALL_AGGREGATES:
+            serial = get_aggregate(name)(bag)
+            merged = _aggregate_via_states(name, [[], bag, [], []])
+            assert merged == serial, name
+
+    def test_all_rows_in_one_shard_is_the_identity(self):
+        bag = [7, 7, 2]
+        for name in ALL_AGGREGATES:
+            assert _aggregate_via_states(name, [bag]) == get_aggregate(name)(bag), name
+
+    def test_avg_merge_is_exact_on_integer_bags(self):
+        # Integer sums stay integers per shard, so the merged total — and
+        # float(total)/n — is bit-identical to the serial average for every
+        # split of the bag.
+        bag = [1, 2, 2, 4, 10, 17, 3]
+        serial = get_aggregate("avg")(bag)
+        for cut_a in range(len(bag) + 1):
+            for cut_b in range(cut_a, len(bag) + 1):
+                merged = _aggregate_via_states("avg", [bag[:cut_a], bag[cut_a:cut_b], bag[cut_b:]])
+                assert merged == serial
+
+    def test_avg_state_is_a_sum_count_pair(self):
+        partial = partial_aggregate("avg")
+        assert partial.make([1, 2, 3]) == (6, 3)
+        assert partial.merge((6, 3), (10, 1)) == (16, 4)
+        assert partial.finalize((16, 4)) == 4.0
+
+    def test_count_distinct_dedups_across_shards(self):
+        # The same value appearing in several shards counts once.
+        merged = _aggregate_via_states("count_distinct", [[1, 2], [2, 3], [3, 1]])
+        assert merged == 3
+
+    def test_count_distinct_finalize_decodes_each_member_once(self):
+        partial = partial_aggregate("count_distinct")
+        state = partial.merge(partial.make([0, 1]), partial.make([1, 2]))
+        decoded = {0: Literal(28), 1: Literal(28.0), 2: Literal(35)}
+        # ids 0 and 1 decode to comparable-equal values -> 2 distinct.
+        assert partial.finalize(state, decode=decoded.__getitem__) == 2
+
+    def test_merge_is_associative_and_commutative(self):
+        bag = [5, 1, 5, 8, 2, 9, 9, 4]
+        chunks = [bag[0:2], bag[2:4], bag[4:6], bag[6:8]]
+        for name in ALL_AGGREGATES:
+            partial = partial_aggregate(name)
+            aggregate = get_aggregate(name)
+            states = [
+                partial.make(chunk if partial.wants_raw else aggregate.prepare(chunk))
+                for chunk in chunks
+            ]
+            reference = None
+            for ordering in itertools.permutations(range(len(states))):
+                # left fold
+                left = states[ordering[0]]
+                for index in ordering[1:]:
+                    left = partial.merge(left, states[index])
+                # right fold (different association)
+                right = states[ordering[-1]]
+                for index in reversed(ordering[:-1]):
+                    right = partial.merge(states[index], right)
+                assert partial.finalize(left) == partial.finalize(right), name
+                if reference is None:
+                    reference = partial.finalize(left)
+                assert partial.finalize(left) == reference, name
+
+    def test_unregistered_aggregate_has_no_partial_form(self):
+        registry = default_registry()
+        name = "median_test_parallel"
+        if name not in registry:
+            registry.register(
+                AggregateFunction(name, lambda values: sorted(values)[len(values) // 2], distributive=False)
+            )
+        assert partial_aggregate(name) is None
+
+
+class TestGroupPartialStates:
+    def _relation(self, rows):
+        return Relation(("d", "v"), rows)
+
+    def test_states_merge_to_serial_group_aggregate(self):
+        from repro.algebra.grouping import group_aggregate
+
+        rows = [("a", 1), ("a", 2), ("b", 5), ("a", 2), ("b", 5)]
+        for name in ALL_AGGREGATES:
+            serial = group_aggregate(self._relation(rows), by=("d",), measure="v", function=name)
+            split = [self._relation(rows[:2]), self._relation(rows[2:])]
+            merged = merge_group_states(
+                (group_partial_states(part, by=("d",), measure="v", function=name) for part in split),
+                name,
+            )
+            finalized = finalize_group_states(merged, name)
+            assert sorted(finalized) == sorted(serial.rows), name
+
+    def test_none_measures_are_filtered_like_serial_gamma(self):
+        rows = [("a", None), ("a", 3), ("b", None)]
+        states = group_partial_states(self._relation(rows), by=("d",), measure="v", function="count")
+        assert states == {("a",): 1}
+
+    def test_empty_relation_yields_no_states(self):
+        states = group_partial_states(self._relation([]), by=("d",), measure="v", function="sum")
+        assert states == {}
+        assert merge_group_states([states, {}], "sum") == {}
+        assert finalize_group_states({}, "sum") == []
+
+    def test_non_mergeable_aggregate_raises(self):
+        registry = default_registry()
+        name = "median_test_parallel_grouping"
+        if name not in registry:
+            registry.register(
+                AggregateFunction(name, lambda values: sorted(values)[len(values) // 2], distributive=False)
+            )
+        with pytest.raises(AggregationError):
+            group_partial_states(self._relation([("a", 1)]), by=("d",), measure="v", function=name)
+
+
+class TestGraphPartition:
+    def test_shards_tile_the_id_space(self, example2_instance):
+        shards = example2_instance.partition(3)
+        assert len(shards) == 3
+        assert shards[0].lo == 0
+        for left, right in zip(shards, shards[1:]):
+            assert left.hi == right.lo
+        assert shards[-1].hi is None  # open-ended: later ids still map somewhere
+        size = len(example2_instance.dictionary)
+        for term_id in range(size + 5):
+            owners = [shard for shard in shards if shard.contains(term_id)]
+            assert len(owners) == 1
+
+    def test_single_shard_covers_everything(self, example2_instance):
+        (shard,) = example2_instance.partition(1)
+        assert shard.lo == 0 and shard.hi is None
+
+    def test_more_shards_than_terms_leaves_empty_shards(self, example2_instance):
+        count = len(example2_instance.dictionary) + 10
+        shards = example2_instance.partition(count)
+        assert len(shards) == count
+        empty = [shard for shard in shards if shard.hi is not None and shard.lo == shard.hi]
+        assert empty  # surplus shards are empty intervals
+
+    def test_invalid_count_raises(self, example2_instance):
+        with pytest.raises(ValueError):
+            example2_instance.partition(0)
+
+
+def _executor(instance, **kwargs):
+    return ParallelExecutor(AnalyticalQueryEvaluator(instance), **kwargs)
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    @pytest.mark.parametrize("workers,shards,backend", [
+        (1, 1, "serial"),
+        (1, 3, "serial"),
+        (2, 3, "thread"),
+        (4, 7, "thread"),
+    ])
+    def test_matches_serial_engine_on_example2(
+        self, example2_instance, aggregate, workers, shards, backend
+    ):
+        query = make_sites_query(aggregate)
+        oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+        with _executor(
+            example2_instance, workers=workers, shard_count=shards, backend=backend
+        ) as executor:
+            cube = Cube(executor.answer(query), query)
+        assert cube.same_cells(oracle)
+
+    def test_example2_counts_are_the_paper_numbers(self, example2_instance):
+        query = make_sites_query("count")
+        with _executor(example2_instance, workers=2, shard_count=3, backend="thread") as executor:
+            cube = Cube(executor.answer(query), query)
+        assert cube.cell(28, "http://example.org/Madrid") == 3
+        assert cube.cell(35, "http://example.org/NY") == 2
+
+    def test_avg_example4_exact(self, example4_instance):
+        query = make_words_query("avg")
+        with _executor(example4_instance, workers=2, shard_count=5, backend="thread") as executor:
+            cube = Cube(executor.answer(query), query)
+        assert cube.cell(28, "http://example.org/Madrid") == 210.0
+        assert cube.cell(35, "http://example.org/NY") == 570.0
+
+    def test_pres_equals_serial_modulo_keys(self, example2_instance):
+        query = make_sites_query("count")
+        serial = AnalyticalQueryEvaluator(example2_instance)
+        expected = serial.partial_result(query)
+        with _executor(example2_instance, workers=2, shard_count=4, backend="thread") as executor:
+            materialized = executor.evaluate(query, materialize_partial=True)
+        partial = materialized.partial
+        assert partial.columns == expected.columns
+        keyless = [name for name in expected.columns if name != KEY_COLUMN]
+        assert project(partial.storage, keyless).bag_equal(project(expected.storage, keyless))
+        # keys are globally distinct across shards (disjoint strides)
+        keys = partial.storage.column_values(KEY_COLUMN)
+        assert len(keys) == len(set(keys))
+
+    def test_shard_keys_use_disjoint_strides(self, example2_instance):
+        query = make_sites_query("count")
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        shards = example2_instance.partition(2)
+        rows_b, _ = evaluator.shard_results(query, shards[1], key_base=1 + KEY_STRIDE)
+        keys = {row[-2] for row in rows_b}
+        assert all(key > KEY_STRIDE for key in keys)
+
+    def test_process_backend_matches_serial(self, example2_instance):
+        query = make_sites_query("count")
+        oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+        with _executor(example2_instance, workers=2, shard_count=3, backend="process") as executor:
+            cube = Cube(executor.answer(query), query)
+            assert executor.last_backend == "process"
+        assert cube.same_cells(oracle)
+
+    def test_process_pool_rebuilds_after_instance_mutation(self, example2_instance):
+        query = make_sites_query("count")
+        with _executor(example2_instance, workers=2, shard_count=2, backend="process") as executor:
+            before = Cube(executor.answer(query), query)
+            user9 = EX.term("user9")
+            example2_instance.add(Triple(user9, RDF.term("type"), EX.Blogger))
+            example2_instance.add(Triple(user9, EX.hasAge, Literal(35)))
+            example2_instance.add(Triple(user9, EX.livesIn, EX.term("NY")))
+            post = EX.term("p9")
+            example2_instance.add(Triple(user9, EX.wrotePost, post))
+            example2_instance.add(Triple(post, EX.postedOn, EX.term("s3")))
+            oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+            after = Cube(executor.answer(query), query)
+        assert after.same_cells(oracle)
+        assert not after.same_cells(before)  # workers saw the update
+
+    def test_unpicklable_sigma_falls_back_to_threads(self, example2_instance):
+        from repro.analytics.sigma import DimensionRestriction
+
+        base = make_sites_query("count")
+        sigma = base.sigma.restrict("dage", DimensionRestriction.to_range(20, 30))
+        query = base.with_sigma(sigma, name="Q_range")
+        oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+        with _executor(example2_instance, workers=2, shard_count=2, backend="process") as executor:
+            cube = Cube(executor.answer(query), query)
+            assert executor.last_backend == "thread"
+        assert cube.same_cells(oracle)
+
+    def test_non_mergeable_aggregate_falls_back_to_serial(self, example2_instance):
+        registry = default_registry()
+        name = "median_test_parallel_executor"
+        if name not in registry:
+            registry.register(
+                AggregateFunction(
+                    name, lambda values: sorted(values)[len(values) // 2], distributive=False
+                )
+            )
+        query = make_sites_query(name)
+        oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+        with _executor(example2_instance, workers=2, shard_count=3, backend="thread") as executor:
+            assert not executor.supports(query)
+            cube = Cube(executor.answer(query), query)
+            assert executor.last_backend == "fallback-serial"
+        assert cube.same_cells(oracle)
+
+    def test_sliced_query_matches_serial(self, example2_instance):
+        from repro.olap.operations import Slice
+
+        query = Slice("dcity", EX.term("NY")).apply(make_sites_query("count"))
+        oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+        with _executor(example2_instance, workers=2, shard_count=3, backend="thread") as executor:
+            cube = Cube(executor.answer(query), query)
+        assert cube.same_cells(oracle)
+
+    def test_invalid_configuration_raises(self, example2_instance):
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        with pytest.raises(ValueError):
+            ParallelExecutor(evaluator, workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(evaluator, workers=2, shard_count=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(evaluator, workers=2, backend="gpu")
+
+    def test_decoded_evaluator_is_unsupported(self, example2_instance):
+        evaluator = AnalyticalQueryEvaluator(example2_instance, id_space=False)
+        executor = ParallelExecutor(evaluator, workers=2)
+        assert not executor.supports(make_sites_query("count"))
+
+
+class TestParallelCostModel:
+    def test_dispatch_overhead_keeps_tiny_instances_serial(self, example2_instance):
+        statistics = AnalyticalQueryEvaluator(example2_instance).bgp_evaluator.statistics
+        query = make_sites_query("count")
+        serial_cost = estimate_scratch_cost(statistics, query)
+        parallel_cost = estimate_parallel_cost(statistics, query, workers=4, shard_count=4)
+        assert parallel_cost > serial_cost
+
+    def test_more_workers_price_lower_until_overhead_dominates(self, example2_instance):
+        statistics = AnalyticalQueryEvaluator(example2_instance).bgp_evaluator.statistics
+        query = make_sites_query("count")
+        same_shards = [
+            estimate_parallel_cost(statistics, query, workers=workers, shard_count=8)
+            for workers in (1, 2, 4, 8)
+        ]
+        assert same_shards == sorted(same_shards, reverse=True)
+
+
+class TestMixedTypeGroupSemantics:
+    """Groups undefined under serial γ must stay undefined for every sharding."""
+
+    def test_poisoned_group_is_dropped_for_every_split(self):
+        from repro.algebra.grouping import POISONED_GROUP, group_aggregate
+
+        rows = [("a", "abc"), ("a", 5), ("b", 7)]
+        serial = group_aggregate(Relation(("d", "v"), rows), by=("d",), measure="v", function="sum")
+        assert sorted(serial.rows) == [("b", 7)]  # group "a" is undefined and omitted
+        for cut in range(len(rows) + 1):
+            parts = [Relation(("d", "v"), rows[:cut]), Relation(("d", "v"), rows[cut:])]
+            merged = merge_group_states(
+                (group_partial_states(part, by=("d",), measure="v", function="sum") for part in parts),
+                "sum",
+            )
+            assert sorted(finalize_group_states(merged, "sum")) == [("b", 7)], cut
+            if 0 < cut < 3:  # the mixed group really was split across parts
+                assert merged[("a",)] is POISONED_GROUP
+
+    def test_poison_sentinel_survives_pickling_by_identity(self):
+        import pickle
+
+        from repro.algebra.grouping import POISONED_GROUP
+
+        assert pickle.loads(pickle.dumps(POISONED_GROUP)) is POISONED_GROUP
+
+    def test_executor_omits_undefined_groups_like_serial(self):
+        # Two facts of one group, one with a non-numeric measure, forced
+        # into different shards (one shard per term id): the parallel sum
+        # must omit the group exactly as the serial engine does.
+        from repro.bgp.query import BGPQuery
+        from repro.rdf.triples import TriplePattern
+        from repro.rdf import Graph
+
+        graph = Graph()
+        rdf_type = RDF.term("type")
+        for name, value in (("f1", Literal("abc")), ("f2", Literal(5)), ("f3", Literal(9))):
+            fact = EX.term(name)
+            graph.add(Triple(fact, rdf_type, EX.Fact))
+            graph.add(Triple(fact, EX.hasD, EX.term("d1" if name != "f3" else "d2")))
+            graph.add(Triple(fact, EX.hasV, value))
+        x, d, v = Variable("x"), Variable("d"), Variable("v")
+        classifier = BGPQuery([x, d], [TriplePattern(x, rdf_type, EX.Fact), TriplePattern(x, EX.hasD, d)], name="c")
+        measure = BGPQuery([x, v], [TriplePattern(x, EX.hasV, v)], name="m")
+        query = AnalyticalQuery(classifier, measure, "sum", name="Q_mixed")
+
+        serial = Cube(AnalyticalQueryEvaluator(graph).answer(query), query)
+        assert len(serial) == 1  # only d2 survives
+        with _executor(
+            graph, workers=2, shard_count=len(graph.dictionary), backend="thread"
+        ) as executor:
+            cube = Cube(executor.answer(query), query)
+        assert cube.same_cells(serial)
+
+
+class TestErrorPropagation:
+    def test_evaluation_errors_propagate_and_do_not_degrade_the_backend(self, example4_instance):
+        # min over a group mixing strings and numbers raises TypeError on
+        # every backend; the process pool must stay healthy afterwards.
+        # (user1's 28/Madrid group already holds word counts 100 and 120.)
+        post = EX.term("post_mixed")
+        example4_instance.add(Triple(post, RDF.term("type"), EX.BlogPost))
+        example4_instance.add(Triple(EX.term("user1"), EX.wrotePost, post))
+        example4_instance.add(Triple(post, EX.hasWordCount, Literal("not a number")))
+        query = make_words_query("min")
+        with pytest.raises(TypeError):
+            AnalyticalQueryEvaluator(example4_instance).answer(query)
+        with _executor(example4_instance, workers=2, shard_count=2, backend="process") as executor:
+            # user1's rows all live in one shard, so the TypeError is raised
+            # inside a worker and must re-surface through future.result().
+            with pytest.raises(TypeError):
+                executor.answer(query)
+            good = make_words_query("count")
+            oracle = Cube(AnalyticalQueryEvaluator(example4_instance).answer(good), good)
+            assert Cube(executor.answer(good, shard_count=2), good).same_cells(oracle)
+            assert executor.last_backend == "process"  # not permanently degraded
+
+    def test_evaluate_rejects_zero_shard_override(self, example2_instance):
+        with _executor(example2_instance, workers=2, shard_count=2, backend="serial") as executor:
+            with pytest.raises(ValueError):
+                executor.evaluate(make_sites_query("count"), shard_count=0)

@@ -78,6 +78,61 @@ class TestPlanEnumeration:
         assert cube.cells() == {(Literal(35), EX.term("NY")): 2}
         assert sliced.same_cells(sliced)  # the slice itself is untouched
 
+    def test_equal_costs_break_ties_on_strategy_name(self, executed):
+        # Plan ordering must be deterministic even for cost ties: the
+        # strategy name is the stable secondary key, so explain() output and
+        # golden comparisons never depend on candidate enumeration order.
+        from repro.olap.planner import PlanCandidate
+
+        session, query = executed
+        operation = Slice("dage", Literal(35))
+
+        def run():  # pragma: no cover - never executed
+            raise AssertionError
+
+        tied = [
+            PlanCandidate(name, 10.0, 0, "tie", run)
+            for name in ("zeta", "alpha", "midway")
+        ]
+        for permutation in ([0, 1, 2], [2, 1, 0], [1, 2, 0]):
+            plan = Plan(operation, operation.apply(query), [tied[i] for i in permutation])
+            assert [c.strategy for c in plan.candidates] == ["alpha", "midway", "zeta"]
+
+    def test_parallel_candidate_enumerated_only_with_executor(self, example2_instance):
+        query = make_sites_query()
+        serial_session = OLAPSession(example2_instance)
+        serial_session.execute(query)
+        plan = _plan(serial_session, query, Slice("dage", Literal(35)))
+        assert "parallel" not in [c.strategy for c in plan.candidates]
+
+        with OLAPSession(
+            example2_instance, workers=2, parallel_backend="thread"
+        ) as parallel_session:
+            parallel_session.execute(query)
+            plan = _plan(parallel_session, query, Slice("dage", Literal(35)))
+            strategies = [c.strategy for c in plan.candidates]
+            assert "parallel" in strategies
+            # On a paper-sized instance the dispatch overhead prices the
+            # parallel candidate above plain scratch: it must not be chosen.
+            parallel = next(c for c in plan.candidates if c.strategy == "parallel")
+            scratch = next(c for c in plan.candidates if c.strategy == "scratch")
+            assert parallel.cost > scratch.cost
+
+    def test_parallel_candidate_executes_correctly_when_forced(self, example2_instance):
+        with OLAPSession(
+            example2_instance, workers=2, shard_count=3, parallel_backend="thread"
+        ) as session:
+            query = make_sites_query()
+            session.execute(query)
+            operation = Slice("dage", Literal(35))
+            plan = _plan(session, query, operation)
+            parallel = next(c for c in plan.candidates if c.strategy == "parallel")
+            answer, partial = parallel.execute()
+            transformed = operation.apply(query)
+            scratch = AnalyticalQueryEvaluator(example2_instance).answer(transformed)
+            assert Cube(answer, transformed).same_cells(Cube(scratch, transformed))
+            assert partial is not None
+
     def test_plans_are_sorted_by_cost(self, executed):
         session, query = executed
         plan = _plan(session, query, Slice("dage", Literal(35)))

@@ -324,3 +324,45 @@ class TestChangeLog:
             _encoded(small_graph, first),
             _encoded(small_graph, second),
         }
+
+
+class TestPartitionAndPickling:
+    """Fact-id-range shards and process-boundary transport of graphs."""
+
+    def _graph(self) -> Graph:
+        graph = Graph(name="shardable")
+        for index in range(10):
+            graph.add(Triple(EX.term(f"s{index}"), EX.p, Literal(index)))
+        return graph
+
+    def test_partition_is_disjoint_and_exhaustive(self):
+        graph = self._graph()
+        shards = graph.partition(4)
+        size = len(graph.dictionary)
+        for term_id in range(size + 3):  # +3: ids assigned after partitioning
+            assert sum(1 for shard in shards if shard.contains(term_id)) == 1
+
+    def test_partition_shards_are_picklable_specs(self):
+        import pickle
+
+        graph = self._graph()
+        for shard in graph.partition(3):
+            clone = pickle.loads(pickle.dumps(shard))
+            assert clone == shard
+
+    def test_graph_survives_a_pickle_roundtrip(self):
+        # The parallel executor ships the instance to process-pool workers;
+        # ids must be preserved so shard results merge without re-encoding.
+        import pickle
+
+        graph = self._graph()
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone == graph
+        for term, term_id in graph.dictionary.items():
+            assert clone.dictionary.lookup(term) == term_id
+
+    def test_partition_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            self._graph().partition(0)
+        with pytest.raises(ValueError):
+            self._graph().partition(-2)

@@ -122,3 +122,69 @@ class TestDocumentRoundtrip:
         with pytest.raises(ParseError) as excinfo:
             parse_ntriples(text)
         assert excinfo.value.line == 2
+
+
+class TestMalformedInputs:
+    """Error paths: every rejection names the problem and the line."""
+
+    def test_unclosed_iri_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://a.example/s <http://a.example/p> <http://a.example/o> .")
+
+    def test_missing_object_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://a.example/s> <http://a.example/p> .")
+
+    def test_blank_node_predicate_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://a.example/s> _:b1 <http://a.example/o> .")
+
+    def test_literal_predicate_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line('<http://a.example/s> "p" <http://a.example/o> .')
+
+    def test_trailing_garbage_after_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://a.example/s> <http://a.example/p> <http://a.example/o> . junk")
+
+    def test_error_carries_line_number_from_document(self):
+        text = "\n".join(
+            [
+                "# fine",
+                "<http://a.example/s> <http://a.example/p> <http://a.example/o> .",
+                "<http://a.example/s> <http://a.example/p> broken .",
+            ]
+        )
+        with pytest.raises(ParseError) as excinfo:
+            parse_ntriples(text)
+        assert excinfo.value.line == 3
+
+
+class TestRoundtripAtScale:
+    def test_generated_instance_roundtrips(self):
+        # The full literal/IRI space of a generated dataset survives
+        # serialize -> parse: this is the path every benchmark instance
+        # would take through disk.
+        from repro.datagen import BloggerConfig, blogger_dataset
+
+        instance = blogger_dataset(BloggerConfig(bloggers=25, seed=11)).instance
+        assert parse_ntriples(serialize_ntriples(instance)) == instance
+
+    def test_big_unicode_escape(self):
+        triple = parse_ntriples_line(
+            '<http://a.example/s> <http://a.example/p> "\\U0001F600" .'
+        )
+        assert triple.object.lexical == "\U0001F600"
+
+    def test_iter_ntriples_streams_without_a_graph(self):
+        from repro.rdf.ntriples import iter_ntriples
+
+        lines = [
+            "# header",
+            "<http://example.org/user1> <http://example.org/livesIn> <http://example.org/Madrid> .",
+            "",
+            "<http://example.org/user2> <http://example.org/livesIn> <http://example.org/NY> .",
+        ]
+        triples = list(iter_ntriples(lines))
+        assert len(triples) == 2
+        assert triples[0].subject == EX.user1

@@ -136,3 +136,83 @@ class TestSerialization:
         path = str(tmp_path / "data.ttl")
         dump_turtle(graph, path)
         assert load_turtle(path) == graph
+
+
+class TestMoreMalformedInputs:
+    """Additional error paths: precise rejections for the unsupported subset."""
+
+    def test_anonymous_blank_node_syntax_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://example.org/> . ex:s ex:p [ ex:q 1 ] .")
+
+    def test_missing_object_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://example.org/> . ex:s ex:p .")
+
+    def test_truncated_document_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://example.org/> . ex:s ex:p")
+
+    def test_prefix_declaration_without_iri_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: ex:oops .")
+
+    def test_at_prefix_missing_final_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://example.org/>\nex:s ex:p ex:o .")
+
+    def test_numeric_predicate_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://example.org/> . ex:s 42 ex:o .")
+
+    def test_datatype_must_be_an_iri(self):
+        with pytest.raises(ParseError):
+            parse_turtle('@prefix ex: <http://example.org/> . ex:s ex:p "x"^^42 .')
+
+    def test_empty_document_parses_to_empty_graph(self):
+        assert len(parse_turtle("")) == 0
+        assert len(parse_turtle("# only a comment\n")) == 0
+
+
+class TestRoundtripCoverage:
+    def _prefixes(self):
+        prefixes = PrefixMap()
+        prefixes.bind("ex", "http://example.org/")
+        return prefixes
+
+    def test_escaped_string_literal_roundtrips(self):
+        graph = Graph([Triple(EX.s, EX.note, Literal('line\nbreak "quoted" \\slash'))])
+        text = serialize_turtle(graph, self._prefixes())
+        assert parse_turtle(text) == graph
+
+    def test_language_and_datatype_literals_roundtrip(self):
+        graph = Graph()
+        graph.add(Triple(EX.s, EX.greeting, Literal("bonjour", language="fr")))
+        graph.add(Triple(EX.s, EX.score, Literal(3.25)))
+        graph.add(Triple(EX.s, EX.flag, Literal(True)))
+        text = serialize_turtle(graph, self._prefixes())
+        assert parse_turtle(text) == graph
+
+    def test_blank_nodes_roundtrip(self):
+        graph = Graph([Triple(BlankNode("b0"), EX.knows, BlankNode("b1"))])
+        text = serialize_turtle(graph, self._prefixes())
+        assert parse_turtle(text) == graph
+
+    def test_generated_instance_roundtrips(self):
+        # Same at-scale round-trip discipline as the N-Triples suite: the
+        # Turtle path must carry a full generated benchmark instance.
+        from repro.datagen import VideoConfig, video_dataset
+
+        instance = video_dataset(VideoConfig(videos=20, websites=6, seed=3)).instance
+        assert parse_turtle(serialize_turtle(instance, self._prefixes())) == instance
+
+    def test_turtle_and_ntriples_agree(self):
+        from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+
+        graph = Graph()
+        graph.add(Triple(EX.user1, RDF_TYPE, EX.Blogger))
+        graph.add(Triple(EX.user1, EX.hasAge, Literal(28)))
+        graph.add(Triple(EX.user1, EX.greeting, Literal("hola", language="es")))
+        via_turtle = parse_turtle(serialize_turtle(graph, self._prefixes()))
+        via_ntriples = parse_ntriples(serialize_ntriples(graph))
+        assert via_turtle == via_ntriples == graph

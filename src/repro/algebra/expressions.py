@@ -147,6 +147,11 @@ class _Compound:
     def __init__(self, predicates: Iterable[RowPredicate]):
         self._predicates = list(predicates)
 
+    @property
+    def predicates(self) -> list:
+        """The child predicates (read-only; used by the columnar kernels)."""
+        return list(self._predicates)
+
 
 class _Conjunction(_Compound):
     def __call__(self, row: Mapping[str, object]) -> bool:
@@ -171,6 +176,11 @@ class _Negation:
 
     def __init__(self, inner: RowPredicate):
         self._inner = inner
+
+    @property
+    def inner(self) -> RowPredicate:
+        """The negated predicate (read-only; used by the columnar kernels)."""
+        return self._inner
 
     def __call__(self, row: Mapping[str, object]) -> bool:
         return not self._inner(row)

@@ -27,6 +27,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import AggregationError, UnknownColumnError
 from repro.algebra.aggregates import AggregateFunction, get_aggregate, partial_aggregate
+from repro.algebra.columnar import (
+    ArrayGroupStates,
+    ColumnarIdRelation,
+    group_reduce,
+    group_states_columnar,
+)
 from repro.algebra.expressions import comparable, memoized_unary
 from repro.algebra.relation import Relation, Row, relation_like, tuple_getter
 
@@ -116,6 +122,13 @@ def group_aggregate(
             f"output column {output_column!r} clashes with a grouping column"
         )
 
+    if isinstance(relation, ColumnarIdRelation):
+        # Vectorized γ (reduceat over lexsorted group runs); unsupported
+        # aggregates / non-numeric bags answer None and take the row path.
+        reduced = group_reduce(relation, by, measure, aggregate, output_column)
+        if reduced is not None:
+            return reduced
+
     # On id-space relations the measure column holds term ids; the bag fed
     # to ⊕ must be the decoded values (memoized — measure literals repeat).
     # The cache stores the *comparable* form directly, which is what every
@@ -181,6 +194,12 @@ def group_partial_states(
         raise AggregationError(
             f"aggregate {aggregate.name!r} has no mergeable partial form; evaluate serially"
         )
+    if isinstance(relation, ColumnarIdRelation):
+        # Array-form states: one row per group across parallel arrays, so
+        # shard merges concatenate + re-reduce instead of re-boxing.
+        array_states = group_states_columnar(relation, by, measure, aggregate)
+        if array_states is not None:
+            return array_states
     measure_index = relation.column_index(measure)
     groups = group_rows(relation, by)
     states: Dict[Tuple, object] = {}
@@ -217,18 +236,34 @@ def group_partial_states(
     return states
 
 
-def merge_group_states(
-    state_maps: Iterable[Dict[Tuple, object]], function
-) -> Dict[Tuple, object]:
-    """Combine per-partition γ state maps (associative and commutative)."""
+def merge_group_states(state_maps: Iterable, function):
+    """Combine per-partition γ states (associative and commutative).
+
+    Each partition contributes either a dict state map (the boxed form of
+    :func:`group_partial_states`) or an
+    :class:`~repro.algebra.columnar.ArrayGroupStates` (the columnar
+    engine's array form).  All-array partitions merge vectorized —
+    concatenate + re-reduce, no per-group boxing; a mix is aligned by
+    boxing the array partitions first.
+    """
     aggregate = get_aggregate(function)
     partial = partial_aggregate(aggregate)
     if partial is None:
         raise AggregationError(
             f"aggregate {aggregate.name!r} has no mergeable partial form; evaluate serially"
         )
+    partitions = list(state_maps)
+    if partitions and all(
+        isinstance(states, ArrayGroupStates) for states in partitions
+    ):
+        merged_arrays = partitions[0]
+        for states in partitions[1:]:
+            merged_arrays = merged_arrays.merge(states)
+        return merged_arrays
     merged: Dict[Tuple, object] = {}
-    for states in state_maps:
+    for states in partitions:
+        if isinstance(states, ArrayGroupStates):
+            states = states.to_dict()
         for key, state in states.items():
             existing = merged.get(key)
             if existing is None:
@@ -241,17 +276,21 @@ def merge_group_states(
 
 
 def finalize_group_states(
-    states: Dict[Tuple, object],
+    states,
     function,
     decode: Optional[Callable[[object], object]] = None,
 ) -> List[Row]:
-    """Turn a merged γ state map into ``key + (aggregated value,)`` rows.
+    """Turn merged γ states into ``key + (aggregated value,)`` rows.
 
-    ``decode`` (id → term) is forwarded to raw-state aggregates
-    (count_distinct) whose members are still encoded; pass the shared
-    dictionary's decoder when the measure column was id-encoded.  Poisoned
-    groups (undefined in some partition) are dropped, matching serial γ.
+    ``states`` is a dict state map or an
+    :class:`~repro.algebra.columnar.ArrayGroupStates`.  ``decode`` (id →
+    term) is forwarded to raw-state aggregates (count_distinct) whose
+    members are still encoded; pass the shared dictionary's decoder when
+    the measure column was id-encoded.  Poisoned groups (undefined in some
+    partition) are dropped, matching serial γ.
     """
+    if isinstance(states, ArrayGroupStates):
+        return states.finalize_rows()
     aggregate = get_aggregate(function)
     partial = partial_aggregate(aggregate)
     if partial is None:

@@ -19,6 +19,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchemaMismatchError, UnknownColumnError
+from repro.algebra.columnar import (
+    ColumnarIdRelation,
+    join_columnar,
+    project_columnar,
+    select_columnar,
+)
 from repro.algebra.expressions import RowPredicate, compile_predicate
 from repro.algebra.relation import IdRelation, Relation, Row, relation_like, tuple_getter
 
@@ -44,6 +50,11 @@ def select(relation: Relation, predicate: RowPredicate) -> Relation:
     arbitrary callables receive per-row mappings (decoded on id-space
     relations) as before.
     """
+    if isinstance(relation, ColumnarIdRelation):
+        # Vectorized mask selection; opaque callables fall through to rows.
+        result = select_columnar(relation, predicate)
+        if result is not None:
+            return result
     test = compile_predicate(predicate, relation)
     kept = [row for row in relation if test(row)]
     return relation_like(relation.columns, kept, relation)
@@ -51,6 +62,8 @@ def select(relation: Relation, predicate: RowPredicate) -> Relation:
 
 def project(relation: Relation, columns: Sequence[str]) -> Relation:
     """π: keep only the named columns (bag semantics: duplicates are kept)."""
+    if isinstance(relation, ColumnarIdRelation):
+        return project_columnar(relation, columns)
     getter = tuple_getter(relation.column_indexes(columns))
     return relation_like(tuple(columns), [getter(row) for row in relation], relation)
 
@@ -148,6 +161,16 @@ def join_on(
         )
 
     output_columns = tuple(left.columns) + tuple(kept_right_names)
+
+    if (
+        len(join_pairs) == 1
+        and isinstance(left, ColumnarIdRelation)
+        and isinstance(right, ColumnarIdRelation)
+        and left.dictionary is right.dictionary
+    ):
+        # Vectorized int-keyed join (argsort + searchsorted expansion);
+        # _join_operands already aligned the join columns' encodings.
+        return join_columnar(left, right, join_pairs[0][0], join_pairs[0][1], kept_right_names)
 
     # Single-column equi-joins (the fact-variable join of Definition 4 and
     # the engine's hottest operation) hash the bare value — an int in id

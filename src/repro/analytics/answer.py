@@ -21,7 +21,6 @@ benchmarks):
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Optional, Tuple
 
 from repro.errors import MaterializationError
@@ -36,13 +35,35 @@ class KeyGenerator:
     Returns a distinct value at each call; the simple implementation used
     here (and suggested by the paper for illustration) returns successive
     integers 1, 2, 3, ...
+
+    Examples
+    --------
+    >>> keys = KeyGenerator()
+    >>> keys(), keys()
+    (1, 2)
+    >>> keys.take(3)
+    range(3, 6)
+    >>> keys()
+    6
     """
 
     def __init__(self, start: int = 1):
-        self._counter = itertools.count(start)
+        self._next = start
 
     def __call__(self) -> int:
-        return next(self._counter)
+        value = self._next
+        self._next += 1
+        return value
+
+    def take(self, count: int) -> range:
+        """Consume ``count`` consecutive keys at once (the columnar ``mᵏ``).
+
+        Equivalent to ``count`` single calls; the returned range *is* the
+        keys, ready to become an ``arange`` column without a Python loop.
+        """
+        start = self._next
+        self._next += count
+        return range(start, self._next)
 
 
 class PartialResult:

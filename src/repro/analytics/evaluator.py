@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.algebra.columnar import ColumnarIdRelation, prepend_key_column, resolve_engine
 from repro.algebra.grouping import group_aggregate, group_partial_states
 from repro.algebra.operators import join_on, project, rename, select
 from repro.algebra.relation import Relation, relation_like
@@ -56,7 +57,13 @@ class AnalyticalQueryEvaluator:
     id_space:
         When True (default), evaluate on dictionary-encoded ids with late
         materialization; when False, decode every BGP result eagerly (the
-        pre-refactor behaviour, kept as a benchmark baseline).
+        pre-refactor behaviour, kept as a benchmark baseline, always on the
+        row engine).
+    engine:
+        ``"rows"``, ``"columnar"`` or None/``"auto"`` — see
+        :func:`repro.algebra.columnar.resolve_engine`.  ``auto`` picks the
+        vectorized columnar engine when numpy (the ``[fast]`` extra) is
+        installed, honouring a ``REPRO_ENGINE`` override.
     """
 
     def __init__(
@@ -64,10 +71,14 @@ class AnalyticalQueryEvaluator:
         instance: Graph,
         statistics: Optional[GraphStatistics] = None,
         id_space: bool = True,
+        engine: Optional[str] = None,
     ):
         self._instance = instance
-        self._bgp = BGPEvaluator(instance, statistics)
         self._id_space = bool(id_space)
+        # The columnar engine is an id-space refinement: the decode-eagerly
+        # baseline always runs on rows.
+        self._engine = resolve_engine(engine) if self._id_space else "rows"
+        self._bgp = BGPEvaluator(instance, statistics, engine=self._engine)
 
     @property
     def instance(self) -> Graph:
@@ -81,6 +92,11 @@ class AnalyticalQueryEvaluator:
     def id_space(self) -> bool:
         """True when this evaluator executes on encoded ids (late materialization)."""
         return self._id_space
+
+    @property
+    def engine(self) -> str:
+        """The resolved execution engine: ``"rows"`` or ``"columnar"``."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # engine-space building blocks (id relations in id_space mode)
@@ -112,6 +128,10 @@ class AnalyticalQueryEvaluator:
     ) -> Relation:
         keys = key_generator or KeyGenerator()
         measure = self._measure_relation(query, fact_range=fact_range)
+        if isinstance(measure, ColumnarIdRelation) and isinstance(keys, KeyGenerator):
+            # The columnar mᵏ: consume len(measure) consecutive keys in one
+            # step and prepend them as an arange column — no row boxing.
+            return prepend_key_column(measure, KEY_COLUMN, keys.take(len(measure)))
         columns = (KEY_COLUMN,) + measure.columns
         return relation_like(columns, ((keys(),) + row for row in measure), measure)
 

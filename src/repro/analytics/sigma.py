@@ -407,6 +407,11 @@ class SigmaPredicate:
     def __init__(self, sigma: Sigma):
         self._sigma = sigma
 
+    @property
+    def sigma(self) -> Sigma:
+        """The Σ this predicate selects by (used by the columnar kernels)."""
+        return self._sigma
+
     def __call__(self, row: Mapping[str, object]) -> bool:
         return self._sigma.allows_row(row)
 

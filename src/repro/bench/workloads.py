@@ -760,6 +760,7 @@ def replay_after_update(
     steps: Sequence[Tuple[AnalyticalQuery, OLAPOperation]],
     update: Callable,
     policy: str,
+    engine: Optional[str] = None,
 ) -> Tuple[float, List[Cube], OLAPSession]:
     """Warm a planner session, apply an update batch, re-answer everything.
 
@@ -774,8 +775,13 @@ def replay_after_update(
       the root once, then reuse its own fresh results);
     * ``recompute`` — a cold session answering every operation from scratch
       on the updated instance (no reuse at all).
+
+    ``engine`` pins the sessions' execution engine (None = auto): the
+    refresh-vs-recompute *margin* is engine-relative — vectorized columnar
+    recomputation compresses the gap row-level patching enjoys over the
+    row engine — so benchmarks state which engine a claim is about.
     """
-    warm = OLAPSession(instance, schema)
+    warm = OLAPSession(instance, schema, engine=engine)
     warm.execute(root_query)
     for origin, operation in steps:
         warm.transform(origin, operation, strategy="plan")
@@ -795,7 +801,7 @@ def replay_after_update(
             f"unknown policy {policy!r}; expected refresh, replan or recompute"
         )
     strategy = "plan" if policy == "replan" else "scratch"
-    cold = OLAPSession(instance, schema)
+    cold = OLAPSession(instance, schema, engine=engine)
     started = time.perf_counter()
     cubes.append(cold.execute(root_query))
     for origin, operation in steps:

@@ -28,6 +28,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import EvaluationError
+from repro.algebra import columnar as columnar_kernels
+from repro.algebra.columnar import ColumnarIdRelation, resolve_engine
 from repro.algebra.relation import IdRelation, Relation, tuple_getter
 from repro.rdf.graph import Graph
 from repro.rdf.statistics import GraphStatistics
@@ -36,7 +38,109 @@ from repro.rdf.triples import TriplePattern
 from repro.bgp.optimizer import order_patterns
 from repro.bgp.query import BGPQuery
 
-__all__ = ["BGPEvaluator", "evaluate_query"]
+try:  # numpy is the optional [fast] extra; the row engine needs none of it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = ["BGPEvaluator", "ColumnarTripleIndex", "evaluate_query"]
+
+#: Term-id ceiling for packing an (s, o) pair into one int64 join key.
+_PAIR_KEY_BITS = 31
+
+
+class ColumnarTripleIndex:
+    """Columnar (array) views over one graph's triples, cached per version.
+
+    The graph's native indexes are nested Python dicts — ideal for the row
+    engine's per-binding lookups, useless for vectorized joins.  This index
+    materializes, per predicate, the matching ``(subject, object)`` id pairs
+    as contiguous ``int64`` arrays in either sort order, plus sorted
+    candidate arrays for two-constant patterns, so the column-block solver
+    can extend whole binding blocks with ``searchsorted`` joins.
+
+    Arrays are built lazily (one Python pass per predicate) and cached; any
+    graph mutation (detected via :attr:`~repro.rdf.graph.Graph.version`)
+    drops the caches, so the index never serves a stale snapshot.
+    """
+
+    __slots__ = ("_graph", "_version", "_pairs", "_sorted_pairs", "_candidates", "_pair_keys")
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        self._version = graph.version
+        self._pairs: Dict[int, Tuple] = {}
+        self._sorted_pairs: Dict[Tuple[int, int], Tuple] = {}
+        self._candidates: Dict[Tuple, object] = {}
+        self._pair_keys: Dict[int, object] = {}
+
+    def refresh(self) -> None:
+        """Drop every cached array when the graph changed underneath."""
+        version = self._graph.version
+        if version != self._version:
+            self._version = version
+            self._pairs.clear()
+            self._sorted_pairs.clear()
+            self._candidates.clear()
+            self._pair_keys.clear()
+
+    def predicate_pairs(self, p_id: int) -> Tuple:
+        """All ``(subjects, objects)`` of triples with predicate ``p_id``."""
+        found = self._pairs.get(p_id)
+        if found is None:
+            subjects: List[int] = []
+            objects: List[int] = []
+            for s, _, o in self._graph.match_ids(None, p_id, None):
+                subjects.append(s)
+                objects.append(o)
+            found = self._pairs[p_id] = (
+                _np.asarray(subjects, dtype=_np.int64),
+                _np.asarray(objects, dtype=_np.int64),
+            )
+        return found
+
+    def sorted_pairs(self, p_id: int, sort_position: int) -> Tuple:
+        """``(sorted key array, aligned other-position array)`` for ``p_id``.
+
+        ``sort_position`` 0 sorts by subject (keys = subjects, values =
+        objects); 2 sorts by object.
+        """
+        key = (p_id, sort_position)
+        found = self._sorted_pairs.get(key)
+        if found is None:
+            subjects, objects = self.predicate_pairs(p_id)
+            keys, values = (subjects, objects) if sort_position == 0 else (objects, subjects)
+            order = _np.argsort(keys, kind="stable")
+            found = self._sorted_pairs[key] = (keys[order], values[order])
+        return found
+
+    def candidates(
+        self, s_id: Optional[int], p_id: Optional[int], o_id: Optional[int], position: int
+    ):
+        """Sorted ids at the one free ``position`` of a two-constant pattern."""
+        key = (s_id, p_id, o_id, position)
+        found = self._candidates.get(key)
+        if found is None:
+            values = self._graph.match_single_ids(s_id, p_id, o_id, position)
+            found = self._candidates[key] = _np.sort(
+                _np.fromiter(values, dtype=_np.int64)
+            )
+        return found
+
+    def pair_keys(self, p_id: int):
+        """Sorted packed ``(s << 31) | o`` keys, or None when ids overflow."""
+        found = self._pair_keys.get(p_id)
+        if found is None:
+            subjects, objects = self.predicate_pairs(p_id)
+            if len(subjects) and int(
+                max(subjects.max(), objects.max())
+            ) >= (1 << _PAIR_KEY_BITS):
+                found = self._pair_keys[p_id] = ()
+            else:
+                found = self._pair_keys[p_id] = _np.sort(
+                    (subjects << _PAIR_KEY_BITS) | objects
+                )
+        return None if isinstance(found, tuple) else found
 
 
 class BGPEvaluator:
@@ -47,9 +151,16 @@ class BGPEvaluator:
     then computed once.
     """
 
-    def __init__(self, graph: Graph, statistics: Optional[GraphStatistics] = None):
+    def __init__(
+        self,
+        graph: Graph,
+        statistics: Optional[GraphStatistics] = None,
+        engine: Optional[str] = None,
+    ):
         self._graph = graph
         self._statistics = statistics if statistics is not None else GraphStatistics(graph)
+        self._engine = resolve_engine(engine)
+        self._columnar_index: Optional[ColumnarTripleIndex] = None
 
     @property
     def graph(self) -> Graph:
@@ -58,6 +169,11 @@ class BGPEvaluator:
     @property
     def statistics(self) -> GraphStatistics:
         return self._statistics
+
+    @property
+    def engine(self) -> str:
+        """The resolved execution engine: ``"rows"`` or ``"columnar"``."""
+        return self._engine
 
     # ------------------------------------------------------------------
 
@@ -83,6 +199,15 @@ class BGPEvaluator:
         """
         if semantics not in ("set", "bag"):
             raise EvaluationError(f"unknown semantics {semantics!r}; expected 'set' or 'bag'")
+
+        if self._engine == "columnar" and initial_binding is None:
+            # The columnar fast path: emit column blocks instead of per-row
+            # binding tuples.  Unsupported query shapes (variable
+            # predicates, disconnected joins, repeated in-pattern
+            # variables) answer None and take the row path below.
+            result = self._solve_columnar(query, semantics, fact_range)
+            if result is not None:
+                return result
 
         bindings, slot_of = self._solve(query, initial_binding, fact_range)
         dictionary = self._graph.dictionary
@@ -133,6 +258,168 @@ class BGPEvaluator:
     def count(self, query: BGPQuery, semantics: str = "set") -> int:
         """Return the number of answers without materializing term objects."""
         return len(self.evaluate_ids(query, semantics=semantics))
+
+    # ------------------------------------------------------------------
+    # columnar solving loop (column blocks)
+    # ------------------------------------------------------------------
+
+    def _solve_columnar(
+        self,
+        query: BGPQuery,
+        semantics: str,
+        fact_range: Optional[Tuple[Variable, int, Optional[int]]] = None,
+    ) -> Optional[ColumnarIdRelation]:
+        """Evaluate ``query`` as whole column blocks; None when unsupported.
+
+        The binding state is a block of parallel ``int64`` arrays (one per
+        bound variable, all the same length) instead of a list of slot
+        tuples.  Each triple pattern extends the block with one vectorized
+        operation against the :class:`ColumnarTripleIndex`:
+
+        * a pattern binding one new variable from a bound one is an
+          expansion join (``searchsorted`` against the pre-sorted
+          per-predicate pair arrays);
+        * a pattern over two bound variables is a semi-join mask on packed
+          pair keys; over one bound variable and a constant, a sorted
+          membership mask;
+        * the ``fact_range`` of shard evaluation is a single batched
+          ``(lo <= ids) & (ids < hi)`` prune of the whole block, applied
+          the moment the restricted variable is bound.
+
+        Supported shapes cover the analytical workloads (constant
+        predicates, connected join graphs).  Variable predicates, repeated
+        variables inside one pattern and disconnected patterns fall back to
+        the row engine — same answers, tuple at a time.
+        """
+        graph = self._graph
+        dictionary = graph.dictionary
+        index = self._columnar_index
+        if index is None:
+            index = self._columnar_index = ColumnarTripleIndex(graph)
+        index.refresh()
+
+        head_names = query.head_names
+
+        def empty_result() -> ColumnarIdRelation:
+            arrays = {name: _np.empty(0, dtype=_np.int64) for name in head_names}
+            return ColumnarIdRelation.from_arrays(head_names, arrays, dictionary)
+
+        ordered = order_patterns(query.body, self._statistics, bound_variables=set())
+        block: Dict[Variable, object] = {}
+        length: Optional[int] = None  # None = no columns yet (one empty binding)
+        pending_range = fact_range
+
+        for pattern in ordered:
+            s, p, o = pattern.as_tuple()
+            if isinstance(p, Variable):
+                return None  # variable predicates: row path
+            p_id = graph.encode_term(p)
+            if p_id is None:
+                return empty_result()
+            s_is_var = isinstance(s, Variable)
+            o_is_var = isinstance(o, Variable)
+            if s_is_var and o_is_var and s == o:
+                return None  # repeated in-pattern variable: row path
+            s_id = None
+            if not s_is_var:
+                s_id = graph.encode_term(s)
+                if s_id is None:
+                    return empty_result()
+            o_id = None
+            if not o_is_var:
+                o_id = graph.encode_term(o)
+                if o_id is None:
+                    return empty_result()
+            s_bound = s_is_var and s in block
+            o_bound = o_is_var and o in block
+            s_free = s_is_var and not s_bound
+            o_free = o_is_var and not o_bound
+
+            if s_free and o_free:
+                if length is not None:
+                    return None  # disconnected pattern: cartesian step, row path
+                subjects, objects = index.predicate_pairs(p_id)
+                block = {s: subjects, o: objects}
+                length = len(subjects)
+            elif s_free or o_free:
+                free_variable = s if s_free else o
+                if (s_free and o_bound) or (o_free and s_bound):
+                    # Expansion join on the bound end of the pattern.
+                    bound_variable = o if s_free else s
+                    sort_position = 2 if s_free else 0
+                    keys, values = index.sorted_pairs(p_id, sort_position)
+                    left_idx, positions = columnar_kernels.expand_sorted(
+                        block[bound_variable], keys
+                    )
+                    block = {
+                        variable: array[left_idx] for variable, array in block.items()
+                    }
+                    block[free_variable] = values[positions]
+                    length = len(left_idx)
+                else:
+                    # The other end is a constant: a candidate column.
+                    if length is not None:
+                        return None  # shares no variable with the block
+                    position = 0 if s_free else 2
+                    candidates = index.candidates(s_id, p_id, o_id, position)
+                    block = {free_variable: candidates}
+                    length = len(candidates)
+            else:
+                # No free variable: an existence filter.
+                if s_bound and o_bound:
+                    packed = index.pair_keys(p_id)
+                    if packed is None:
+                        return None  # term ids overflow the packed key
+                    subject_column = block[s]
+                    if len(subject_column) and int(
+                        max(subject_column.max(), block[o].max())
+                    ) >= (1 << _PAIR_KEY_BITS):
+                        return None
+                    keys = (subject_column << _PAIR_KEY_BITS) | block[o]
+                    mask = _sorted_membership(packed, keys)
+                elif s_bound:
+                    mask = _sorted_membership(
+                        index.candidates(None, p_id, o_id, 0), block[s]
+                    )
+                elif o_bound:
+                    mask = _sorted_membership(
+                        index.candidates(s_id, p_id, None, 2), block[o]
+                    )
+                else:
+                    # Fully constant pattern: the conjunction survives or dies.
+                    if graph.count_ids(s_id, p_id, o_id) == 0:
+                        return empty_result()
+                    continue
+                block = {variable: array[mask] for variable, array in block.items()}
+                length = int(mask.sum())
+
+            if pending_range is not None and pending_range[0] in block:
+                # Batched fact-range prune: one vectorized compare over the
+                # whole block the moment the restricted variable is bound.
+                _, lo, hi = pending_range
+                column = block[pending_range[0]]
+                mask = column >= lo
+                if hi is not None:
+                    mask &= column < hi
+                block = {variable: array[mask] for variable, array in block.items()}
+                length = int(mask.sum())
+                pending_range = None
+
+            if length == 0:
+                return empty_result()
+
+        try:
+            head_arrays = [block[variable] for variable in query.head]
+        except KeyError:
+            return None  # a head variable the supported shapes never bound
+        if semantics == "set":
+            keep = columnar_kernels.dedup_arrays(head_arrays)
+            head_arrays = [array[keep] for array in head_arrays]
+        return ColumnarIdRelation.from_arrays(
+            head_names,
+            dict(zip(head_names, head_arrays)),
+            dictionary,
+        )
 
     # ------------------------------------------------------------------
     # core solving loop (id level)
@@ -320,6 +607,15 @@ class BGPEvaluator:
                         continue
                 extended.append(tuple(new_binding))
         return extended
+
+
+def _sorted_membership(sorted_values, keys):
+    """Boolean mask: which ``keys`` occur in the pre-sorted value array."""
+    if len(sorted_values) == 0:
+        return _np.zeros(len(keys), dtype=bool)
+    positions = _np.searchsorted(sorted_values, keys)
+    positions[positions == len(sorted_values)] = len(sorted_values) - 1
+    return sorted_values[positions] == keys
 
 
 def _distinct_rows(rows: Iterable[Tuple]) -> Iterator[Tuple]:

@@ -12,6 +12,16 @@ class ReproError(Exception):
     """Base class for all errors raised by the library."""
 
 
+class ConfigurationError(ReproError):
+    """The library was configured inconsistently with the environment.
+
+    Raised, for instance, when ``REPRO_ENGINE=columnar`` (or an explicit
+    ``engine="columnar"``) demands the vectorized execution engine but numpy
+    is not installed — instead of silently degrading to the row engine, the
+    error names the ``[fast]`` extra that provides it.
+    """
+
+
 # ---------------------------------------------------------------------------
 # RDF model / store
 # ---------------------------------------------------------------------------

@@ -249,6 +249,23 @@ class ResultCache:
         Optional directory for write-through persistence and warm starts.
         Entries land in per-key subdirectories named by a digest of the
         canonical key.
+
+    Examples
+    --------
+    Sessions store every materialized result here; a repeated execution
+    is a cache hit and never touches the instance:
+
+    >>> from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+    >>> from repro.olap.session import OLAPSession
+    >>> dataset = generic_dataset(GenericConfig(facts=25, dimensions=2, seed=5))
+    >>> query = generic_query(dataset.config, aggregate="count")
+    >>> session = OLAPSession(dataset.instance, dataset.schema)
+    >>> _ = session.execute(query)            # miss: evaluated, then stored
+    >>> _ = session.execute(query)            # hit: served from the cache
+    >>> session.history[-1].strategy
+    'cache'
+    >>> len(session.cache) >= 1 and session.cache.stats.hits >= 1
+    True
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY, store_dir: Optional[str] = None):

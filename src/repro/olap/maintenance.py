@@ -141,6 +141,30 @@ class DeltaMaintainer:
         The session's analytical evaluator over the live instance; supplies
         the BGP machinery for affected-fact probes and per-fact re-derivation
         as well as the statistics both cost estimates are computed from.
+
+    Examples
+    --------
+    After an instance mutation the session's cached results are patched
+    through the maintainer (when priced cheaper than recomputing); either
+    way the served cube equals a from-scratch recomputation:
+
+    >>> from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+    >>> from repro.olap.session import OLAPSession
+    >>> dataset = generic_dataset(GenericConfig(facts=40, dimensions=2, seed=11))
+    >>> query = generic_query(dataset.config, aggregate="count")
+    >>> session = OLAPSession(dataset.instance, dataset.schema)
+    >>> _ = session.execute(query)
+    >>> dropped = next(iter(dataset.instance.triples()))
+    >>> dataset.instance.remove(dropped)
+    True
+    >>> after = session.execute(query)
+    >>> session.history[-1].strategy in ("refresh", "scratch", "parallel")
+    True
+    >>> from repro.analytics.evaluator import AnalyticalQueryEvaluator
+    >>> from repro.olap.cube import Cube
+    >>> oracle = AnalyticalQueryEvaluator(dataset.instance).answer(query)
+    >>> after.same_cells(Cube(oracle, query))
+    True
     """
 
     def __init__(self, evaluator: AnalyticalQueryEvaluator):

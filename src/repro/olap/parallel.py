@@ -14,7 +14,11 @@ and the per-shard results are combined:
 * ``ans(Q)`` is merged through the partial-aggregate algebra of
   :mod:`repro.algebra.aggregates` — COUNT/SUM add, AVG merges ``(sum,
   count)`` pairs, MIN/MAX re-compare, count_distinct unions per-shard id
-  sets — so γ results combine **without re-decoding** a single term.
+  sets — so γ results combine **without re-decoding** a single term.  On
+  the columnar engine the shard states arrive in **array form**
+  (:class:`~repro.algebra.columnar.ArrayGroupStates`: one row per group
+  across parallel int64 arrays), and the merge is a concatenate +
+  re-reduce instead of a per-group dict fold — no re-boxing.
 
 Backends
 --------
@@ -113,10 +117,15 @@ def estimate_parallel_cost(
 _WORKER_EVALUATOR: Optional[AnalyticalQueryEvaluator] = None
 
 
-def _initialize_worker(graph) -> None:
-    """Pool initializer: build one evaluator (and its statistics) per worker."""
+def _initialize_worker(graph, engine: Optional[str] = None) -> None:
+    """Pool initializer: build one evaluator (and its statistics) per worker.
+
+    ``engine`` carries the parent evaluator's resolved engine so an
+    explicit pin (``OLAPSession(engine="rows")``) governs worker processes
+    too — auto-resolution in the worker could disagree with the parent.
+    """
     global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = AnalyticalQueryEvaluator(graph)
+    _WORKER_EVALUATOR = AnalyticalQueryEvaluator(graph, engine=engine)
 
 
 def _run_shard(payload: Tuple[AnalyticalQuery, GraphShard, int, bool]):
@@ -149,6 +158,22 @@ class ParallelExecutor:
     backend:
         ``"auto"`` (default), ``"process"``, ``"thread"`` or ``"serial"``
         — see the module docstring.
+
+    Examples
+    --------
+    ``workers=1`` evaluates the shards inline — the partitioned path and
+    the merge algebra are fully exercised, without pool plumbing:
+
+    >>> from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+    >>> from repro.analytics.evaluator import AnalyticalQueryEvaluator
+    >>> from repro.olap.cube import Cube
+    >>> dataset = generic_dataset(GenericConfig(facts=30, dimensions=2, seed=9))
+    >>> query = generic_query(dataset.config, aggregate="avg")
+    >>> evaluator = AnalyticalQueryEvaluator(dataset.instance)
+    >>> with ParallelExecutor(evaluator, workers=1, shard_count=4) as executor:
+    ...     merged = executor.evaluate(query)
+    >>> Cube(merged.answer, query).same_cells(Cube(evaluator.answer(query), query))
+    True
     """
 
     def __init__(
@@ -318,7 +343,7 @@ class ParallelExecutor:
         self._process_pool = ProcessPoolExecutor(
             max_workers=self._workers,
             initializer=_initialize_worker,
-            initargs=(self._graph,),
+            initargs=(self._graph, getattr(self._evaluator, "engine", None)),
         )
         self._process_pool_version = version
         return self._process_pool

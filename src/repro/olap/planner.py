@@ -65,6 +65,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.algebra.columnar import engine_cost_multiplier
 from repro.algebra.operators import select
 from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
 from repro.analytics.evaluator import AnalyticalQueryEvaluator
@@ -172,6 +173,36 @@ class OLAPPlanner:
     rewriter:
         Optional pre-built :class:`~repro.olap.rewriting.OLAPRewriter`; one
         is constructed over the evaluator's BGP evaluator otherwise.
+    maintainer:
+        Optional :class:`~repro.olap.maintenance.DeltaMaintainer` pricing
+        and executing the ``refresh-cached`` candidate.
+    parallel:
+        Optional :class:`~repro.olap.parallel.ParallelExecutor`; when
+        present (session built with ``workers > 1``) a ``parallel``
+        candidate is enumerated for mergeable aggregates.
+
+    Examples
+    --------
+    Plans are inspectable: every candidate carries its strategy, its
+    estimated cost in rows touched, and a human-readable detail line.
+
+    >>> from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+    >>> from repro.olap.operations import Slice
+    >>> from repro.olap.session import OLAPSession
+    >>> dataset = generic_dataset(GenericConfig(facts=30, dimensions=2, seed=7))
+    >>> query = generic_query(dataset.config, aggregate="count")
+    >>> session = OLAPSession(dataset.instance, dataset.schema)
+    >>> cube = session.execute(query)
+    >>> value = sorted(cube.dimension_values("d0"), key=repr)[0]
+    >>> operation = Slice("d0", value)
+    >>> plan = session.planner.plan(query, operation, operation.apply(query),
+    ...                             session.materialized(query))
+    >>> len(plan.candidates) >= 2          # at least a reuse option + scratch
+    True
+    >>> plan.chosen is plan.candidates[0]  # cheapest first
+    True
+    >>> plan.chosen.strategy in ("rewrite[slice-dice/ans]", "scratch")
+    True
     """
 
     def __init__(
@@ -188,6 +219,14 @@ class OLAPPlanner:
         self._statistics = evaluator.bgp_evaluator.statistics
         self._maintainer = maintainer or DeltaMaintainer(evaluator)
         self._parallel = parallel
+        # Per-engine rows-touched multiplier: a row touched by the columnar
+        # engine's vectorized kernels is cheaper than one touched by the
+        # interpreted row loop, so instance-evaluating candidates (scratch,
+        # parallel) are priced down accordingly while the row-level reuse
+        # candidates (rewrite, refresh, compat) keep weight 1.
+        self._engine_multiplier = engine_cost_multiplier(
+            getattr(evaluator, "engine", "rows")
+        )
 
     @property
     def maintainer(self) -> DeltaMaintainer:
@@ -321,8 +360,12 @@ class OLAPPlanner:
             if option.input_kind == "answer":
                 cost += option.input_rows * SELECT_ROW_COST
             elif option.needs_instance:
-                cost += option.input_rows * JOIN_ROW_COST + self._auxiliary_cost(
-                    materialized.query, transformed_query
+                # The auxiliary query evaluates on the instance through the
+                # same engine as scratch, so it gets the same multiplier;
+                # the join over pres(Q) stays row-level work.
+                cost += option.input_rows * JOIN_ROW_COST + (
+                    self._engine_multiplier
+                    * self._auxiliary_cost(materialized.query, transformed_query)
                 )
             else:
                 cost += option.input_rows * GROUP_ROW_COST
@@ -394,7 +437,7 @@ class OLAPPlanner:
         self, transformed_query: AnalyticalQuery, materialize_partial: bool
     ) -> PlanCandidate:
         executor = self._parallel
-        cost = BASE_COST + estimate_parallel_cost(
+        cost = BASE_COST + self._engine_multiplier * estimate_parallel_cost(
             self._statistics, transformed_query, executor.workers, executor.shard_count
         )
         instance_triples = len(self._evaluator.instance)
@@ -443,9 +486,10 @@ class OLAPPlanner:
 
         Shared with the refresh-vs-recompute decision (see
         :func:`repro.olap.maintenance.estimate_scratch_cost`) so every
-        strategy is priced in the same unit.
+        strategy is priced in the same unit, then scaled by the per-engine
+        multiplier (the columnar engine touches rows vectorized).
         """
-        return estimate_scratch_cost(self._statistics, query)
+        return self._engine_multiplier * estimate_scratch_cost(self._statistics, query)
 
     def _auxiliary_cost(
         self, original_query: AnalyticalQuery, transformed_query: AnalyticalQuery

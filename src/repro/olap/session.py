@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import MaterializationError, OLAPError
+from repro.algebra.columnar import engine_cost_multiplier
 from repro.rdf.graph import Graph
 from repro.analytics.answer import CubeAnswer, MaterializedQueryResults
 from repro.analytics.evaluator import AnalyticalQueryEvaluator
@@ -102,6 +103,31 @@ class OLAPSession:
     parallel_backend:
         ``"auto"`` / ``"process"`` / ``"thread"`` / ``"serial"`` — see
         :class:`~repro.olap.parallel.ParallelExecutor`.
+    engine:
+        ``"rows"``, ``"columnar"`` or None/``"auto"`` — the execution
+        engine of the from-scratch evaluator (see
+        :func:`repro.algebra.columnar.resolve_engine`).  ``auto`` uses the
+        vectorized columnar engine when numpy (the ``[fast]`` extra) is
+        installed, honouring a ``REPRO_ENGINE`` override.
+
+    Examples
+    --------
+    Execute a cube query, then navigate: transformations are answered
+    from the materialized results whenever that is priced cheaper.
+
+    >>> from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+    >>> dataset = generic_dataset(GenericConfig(facts=30, dimensions=2, seed=3))
+    >>> query = generic_query(dataset.config, aggregate="count")
+    >>> session = OLAPSession(dataset.instance, dataset.schema)
+    >>> cube = session.execute(query)
+    >>> session.history[-1].strategy
+    'scratch'
+    >>> from repro.olap.operations import DrillOut
+    >>> coarser = session.transform(query, DrillOut("d1"))
+    >>> len(coarser) <= len(cube)
+    True
+    >>> session.engine in ("rows", "columnar")
+    True
     """
 
     def __init__(
@@ -114,10 +140,11 @@ class OLAPSession:
         workers: int = 1,
         shard_count: Optional[int] = None,
         parallel_backend: str = "auto",
+        engine: Optional[str] = None,
     ):
         self.schema = schema
         self.instance = instance
-        self.evaluator = AnalyticalQueryEvaluator(instance)
+        self.evaluator = AnalyticalQueryEvaluator(instance, engine=engine)
         self._rewriter = OLAPRewriter(self.evaluator.bgp_evaluator)
         self._materialize_partial = materialize_partial
         self._cache = ResultCache(cache_capacity, store_dir=cache_dir)
@@ -170,6 +197,11 @@ class OLAPSession:
         """The session's worker-pool size (1 = fully serial)."""
         return self._parallel.workers if self._parallel is not None else 1
 
+    @property
+    def engine(self) -> str:
+        """The from-scratch evaluator's engine: ``"rows"`` or ``"columnar"``."""
+        return self.evaluator.engine
+
     def close(self) -> None:
         """Release the parallel worker pools (no-op for serial sessions)."""
         if self._parallel is not None:
@@ -206,7 +238,14 @@ class OLAPSession:
             return None
         entry, delta = found
         refresh_cost = self._maintainer.estimate_refresh_cost(entry.materialized, delta)
-        if refresh_cost >= self._maintainer.estimate_scratch_cost(query):
+        # Same pricing as the planner's candidates: scratch is scaled by
+        # the per-engine multiplier (patching is row-level work either
+        # way), so execute() and transform() never disagree on the
+        # refresh-vs-recompute call.
+        scratch_cost = engine_cost_multiplier(
+            self.engine
+        ) * self._maintainer.estimate_scratch_cost(query)
+        if refresh_cost >= scratch_cost:
             return None
         return self._cache.refresh(query, self.instance, self._maintainer)
 

@@ -130,6 +130,31 @@ class Graph:
         to load at construction time.
     name:
         Optional human-readable name, used in ``repr`` and benchmark reports.
+    change_log_limit:
+        Bound on the change log powering :meth:`deltas_since` (default
+        4096 records); overflowing it degrades honestly to the
+        full-invalidation answer (``deltas_since`` returns None).
+
+    Examples
+    --------
+    >>> from repro.rdf.terms import IRI, Literal
+    >>> from repro.rdf.triples import Triple
+    >>> graph = Graph()
+    >>> graph.add(Triple(IRI("http://example.org/alice"),
+    ...                  IRI("http://example.org/age"), Literal(30)))
+    True
+    >>> len(graph)
+    1
+
+    Every effective mutation bumps :attr:`version` and is recorded in the
+    change log, the basis of incremental cube maintenance:
+
+    >>> seen = graph.version
+    >>> _ = graph.add(Triple(IRI("http://example.org/bob"),
+    ...               IRI("http://example.org/age"), Literal(28)))
+    >>> delta = graph.deltas_since(seen)
+    >>> (len(delta.added), len(delta.removed))
+    (1, 0)
     """
 
     def __init__(

@@ -1,0 +1,505 @@
+"""Unit tests for the columnar kernels and the engine toggle.
+
+Covers :mod:`repro.algebra.columnar` edge cases — empty relations,
+all-rows-filtered masks, single-group γ, missing-measure ``None`` handling —
+plus the engine-resolution contract (``REPRO_ENGINE`` override, the
+``ConfigurationError`` raised when columnar is forced without numpy) and
+the planner's per-engine cost multiplier.
+"""
+
+import pickle
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import ConfigurationError, UnknownColumnError
+from repro.algebra import columnar
+from repro.algebra.columnar import (
+    ArrayGroupStates,
+    COLUMNAR_COST_MULTIPLIER,
+    ColumnarIdRelation,
+    group_reduce,
+    group_states_columnar,
+    join_columnar,
+    prepend_key_column,
+    resolve_engine,
+    select_columnar,
+)
+from repro.algebra.expressions import between, conjunction, disjunction, equals, is_in, negation
+from repro.algebra.grouping import (
+    finalize_group_states,
+    group_aggregate,
+    group_partial_states,
+    merge_group_states,
+)
+from repro.algebra.operators import join_on, project, select
+from repro.algebra.relation import IdRelation, Relation
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.terms import IRI, Literal
+
+AGGREGATES = ("count", "sum", "avg", "min", "max", "count_distinct")
+
+
+@pytest.fixture(autouse=True)
+def _clear_engine_env(monkeypatch):
+    """These tests pin the resolution contract itself; CI's engine-oracle
+    matrix exports REPRO_ENGINE, which must not leak into them."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
+
+def _dictionary_with(values):
+    dictionary = TermDictionary()
+    ids = [dictionary.encode(value) for value in values]
+    return dictionary, ids
+
+
+def _paired_relations(rows, columns=("x", "d", "v"), encoded=None):
+    """The same data as a columnar and as a row-backed id relation."""
+    dictionary = TermDictionary()
+    id_rows = []
+    for row in rows:
+        id_rows.append(tuple(dictionary.encode(value) for value in row))
+    arrays = {
+        name: np.asarray([row[index] for row in id_rows], dtype=np.int64)
+        for index, name in enumerate(columns)
+    }
+    columnar_relation = ColumnarIdRelation.from_arrays(columns, arrays, dictionary, encoded)
+    row_relation = IdRelation(columns, id_rows, dictionary=dictionary, encoded=encoded)
+    return columnar_relation, row_relation
+
+
+def _sample_rows(count=9):
+    rows = []
+    for index in range(count):
+        rows.append(
+            (
+                IRI(f"http://example.org/fact{index % 4}"),
+                IRI(f"http://example.org/city{index % 3}"),
+                Literal(10 * (index % 5)),
+            )
+        )
+    return rows
+
+
+class TestColumnarIdRelation:
+    def test_rows_materialize_lazily_and_match_row_engine(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        assert len(columnar_relation) == len(row_relation)
+        assert list(columnar_relation) == list(row_relation)
+        assert columnar_relation.bag_equal(row_relation)
+        assert columnar_relation.materialize().bag_equal(row_relation.materialize())
+
+    def test_empty_relation(self):
+        dictionary = TermDictionary()
+        empty = ColumnarIdRelation.from_arrays(
+            ("x", "v"),
+            {"x": np.empty(0, dtype=np.int64), "v": np.empty(0, dtype=np.int64)},
+            dictionary,
+        )
+        assert len(empty) == 0
+        assert not empty
+        assert list(empty) == []
+        assert empty.materialize().rows == []
+
+    def test_reorder_and_head_stay_columnar(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        reordered = columnar_relation.reorder(("v", "x", "d"))
+        assert isinstance(reordered, ColumnarIdRelation)
+        assert reordered.bag_equal(row_relation.reorder(("v", "x", "d")))
+        head = columnar_relation.head(3)
+        assert isinstance(head, ColumnarIdRelation)
+        assert len(head) == 3
+
+    def test_column_access(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        assert columnar_relation.column_values("d") == row_relation.column_values("d")
+        assert columnar_relation.distinct_values("d") == row_relation.distinct_values("d")
+        with pytest.raises(UnknownColumnError):
+            columnar_relation.column_array("missing")
+
+    def test_from_rows_refuses_none_values(self):
+        """Missing measures never reach the int64 kernels: construction
+        falls back (None) and the caller keeps the row representation,
+        whose γ filters None measures."""
+        dictionary = TermDictionary()
+        assert (
+            ColumnarIdRelation.from_rows(("x", "v"), [(1, None)], dictionary) is None
+        )
+        assert ColumnarIdRelation.from_rows(("x", "v"), [(1, 2.5)], dictionary) is None
+        built = ColumnarIdRelation.from_rows(("x", "v"), [(1, 2)], dictionary)
+        assert isinstance(built, ColumnarIdRelation)
+        assert built.rows == [(1, 2)]
+
+    def test_schema_validation(self):
+        dictionary = TermDictionary()
+        from repro.errors import SchemaMismatchError
+
+        with pytest.raises(SchemaMismatchError):
+            ColumnarIdRelation.from_arrays(
+                ("x", "x"),
+                {"x": np.zeros(1, dtype=np.int64)},
+                dictionary,
+            )
+        with pytest.raises(SchemaMismatchError):
+            ColumnarIdRelation.from_arrays(
+                ("x", "v"),
+                {
+                    "x": np.zeros(2, dtype=np.int64),
+                    "v": np.zeros(3, dtype=np.int64),
+                },
+                dictionary,
+            )
+
+
+class TestSelectKernel:
+    def test_sigma_like_predicates_match_row_select(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        predicates = [
+            equals("d", IRI("http://example.org/city1")),
+            is_in("d", [IRI("http://example.org/city0"), IRI("http://example.org/city2")]),
+            between("v", 10, 30),
+            conjunction(between("v", 0, 30), equals("d", IRI("http://example.org/city0"))),
+            disjunction(equals("v", Literal(0)), equals("v", Literal(40))),
+            negation(equals("d", IRI("http://example.org/city1"))),
+        ]
+        for predicate in predicates:
+            fast = select(columnar_relation, predicate)
+            slow = select(row_relation, predicate)
+            assert fast.bag_equal(slow)
+
+    def test_all_rows_filtered_mask(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        none_match = equals("d", IRI("http://example.org/elsewhere"))
+        fast = select(columnar_relation, none_match)
+        assert isinstance(fast, ColumnarIdRelation)
+        assert len(fast) == 0
+        assert fast.bag_equal(select(row_relation, none_match))
+
+    def test_empty_relation_select(self):
+        dictionary = TermDictionary()
+        empty = ColumnarIdRelation.from_arrays(
+            ("d",), {"d": np.empty(0, dtype=np.int64)}, dictionary
+        )
+        assert len(select(empty, equals("d", Literal(1)))) == 0
+
+    def test_sigma_predicate_takes_the_mask_fast_path(self):
+        """A real SigmaPredicate must mask-compile (not silently fall back
+        to the row loop) — the engine's hottest selection shape."""
+        from repro.analytics.sigma import DimensionRestriction, Sigma
+
+        columnar_relation, row_relation = _paired_relations(
+            _sample_rows(), columns=("x", "dage", "v")
+        )
+        sigma = Sigma(
+            ("dage",),
+            {"dage": DimensionRestriction.to_value(IRI("http://example.org/city1"))},
+        )
+        fast = select_columnar(columnar_relation, sigma.predicate())
+        assert fast is not None, "SigmaPredicate lost the vectorized fast path"
+        assert fast.bag_equal(select(row_relation, sigma.predicate()))
+
+    def test_opaque_callable_falls_back_to_rows(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        opaque = lambda row: str(row["d"]).endswith("city1")  # noqa: E731
+        assert select_columnar(columnar_relation, opaque) is None
+        assert select(columnar_relation, opaque).bag_equal(select(row_relation, opaque))
+
+
+class TestJoinKernel:
+    def test_join_matches_row_join_with_multiplicities(self):
+        dictionary = TermDictionary()
+        facts = [dictionary.encode(IRI(f"http://example.org/f{i}")) for i in range(4)]
+        left = ColumnarIdRelation.from_arrays(
+            ("x", "d"),
+            {
+                "x": np.asarray([facts[0], facts[0], facts[1], facts[3]], dtype=np.int64),
+                "d": np.asarray(facts[:4], dtype=np.int64),
+            },
+            dictionary,
+        )
+        right = ColumnarIdRelation.from_arrays(
+            ("x", "v"),
+            {
+                "x": np.asarray([facts[0], facts[1], facts[1], facts[2]], dtype=np.int64),
+                "v": np.asarray(facts[:4], dtype=np.int64),
+            },
+            dictionary,
+        )
+        left_rows = IdRelation(("x", "d"), left.rows, dictionary=dictionary)
+        right_rows = IdRelation(("x", "v"), right.rows, dictionary=dictionary)
+        fast = join_on(left, right, [("x", "x")])
+        assert isinstance(fast, ColumnarIdRelation)
+        assert fast.bag_equal(join_on(left_rows, right_rows, [("x", "x")]))
+
+    def test_join_empty_sides(self):
+        dictionary = TermDictionary()
+        empty = ColumnarIdRelation.from_arrays(
+            ("x", "d"),
+            {"x": np.empty(0, dtype=np.int64), "d": np.empty(0, dtype=np.int64)},
+            dictionary,
+        )
+        other = ColumnarIdRelation.from_arrays(
+            ("x", "v"),
+            {"x": np.zeros(2, dtype=np.int64), "v": np.ones(2, dtype=np.int64)},
+            dictionary,
+        )
+        assert len(join_columnar(empty, other, "x", "x", ("v",))) == 0
+        assert len(join_columnar(other, empty, "x", "x", ("d",))) == 0
+
+
+class TestGroupReduceKernel:
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    def test_matches_row_gamma(self, aggregate):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        fast = group_reduce(columnar_relation, ["d"], "v", aggregate)
+        assert fast is not None
+        assert fast.bag_equal(group_aggregate(row_relation, ["d"], "v", aggregate))
+
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    def test_single_group(self, aggregate):
+        rows = [
+            (IRI("http://example.org/f0"), IRI("http://example.org/only"), Literal(7)),
+            (IRI("http://example.org/f1"), IRI("http://example.org/only"), Literal(9)),
+        ]
+        columnar_relation, row_relation = _paired_relations(rows)
+        fast = group_reduce(columnar_relation, ["d"], "v", aggregate)
+        slow = group_aggregate(row_relation, ["d"], "v", aggregate)
+        assert len(fast) == 1
+        assert fast.bag_equal(slow)
+
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    def test_empty_relation(self, aggregate):
+        dictionary = TermDictionary()
+        empty = ColumnarIdRelation.from_arrays(
+            ("d", "v"),
+            {"d": np.empty(0, dtype=np.int64), "v": np.empty(0, dtype=np.int64)},
+            dictionary,
+        )
+        fast = group_reduce(empty, ["d"], "v", aggregate)
+        assert fast is not None and len(fast) == 0
+
+    def test_no_grouping_columns(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        fast = group_reduce(columnar_relation, [], "v", "sum")
+        assert fast.bag_equal(group_aggregate(row_relation, [], "v", "sum"))
+
+    def test_non_numeric_measure_falls_back(self):
+        rows = [
+            (IRI("http://example.org/f0"), IRI("http://example.org/c"), Literal("west")),
+            (IRI("http://example.org/f1"), IRI("http://example.org/c"), Literal("east")),
+        ]
+        columnar_relation, row_relation = _paired_relations(rows)
+        assert group_reduce(columnar_relation, ["d"], "v", "sum") is None
+        # The public γ still answers (row fallback), identically to rows:
+        # sum over strings is undefined, so the group is omitted.
+        assert group_aggregate(columnar_relation, ["d"], "v", "sum").bag_equal(
+            group_aggregate(row_relation, ["d"], "v", "sum")
+        )
+        # min/max over strings are defined — and must also match.
+        assert group_aggregate(columnar_relation, ["d"], "v", "min").bag_equal(
+            group_aggregate(row_relation, ["d"], "v", "min")
+        )
+
+    @pytest.mark.parametrize("aggregate", ("sum", "avg", "min", "max"))
+    def test_huge_integers_fall_back_to_exact_row_arithmetic(self, aggregate):
+        """Values that could overflow int64 sums never enter the kernels:
+        the reduction answers None and the row engine's unlimited-precision
+        arithmetic produces the exact cell."""
+        rows = [
+            (IRI("http://example.org/f0"), IRI("http://example.org/c"), Literal(6 * 10**18)),
+            (IRI("http://example.org/f1"), IRI("http://example.org/c"), Literal(6 * 10**18)),
+            (IRI("http://example.org/f2"), IRI("http://example.org/c"), Literal(2**63)),
+        ]
+        columnar_relation, row_relation = _paired_relations(rows)
+        assert group_reduce(columnar_relation, ["d"], "v", aggregate) is None
+        fast = group_aggregate(columnar_relation, ["d"], "v", aggregate)
+        slow = group_aggregate(row_relation, ["d"], "v", aggregate)
+        assert fast.bag_equal(slow)
+        if aggregate == "sum":
+            assert fast.rows[0][-1] == 12 * 10**18 + 2**63  # exact, not wrapped
+
+    def test_count_distinct_merges_equal_comparables(self):
+        """Ids decoding to equal comparable values count once (28 vs 28.0)."""
+        dictionary = TermDictionary()
+        group = dictionary.encode(IRI("http://example.org/g"))
+        ids = [
+            dictionary.encode(Literal(28)),
+            dictionary.encode(Literal(28.0)),
+            dictionary.encode(Literal(29)),
+        ]
+        relation = ColumnarIdRelation.from_arrays(
+            ("d", "v"),
+            {
+                "d": np.asarray([group] * 3, dtype=np.int64),
+                "v": np.asarray(ids, dtype=np.int64),
+            },
+            dictionary,
+        )
+        row_relation = IdRelation(("d", "v"), relation.rows, dictionary=dictionary)
+        fast = group_reduce(relation, ["d"], "v", "count_distinct")
+        assert fast.bag_equal(group_aggregate(row_relation, ["d"], "v", "count_distinct"))
+        assert fast.rows[0][-1] == 2
+
+
+class TestArrayGroupStates:
+    @pytest.mark.parametrize("aggregate", ("count", "sum", "avg", "min", "max"))
+    def test_states_match_dict_form(self, aggregate):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        array_states = group_partial_states(columnar_relation, ["d"], "v", aggregate)
+        dict_states = group_partial_states(row_relation, ["d"], "v", aggregate)
+        assert isinstance(array_states, ArrayGroupStates)
+        assert array_states.to_dict() == dict_states
+
+    @pytest.mark.parametrize("aggregate", ("count", "sum", "avg", "min", "max"))
+    def test_split_merge_equals_serial(self, aggregate):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        halves = [
+            columnar_relation.take(np.arange(0, 4)),
+            columnar_relation.take(np.arange(4, 9)),
+        ]
+        parts = [group_partial_states(half, ["d"], "v", aggregate) for half in halves]
+        merged = merge_group_states(parts, aggregate)
+        assert isinstance(merged, ArrayGroupStates)
+        serial = group_aggregate(row_relation, ["d"], "v", aggregate)
+        assert sorted(finalize_group_states(merged, aggregate)) == sorted(serial.rows)
+
+    def test_empty_partition_merges(self):
+        columnar_relation, _ = _paired_relations(_sample_rows())
+        dictionary = columnar_relation.dictionary
+        empty = ColumnarIdRelation.from_arrays(
+            ("x", "d", "v"),
+            {name: np.empty(0, dtype=np.int64) for name in ("x", "d", "v")},
+            dictionary,
+        )
+        full = group_partial_states(columnar_relation, ["d"], "v", "sum")
+        nothing = group_partial_states(empty, ["d"], "v", "sum")
+        assert nothing.group_count() == 0
+        merged = merge_group_states([full, nothing], "sum")
+        assert sorted(finalize_group_states(merged, "sum")) == sorted(
+            finalize_group_states(full, "sum")
+        )
+
+    def test_mixed_array_and_dict_partitions(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        array_states = group_partial_states(columnar_relation, ["d"], "v", "avg")
+        dict_states = group_partial_states(row_relation, ["d"], "v", "avg")
+        merged = merge_group_states([array_states, dict_states], "avg")
+        assert isinstance(merged, dict)
+        doubled = {key: (total * 2, count * 2) for key, (total, count) in dict_states.items()}
+        assert merged == doubled
+
+    def test_states_pickle_across_processes(self):
+        columnar_relation, _ = _paired_relations(_sample_rows())
+        states = group_partial_states(columnar_relation, ["d"], "v", "avg")
+        clone = pickle.loads(pickle.dumps(states))
+        assert isinstance(clone, ArrayGroupStates)
+        assert clone.to_dict() == states.to_dict()
+
+
+class TestKeyColumn:
+    def test_prepend_key_column(self):
+        columnar_relation, _ = _paired_relations(_sample_rows(), columns=("x", "d", "v"))
+        keyed = prepend_key_column(columnar_relation, "k", range(5, 5 + len(columnar_relation)))
+        assert keyed.columns == ("k", "x", "d", "v")
+        assert keyed.column_values("k") == list(range(5, 14))
+        assert "k" not in keyed.encoded_columns
+
+    def test_projection_shares_columns(self):
+        columnar_relation, row_relation = _paired_relations(_sample_rows())
+        projected = project(columnar_relation, ("d", "v"))
+        assert isinstance(projected, ColumnarIdRelation)
+        assert projected.bag_equal(project(row_relation, ("d", "v")))
+
+
+class TestEngineResolution:
+    def test_explicit_choices(self):
+        assert resolve_engine("rows") == "rows"
+        assert resolve_engine("columnar") == "columnar"
+        assert resolve_engine("auto") == "columnar"  # numpy importable here
+        assert resolve_engine(None) == "columnar"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "rows")
+        assert resolve_engine() == "rows"
+        monkeypatch.setenv("REPRO_ENGINE", "columnar")
+        assert resolve_engine() == "columnar"
+        # Explicit arguments beat the environment.
+        assert resolve_engine("rows") == "rows"
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("vectorized")
+        monkeypatch.setenv("REPRO_ENGINE", "nope")
+        with pytest.raises(ConfigurationError):
+            resolve_engine()
+
+    def test_forced_columnar_without_numpy_raises(self, monkeypatch):
+        """No silent degradation: the error names the [fast] extra."""
+        monkeypatch.setattr(columnar, "HAVE_NUMPY", False)
+        with pytest.raises(ConfigurationError, match=r"\[fast\]"):
+            resolve_engine("columnar")
+        monkeypatch.setenv("REPRO_ENGINE", "columnar")
+        with pytest.raises(ConfigurationError, match=r"\[fast\]"):
+            resolve_engine()
+        # auto (no forcing) quietly falls back to rows.
+        monkeypatch.delenv("REPRO_ENGINE")
+        assert resolve_engine() == "rows"
+
+
+class TestEngineWiring:
+    def test_evaluator_and_session_expose_engine(self, example2_instance):
+        from repro.analytics.evaluator import AnalyticalQueryEvaluator
+        from repro.olap.session import OLAPSession
+
+        assert AnalyticalQueryEvaluator(example2_instance).engine == "columnar"
+        assert AnalyticalQueryEvaluator(example2_instance, engine="rows").engine == "rows"
+        # The decode-eagerly baseline always runs on rows.
+        assert AnalyticalQueryEvaluator(example2_instance, id_space=False).engine == "rows"
+        with OLAPSession(example2_instance, engine="rows") as session:
+            assert session.engine == "rows"
+
+    def test_bgp_emits_column_blocks_on_columnar_engine(self, example2_instance):
+        from repro.bgp.evaluator import BGPEvaluator
+        from tests.conftest import make_sites_query
+
+        query = make_sites_query().classifier
+        fast = BGPEvaluator(example2_instance, engine="columnar").evaluate_ids(query)
+        slow = BGPEvaluator(example2_instance, engine="rows").evaluate_ids(query)
+        assert isinstance(fast, ColumnarIdRelation)
+        assert not isinstance(slow, ColumnarIdRelation)
+        assert fast.bag_equal(slow)
+
+    def test_process_worker_initializer_honours_engine_pin(self, example2_instance):
+        """The pool initializer must not auto-resolve its own engine: a
+        session pinned to rows runs its worker processes on rows too."""
+        from repro.olap import parallel as parallel_module
+
+        try:
+            parallel_module._initialize_worker(example2_instance, "rows")
+            assert parallel_module._WORKER_EVALUATOR.engine == "rows"
+            parallel_module._initialize_worker(example2_instance, "columnar")
+            assert parallel_module._WORKER_EVALUATOR.engine == "columnar"
+        finally:
+            parallel_module._WORKER_EVALUATOR = None
+
+    def test_planner_prices_scratch_with_engine_multiplier(self, example2_instance):
+        from repro.olap.session import OLAPSession
+        from repro.olap.operations import Slice
+        from tests.conftest import make_sites_query
+
+        def scratch_cost(engine):
+            session = OLAPSession(example2_instance, engine=engine, cache_capacity=0)
+            query = make_sites_query()
+            session.execute(query)
+            plan = session.planner.plan(query, Slice("dage", Literal(35)),
+                                        Slice("dage", Literal(35)).apply(query))
+            by_name = {candidate.strategy: candidate for candidate in plan.candidates}
+            return by_name["scratch"].cost
+
+        rows_cost = scratch_cost("rows")
+        columnar_cost = scratch_cost("columnar")
+        assert columnar_cost < rows_cost
+        assert columnar_cost == pytest.approx(
+            1.0 + COLUMNAR_COST_MULTIPLIER * (rows_cost - 1.0)
+        )

@@ -290,7 +290,11 @@ def test_after_update_golden_cubes(name, mode, request, update_golden):
         update_batch(instance)
         cube = OLAPSession(instance, schema).execute(query)
     else:
-        session = OLAPSession(instance, schema)
+        # Row engine: this mode must *exercise the delta-patching path*;
+        # the columnar engine's cheaper scratch pricing legitimately
+        # recomputes at this fixture scale (row/columnar agreement is
+        # covered by the columnar differential oracle).
+        session = OLAPSession(instance, schema, engine="rows")
         session.execute(query)
         update_batch(instance)
         cube = session.execute(query)

@@ -14,7 +14,12 @@ from tests.conftest import make_sites_query, make_views_query
 
 @pytest.fixture()
 def session(example2_instance):
-    return OLAPSession(example2_instance)
+    # The strategy-preference assertions below pin the cost model's ranking
+    # under uniform per-row costs; the row engine keeps that ranking stable
+    # regardless of whether numpy (and its 0.35x scratch multiplier) is
+    # installed.  Columnar-engine pricing is covered in
+    # tests/algebra/test_columnar.py.
+    return OLAPSession(example2_instance, engine="rows")
 
 
 @pytest.fixture()
@@ -176,7 +181,9 @@ class TestPlanExecution:
         from repro.datagen.videos import views_per_url_query
 
         dataset = small_video_dataset
-        session = OLAPSession(dataset.instance, dataset.schema)
+        # Row engine: the assertion pins the uniform-cost ranking (see the
+        # session fixture's note).
+        session = OLAPSession(dataset.instance, dataset.schema, engine="rows")
         query = views_per_url_query(dataset.schema)
         session.execute(query)
         cube = session.transform(query, DrillIn("d3"), strategy="plan")

@@ -1,0 +1,36 @@
+"""Doctest run over the public surface's docstring examples.
+
+The documentation site renders these docstrings (mkdocstrings), so their
+``Examples`` sections are executable documentation — this module runs them
+on every CI leg, with either engine and with or without numpy, so an API
+drift breaks the build instead of silently rotting the docs.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+#: Modules whose docstrings carry runnable examples.  Every entry must
+#: actually contain at least one example — an empty doctest run here means
+#: the documentation promise was broken.
+DOCUMENTED_MODULES = [
+    "repro.algebra.columnar",
+    "repro.analytics.answer",
+    "repro.olap.cache",
+    "repro.olap.maintenance",
+    "repro.olap.parallel",
+    "repro.olap.planner",
+    "repro.olap.session",
+    "repro.rdf.graph",
+]
+
+_FLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+
+@pytest.mark.parametrize("module_name", DOCUMENTED_MODULES)
+def test_docstring_examples(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, optionflags=_FLAGS, verbose=False)
+    assert results.attempted > 0, f"{module_name} promises examples but has none"
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failure(s)"

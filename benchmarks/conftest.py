@@ -33,6 +33,25 @@ def scale_parameters():
 
 
 @pytest.fixture(scope="session")
+def bench_record_writer():
+    """Session-scoped writer for machine-readable ``BENCH_*.json`` records.
+
+    Benchmarks call it as ``bench_record_writer(name, measurements,
+    metadata)``; the active ``REPRO_BENCH_SCALE`` is stamped into every
+    record and the file lands in :func:`repro.bench.reporting.bench_records_dir`
+    (override with ``REPRO_BENCH_RECORDS_DIR``).
+    """
+    from repro.bench.reporting import write_bench_record
+
+    scale = bench_scale_from_env()
+
+    def write(name, measurements, metadata=None):
+        return write_bench_record(name, scale, measurements, metadata)
+
+    return write
+
+
+@pytest.fixture(scope="session")
 def blogger_bench_dataset(scale_parameters):
     return blogger_dataset(BloggerConfig(bloggers=int(scale_parameters["bloggers"])))
 

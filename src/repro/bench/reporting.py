@@ -1,12 +1,83 @@
-"""Rendering experiment tables as Markdown (for EXPERIMENTS.md regeneration)."""
+"""Rendering experiment results: Markdown tables and machine-readable records.
+
+Two output channels:
+
+* **Markdown** (:func:`table_to_markdown` / :func:`write_report`) — the
+  human-facing EXPERIMENTS.md regeneration path;
+* **JSON run records** (:func:`write_bench_record`) — one
+  ``BENCH_<name>_<scale>.json`` file per benchmark run, carrying the scale,
+  engine, worker/shard configuration, instance sizes, wall times, and
+  derived speedups.  These are what cross-run tooling (regression checks,
+  the re-anchor protocol) consumes; the directory is controlled by the
+  ``REPRO_BENCH_RECORDS_DIR`` environment variable and defaults to
+  ``bench_records/`` under the current working directory.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+import json
+import os
+from typing import Dict, Iterable, List, Optional
 
 from repro.bench.harness import ResultTable
 
-__all__ = ["table_to_markdown", "report_to_markdown", "write_report"]
+__all__ = [
+    "table_to_markdown",
+    "report_to_markdown",
+    "write_report",
+    "bench_records_dir",
+    "write_bench_record",
+]
+
+#: Environment variable overriding where BENCH_*.json records are written.
+RECORDS_DIR_ENV_VAR = "REPRO_BENCH_RECORDS_DIR"
+
+#: Default records directory (relative to the current working directory).
+DEFAULT_RECORDS_DIR = "bench_records"
+
+
+def bench_records_dir() -> str:
+    """The directory for ``BENCH_*.json`` run records (created on demand)."""
+    directory = os.environ.get(RECORDS_DIR_ENV_VAR, DEFAULT_RECORDS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def _slug(text: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in text).strip("_")
+
+
+def write_bench_record(
+    name: str,
+    scale: str,
+    measurements: Dict[str, float],
+    metadata: Optional[Dict[str, object]] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write one machine-readable benchmark run record; return its path.
+
+    ``measurements`` maps labels to wall-clock seconds (floats); anything
+    contextual — engine, workers, shard counts, instance sizes, derived
+    speedups — goes in ``metadata``.  The record lands at
+    ``<records dir>/BENCH_<name>_<scale>.json`` (same name + scale
+    overwrite: the record describes the *latest* run of that benchmark at
+    that scale, which is what regression tooling diffs against).
+    """
+    record = {
+        "name": name,
+        "scale": scale,
+        "measurements": {label: float(seconds) for label, seconds in measurements.items()},
+        "metadata": dict(metadata or {}),
+    }
+    target_dir = directory if directory is not None else bench_records_dir()
+    os.makedirs(target_dir, exist_ok=True)
+    path = os.path.join(target_dir, f"BENCH_{_slug(name)}_{_slug(scale)}.json")
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+    return path
 
 
 def table_to_markdown(table: ResultTable) -> str:

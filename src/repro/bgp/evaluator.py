@@ -85,33 +85,47 @@ class ColumnarTripleIndex:
             self._pair_keys.clear()
 
     def predicate_pairs(self, p_id: int) -> Tuple:
-        """All ``(subjects, objects)`` of triples with predicate ``p_id``."""
+        """All ``(subjects, objects)`` of triples with predicate ``p_id``.
+
+        Storage backends that already hold the columns in array form (mmap
+        snapshots) are sliced zero-copy via
+        :meth:`~repro.rdf.graph.Graph.columnar_predicate_pairs`; heap
+        graphs take the Python build pass over their dict indexes.
+        """
         found = self._pairs.get(p_id)
         if found is None:
-            subjects: List[int] = []
-            objects: List[int] = []
-            for s, _, o in self._graph.match_ids(None, p_id, None):
-                subjects.append(s)
-                objects.append(o)
-            found = self._pairs[p_id] = (
-                _np.asarray(subjects, dtype=_np.int64),
-                _np.asarray(objects, dtype=_np.int64),
-            )
+            found = self._graph.columnar_predicate_pairs(p_id)
+            if found is None:
+                subjects: List[int] = []
+                objects: List[int] = []
+                for s, _, o in self._graph.match_ids(None, p_id, None):
+                    subjects.append(s)
+                    objects.append(o)
+                found = (
+                    _np.asarray(subjects, dtype=_np.int64),
+                    _np.asarray(objects, dtype=_np.int64),
+                )
+            self._pairs[p_id] = found
         return found
 
     def sorted_pairs(self, p_id: int, sort_position: int) -> Tuple:
         """``(sorted key array, aligned other-position array)`` for ``p_id``.
 
         ``sort_position`` 0 sorts by subject (keys = subjects, values =
-        objects); 2 sorts by object.
+        objects); 2 sorts by object.  Snapshot-backed graphs store both
+        sort orders on disk, so the argsort is skipped and the arrays are
+        zero-copy file views.
         """
         key = (p_id, sort_position)
         found = self._sorted_pairs.get(key)
         if found is None:
-            subjects, objects = self.predicate_pairs(p_id)
-            keys, values = (subjects, objects) if sort_position == 0 else (objects, subjects)
-            order = _np.argsort(keys, kind="stable")
-            found = self._sorted_pairs[key] = (keys[order], values[order])
+            found = self._graph.columnar_sorted_pairs(p_id, sort_position)
+            if found is None:
+                subjects, objects = self.predicate_pairs(p_id)
+                keys, values = (subjects, objects) if sort_position == 0 else (objects, subjects)
+                order = _np.argsort(keys, kind="stable")
+                found = (keys[order], values[order])
+            self._sorted_pairs[key] = found
         return found
 
     def candidates(

@@ -64,6 +64,34 @@ class SerializationError(RDFError):
 
 
 # ---------------------------------------------------------------------------
+# On-disk columnar snapshots
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for errors of the on-disk snapshot subsystem."""
+
+
+class SnapshotFormatError(StorageError):
+    """A snapshot file is malformed: bad magic, truncated header or payload,
+    unreadable table of contents, or sections that do not fit the file."""
+
+
+class SnapshotVersionError(StorageError):
+    """A snapshot was written with an incompatible format version."""
+
+
+class ReadOnlyGraphError(StorageError):
+    """A mutation was attempted on a memory-mapped (read-only) snapshot graph.
+
+    Snapshot-backed graphs are immutable by construction: their fact columns
+    and term dictionary are mmap views into the snapshot file.  Load with
+    ``mmap=False`` (or :meth:`~repro.rdf.graph.Graph.copy` the mapped graph)
+    to obtain a mutable heap instance.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Relational algebra
 # ---------------------------------------------------------------------------
 

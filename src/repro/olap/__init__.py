@@ -27,7 +27,12 @@ from repro.olap.cache import (
 )
 from repro.olap.cube import Cube
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
-from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
+from repro.olap.parallel import (
+    ExecutorStats,
+    ParallelExecutor,
+    dispatch_shard_cost,
+    estimate_parallel_cost,
+)
 from repro.olap.planner import OLAPPlanner, Plan, PlanCandidate
 from repro.olap.hierarchy import (
     DimensionHierarchy,
@@ -75,7 +80,9 @@ __all__ = [
     "DeltaMaintainer",
     "estimate_scratch_cost",
     "ParallelExecutor",
+    "ExecutorStats",
     "estimate_parallel_cost",
+    "dispatch_shard_cost",
     "OLAPPlanner",
     "Plan",
     "PlanCandidate",

@@ -32,16 +32,33 @@ Backends
     evaluator.  No pickling, always-current data; concurrency is bounded by
     the GIL, so this is the correctness/fallback backend, not the fast one.
 ``process``
-    A :class:`~concurrent.futures.ProcessPoolExecutor` whose workers receive
-    the instance graph once (via the pool initializer) and tiny pickled
-    shard specs per task.  Workers ship back plain rows and state maps —
-    term ids are identical across the pickled dictionary copies, so the
+    A :class:`~concurrent.futures.ProcessPoolExecutor` with one of two
+    **attach modes** (see :attr:`ParallelExecutor.attach_mode`):
+
+    * ``snapshot-mmap`` — when the instance is snapshot-backed (its
+      :attr:`~repro.rdf.graph.Graph.snapshot_path` is set), the pool
+      initializer ships only the **path**; each worker re-opens the
+      snapshot by mmap and shares its pages with every other worker
+      through the OS page cache.  Pool build cost is O(1) in the instance
+      size — no graph is ever pickled.
+    * ``pickled-graph`` — heap instances are pickled into every worker
+      once via the initializer (the pre-snapshot behaviour): O(instance)
+      per pool build.
+
+    In both modes workers receive tiny pickled shard specs per task and
+    ship back plain rows and state maps — term ids are identical across
+    workers (the snapshot preserves the dense first-seen ids), so the
     merge side never re-encodes.  The pool is version-stamped: a graph
     mutation rebuilds it so workers never serve a stale snapshot.
 ``auto``
     ``process`` when the query pickles (Σ range restrictions carry
     closures and do not), ``thread`` otherwise; ``serial`` when
     ``workers <= 1``.
+
+Every dispatch — and every silent downgrade (a broken pool, an
+unpicklable query) — is counted in :class:`ExecutorStats`, which the
+planner surfaces in :meth:`~repro.olap.planner.Plan.explain`, so
+benchmark numbers can never unknowingly mix backends.
 
 Cost model
 ----------
@@ -71,9 +88,12 @@ from repro.rdf.graph import GraphShard
 
 __all__ = [
     "ParallelExecutor",
+    "ExecutorStats",
     "estimate_parallel_cost",
+    "dispatch_shard_cost",
     "KEY_STRIDE",
     "DISPATCH_SHARD_COST",
+    "MMAP_DISPATCH_SHARD_COST",
     "MERGE_CELL_COST",
 ]
 
@@ -82,31 +102,108 @@ __all__ = [
 #: (Algorithm 1 dedups by key), and 2^40 keys per shard is unreachable.
 KEY_STRIDE = 1 << 40
 
-#: Flat rows-touched-equivalent overhead of dispatching one shard (task
-#: submission, result transfer, bookkeeping).  Keeps tiny instances serial.
+#: Flat rows-touched-equivalent overhead of dispatching one shard when the
+#: pool must be seeded by **pickling the graph** (task submission, result
+#: transfer, amortized pool-build).  Keeps tiny instances serial.
 DISPATCH_SHARD_COST = 200.0
+
+#: Per-shard dispatch overhead when workers **attach to a snapshot by
+#: mmap**: pool build ships a path instead of a graph, so only task
+#: submission and result transfer remain.  Measured ~O(1) in instance size
+#: (see ``benchmarks/bench_snapshot_coldstart.py``).
+MMAP_DISPATCH_SHARD_COST = 8.0
 
 #: Per merged γ state / answer cell: cost of the merge-and-finalize step.
 MERGE_CELL_COST = 0.5
 
 
+def dispatch_shard_cost(graph) -> float:
+    """The per-shard dispatch constant for ``graph``'s attach mode.
+
+    Snapshot-backed graphs (non-None ``snapshot_path``) are priced at
+    :data:`MMAP_DISPATCH_SHARD_COST` — their workers attach by path;
+    heap graphs pay the pickled-shipping :data:`DISPATCH_SHARD_COST`.
+    """
+    if getattr(graph, "snapshot_path", None) is not None:
+        return MMAP_DISPATCH_SHARD_COST
+    return DISPATCH_SHARD_COST
+
+
 def estimate_parallel_cost(
-    statistics, query: AnalyticalQuery, workers: int, shard_count: int
+    statistics,
+    query: AnalyticalQuery,
+    workers: int,
+    shard_count: int,
+    dispatch_cost: Optional[float] = None,
 ) -> float:
     """Rows-touched estimate of the partitioned path for ``query``.
 
     Per-shard evaluation splits the from-scratch work across the usable
     lanes (``min(workers, shard_count)``); merging touches every answer
     cell once per shard in the worst case; dispatch pays a flat overhead
-    per shard.  Same unit as
+    per shard — :data:`DISPATCH_SHARD_COST` by default, or the caller's
+    ``dispatch_cost`` (use :func:`dispatch_shard_cost` to price the
+    instance's actual attach mode).  Same unit as
     :func:`repro.olap.maintenance.estimate_scratch_cost`, so the planner
     can rank the two directly.
     """
+    if dispatch_cost is None:
+        dispatch_cost = DISPATCH_SHARD_COST
     lanes = max(1, min(int(workers), int(shard_count)))
     per_lane = estimate_scratch_cost(statistics, query) / lanes
     cells = statistics.estimate_bgp_cardinality(query.classifier)
     merge = MERGE_CELL_COST * (cells + shard_count)
-    return per_lane + merge + DISPATCH_SHARD_COST * shard_count
+    return per_lane + merge + dispatch_cost * shard_count
+
+
+class ExecutorStats:
+    """Dispatch bookkeeping for one :class:`ParallelExecutor`.
+
+    Counts every dispatch by the backend that actually served it and every
+    **downgrade** (process pool broken, unpicklable query, unsupported
+    aggregate) with its reason — the planner surfaces this in
+    :meth:`~repro.olap.planner.Plan.explain` so a benchmark can never
+    silently mix backends.
+    """
+
+    __slots__ = ("dispatches", "process_failures", "fallbacks")
+
+    def __init__(self):
+        #: Per-effective-backend dispatch counts, e.g. ``{"process": 4}``.
+        self.dispatches: Dict[str, int] = {}
+        #: Number of process-pool dispatch attempts that raised.
+        self.process_failures = 0
+        #: Chronological ``(from_backend, to_backend, reason)`` records.
+        self.fallbacks: List[Tuple[str, str, str]] = []
+
+    def record_dispatch(self, backend: str) -> None:
+        self.dispatches[backend] = self.dispatches.get(backend, 0) + 1
+
+    def record_fallback(self, from_backend: str, to_backend: str, reason: str) -> None:
+        self.fallbacks.append((from_backend, to_backend, reason))
+
+    @property
+    def total_dispatches(self) -> int:
+        return sum(self.dispatches.values())
+
+    def summary(self) -> str:
+        """One-line human-readable form used in plan explanations."""
+        if not self.dispatches and not self.fallbacks:
+            return "no dispatches yet"
+        parts = [
+            f"{backend}:{count}"
+            for backend, count in sorted(self.dispatches.items())
+        ]
+        line = " ".join(parts)
+        if self.fallbacks:
+            reasons = ", ".join(
+                f"{frm}->{to} ({reason})" for frm, to, reason in self.fallbacks
+            )
+            line += f"; {len(self.fallbacks)} fallback(s): {reasons}"
+        return line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ExecutorStats({self.summary()})"
 
 
 # ---------------------------------------------------------------------------
@@ -118,7 +215,7 @@ _WORKER_EVALUATOR: Optional[AnalyticalQueryEvaluator] = None
 
 
 def _initialize_worker(graph, engine: Optional[str] = None) -> None:
-    """Pool initializer: build one evaluator (and its statistics) per worker.
+    """Pickled-graph pool initializer: one evaluator per worker.
 
     ``engine`` carries the parent evaluator's resolved engine so an
     explicit pin (``OLAPSession(engine="rows")``) governs worker processes
@@ -126,6 +223,21 @@ def _initialize_worker(graph, engine: Optional[str] = None) -> None:
     """
     global _WORKER_EVALUATOR
     _WORKER_EVALUATOR = AnalyticalQueryEvaluator(graph, engine=engine)
+
+
+def _initialize_worker_snapshot(path: str, engine: Optional[str] = None) -> None:
+    """Snapshot-attach pool initializer: workers mmap the file by path.
+
+    Nothing instance-sized crosses the process boundary — the initializer
+    payload is a path string.  Each worker re-opens the snapshot read-only
+    and the OS page cache shares the hot pages across the whole pool, so
+    pool build is O(header) regardless of instance size.  Statistics come
+    from the snapshot header (no scan), making worker warm-up O(1) too.
+    """
+    from repro.storage.snapshot import load_snapshot
+
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = AnalyticalQueryEvaluator(load_snapshot(path, mmap=True), engine=engine)
 
 
 def _run_shard(payload: Tuple[AnalyticalQuery, GraphShard, int, bool]):
@@ -202,6 +314,20 @@ class ParallelExecutor:
         self._process_broken = False
         #: Backend used by the most recent dispatch (introspection / tests).
         self.last_backend: Optional[str] = None
+        #: Running dispatch/fallback counters (surfaced by Plan.explain()).
+        self.stats = ExecutorStats()
+
+    @property
+    def attach_mode(self) -> str:
+        """How worker processes receive the instance.
+
+        ``"snapshot-mmap"`` when the graph is snapshot-backed — the pool
+        initializer ships a path and workers mmap it (O(1) pool build);
+        ``"pickled-graph"`` otherwise.
+        """
+        if getattr(self._graph, "snapshot_path", None) is not None:
+            return "snapshot-mmap"
+        return "pickled-graph"
 
     # -- introspection -------------------------------------------------
 
@@ -248,6 +374,8 @@ class ParallelExecutor:
         """
         if not self.supports(query):
             self.last_backend = "fallback-serial"
+            self.stats.record_dispatch("fallback-serial")
+            self._record_fallback(self._backend, "serial", "unsupported aggregate")
             return self._evaluator.evaluate(query, materialize_partial=materialize_partial)
         count = self._shard_count if shard_count is None else int(shard_count)
         shards = self._graph.partition(count)
@@ -268,21 +396,27 @@ class ParallelExecutor:
             try:
                 results = self._dispatch_process(query, shards, keep_rows)
                 self.last_backend = "process"
+                self.stats.record_dispatch("process")
                 return results
-            except (BrokenProcessPool, pickle.PicklingError, OSError):
+            except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
                 # A torn-down pool or unpicklable instance data (workers die
-                # unpickling the initializer's graph): remember the failure
-                # and serve this (and future) queries on threads.  Genuine
-                # evaluation errors (e.g. min over mixed types) propagate —
-                # they would raise identically on any backend.
+                # unpickling the initializer's graph): count the failure,
+                # record the downgrade, and serve this (and future) queries
+                # on threads.  Genuine evaluation errors (e.g. min over
+                # mixed types) propagate — they would raise identically on
+                # any backend.
                 self._process_broken = True
                 self._shutdown_process_pool()
+                self.stats.process_failures += 1
+                self._record_fallback("process", "thread", type(exc).__name__)
                 backend = "thread"
         if backend == "thread":
             results = self._dispatch_thread(query, shards, keep_rows)
             self.last_backend = "thread"
+            self.stats.record_dispatch("thread")
             return results
         self.last_backend = "serial"
+        self.stats.record_dispatch("serial")
         return [
             self._evaluator.shard_results(
                 query, shard, key_base=_shard_key_base(shard), keep_rows=keep_rows
@@ -302,8 +436,15 @@ class ParallelExecutor:
         except Exception:
             # Σ predicate restrictions (e.g. ranges) carry closures; those
             # queries cannot cross a process boundary.
+            self._record_fallback("process", "thread", "query not picklable")
             return "thread"
         return "process"
+
+    def _record_fallback(self, from_backend: str, to_backend: str, reason: str) -> None:
+        """Record a downgrade, deduping immediate repeats of the same cause."""
+        record = (from_backend, to_backend, reason)
+        if not self.stats.fallbacks or self.stats.fallbacks[-1] != record:
+            self.stats.record_fallback(*record)
 
     def _dispatch_thread(self, query, shards, keep_rows):
         if self._thread_pool is None:
@@ -340,10 +481,19 @@ class ParallelExecutor:
         # An unpicklable graph surfaces as BrokenProcessPool on the first
         # result (workers die in the initializer) — _dispatch falls back.
         self._shutdown_process_pool()
+        engine = getattr(self._evaluator, "engine", None)
+        snapshot_path = getattr(self._graph, "snapshot_path", None)
+        if snapshot_path is not None:
+            # Snapshot attach mode: ship the path, not the graph.  Workers
+            # mmap the file and share pages through the OS cache — pool
+            # build cost is O(1) in the instance size.
+            initializer, initargs = _initialize_worker_snapshot, (snapshot_path, engine)
+        else:
+            initializer, initargs = _initialize_worker, (self._graph, engine)
         self._process_pool = ProcessPoolExecutor(
             max_workers=self._workers,
-            initializer=_initialize_worker,
-            initargs=(self._graph, getattr(self._evaluator, "engine", None)),
+            initializer=initializer,
+            initargs=initargs,
         )
         self._process_pool_version = version
         return self._process_pool

@@ -74,7 +74,11 @@ from repro.olap.auxiliary import build_auxiliary_query
 from repro.olap.cache import CacheEntry, ResultCache, canonical_query_key
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
-from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
+from repro.olap.parallel import (
+    ParallelExecutor,
+    dispatch_shard_cost,
+    estimate_parallel_cost,
+)
 from repro.olap.rewriting import OLAPRewriter, slice_dice_from_answer, transform_partial
 from repro.rdf.graph import GraphDelta
 
@@ -438,7 +442,11 @@ class OLAPPlanner:
     ) -> PlanCandidate:
         executor = self._parallel
         cost = BASE_COST + self._engine_multiplier * estimate_parallel_cost(
-            self._statistics, transformed_query, executor.workers, executor.shard_count
+            self._statistics,
+            transformed_query,
+            executor.workers,
+            executor.shard_count,
+            dispatch_cost=dispatch_shard_cost(self._evaluator.instance),
         )
         instance_triples = len(self._evaluator.instance)
 
@@ -448,12 +456,18 @@ class OLAPPlanner:
             )
             return materialized.answer, materialized.partial if materialize_partial else None
 
+        detail = (
+            f"{executor.shard_count} shards on {executor.workers} workers "
+            f"({executor.backend} backend, {executor.attach_mode} attach)"
+        )
+        stats = executor.stats
+        if stats.fallbacks or stats.process_failures:
+            detail += f"; dispatched {stats.summary()}"
         return PlanCandidate(
             "parallel",
             cost,
             instance_triples,
-            f"{executor.shard_count} shards on {executor.workers} workers "
-            f"({executor.backend} backend)",
+            detail,
             run,
         )
 

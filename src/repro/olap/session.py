@@ -47,7 +47,11 @@ from repro.olap.cache import DEFAULT_CAPACITY, CacheEntry, ResultCache
 from repro.olap.cube import Cube
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
-from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
+from repro.olap.parallel import (
+    ParallelExecutor,
+    dispatch_shard_cost,
+    estimate_parallel_cost,
+)
 from repro.olap.planner import OLAPPlanner
 from repro.olap.rewriting import OLAPRewriter
 
@@ -79,7 +83,15 @@ class OLAPSession:
     Parameters
     ----------
     instance:
-        The AnS instance graph.
+        The AnS instance graph.  May be None when ``snapshot`` is given.
+    snapshot:
+        Path of an on-disk columnar snapshot (see :mod:`repro.storage`) to
+        open as the instance — mutually exclusive with ``instance``.  With
+        ``snapshot_mmap=True`` (default) the session attaches read-only
+        memmap views (cold start is O(header), the columnar kernels read
+        the file's pages zero-copy, and parallel workers re-attach by path
+        instead of receiving a pickled graph); with ``snapshot_mmap=False``
+        the snapshot is decoded into a mutable heap graph.
     schema:
         Optional analytical schema (kept for introspection; queries carry
         their own).
@@ -132,7 +144,7 @@ class OLAPSession:
 
     def __init__(
         self,
-        instance: Graph,
+        instance: Optional[Graph] = None,
         schema: Optional[AnalyticalSchema] = None,
         materialize_partial: bool = True,
         cache_capacity: int = DEFAULT_CAPACITY,
@@ -141,7 +153,17 @@ class OLAPSession:
         shard_count: Optional[int] = None,
         parallel_backend: str = "auto",
         engine: Optional[str] = None,
+        snapshot: Optional[str] = None,
+        snapshot_mmap: bool = True,
     ):
+        if (instance is None) == (snapshot is None):
+            raise ValueError(
+                "OLAPSession needs exactly one of instance= or snapshot="
+            )
+        if snapshot is not None:
+            from repro.storage.snapshot import load_snapshot
+
+            instance = load_snapshot(snapshot, mmap=snapshot_mmap)
         self.schema = schema
         self.instance = instance
         self.evaluator = AnalyticalQueryEvaluator(instance, engine=engine)
@@ -219,7 +241,11 @@ class OLAPSession:
             return False
         statistics = self.evaluator.bgp_evaluator.statistics
         parallel_cost = estimate_parallel_cost(
-            statistics, query, self._parallel.workers, self._parallel.shard_count
+            statistics,
+            query,
+            self._parallel.workers,
+            self._parallel.shard_count,
+            dispatch_cost=dispatch_shard_cost(self.instance),
         )
         return parallel_cost < estimate_scratch_cost(statistics, query)
 

@@ -20,6 +20,12 @@ Cell encoding: RDF terms are written in their N-Triples form (``<iri>``,
 ``"literal"^^<datatype>``, ``_:label``); Python ints/floats/bools are written
 as JSON scalars; ``None`` as an empty field.  This keeps files human-readable
 and diff-able while round-tripping exactly.
+
+The AnS **instance** itself persists through the binary columnar snapshot
+format of :mod:`repro.storage` (:func:`save_graph_snapshot` /
+:func:`load_graph_snapshot` below re-export it), so a session can be fully
+re-hydrated — instance by mmap, materialized results from a result
+directory — without re-parsing any source syntax.
 """
 
 from __future__ import annotations
@@ -41,7 +47,31 @@ __all__ = [
     "load_materialized_results",
     "save_cache_entry",
     "load_cache_entry",
+    "save_graph_snapshot",
+    "load_graph_snapshot",
 ]
+
+
+def save_graph_snapshot(graph, path: str) -> None:
+    """Persist an AnS instance as an on-disk columnar snapshot.
+
+    Convenience re-export of :func:`repro.storage.save_snapshot`, so the
+    persistence module covers both halves of a session: materialized
+    results (TSV directories, above) and the instance itself.
+    """
+    from repro.storage.snapshot import save_snapshot
+
+    save_snapshot(graph, path)
+
+
+def load_graph_snapshot(path: str, mmap: bool = True):
+    """Load an AnS instance snapshot (mmap-backed by default).
+
+    Convenience re-export of :func:`repro.storage.load_snapshot`.
+    """
+    from repro.storage.snapshot import load_snapshot
+
+    return load_snapshot(path, mmap=mmap)
 
 _MANIFEST_NAME = "manifest.json"
 _ANSWER_NAME = "answer.tsv"

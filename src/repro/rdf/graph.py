@@ -557,6 +557,77 @@ class Graph:
         return sum(1 for _ in self.match_ids(s, p, o))
 
     # ------------------------------------------------------------------
+    # snapshot persistence / columnar hooks
+    # ------------------------------------------------------------------
+
+    #: Path of the backing snapshot file.  ``None`` on heap graphs; set (as
+    #: a property) on :class:`repro.storage.mapped.SnapshotGraph`.  The
+    #: parallel executor keys its worker attach mode off this: a non-None
+    #: path means workers can re-open the snapshot by mmap instead of
+    #: receiving a pickled graph.
+    snapshot_path: Optional[str] = None
+
+    def encoded_triples(self) -> Iterable[EncodedTriple]:
+        """All triples as encoded ``(s, p, o)`` id tuples (read-only view).
+
+        Heap graphs return their triple set directly (no copy); mapped
+        graphs yield from their fact columns.  Callers must not mutate the
+        result and should materialize it before iterating more than once.
+        """
+        return self._triples
+
+    def columnar_predicate_pairs(self, p_id: int):
+        """Pre-built ``(subjects, objects)`` arrays for one predicate, or None.
+
+        Storage backends that already hold the fact columns in array form
+        (mapped snapshots) override this so
+        :class:`repro.bgp.evaluator.ColumnarTripleIndex` can skip its
+        Python build pass and slice the columns zero-copy.  The base heap
+        graph has no such arrays and returns ``None``.
+        """
+        return None
+
+    def columnar_sorted_pairs(self, p_id: int, sort_position: int):
+        """Pre-sorted pair arrays for one predicate, or None (see above).
+
+        ``sort_position`` 0 requests ``(subjects, objects)`` sorted by
+        subject; 2 requests ``(objects, subjects)`` sorted by object.
+        """
+        return None
+
+    def statistics_summary(self):
+        """Precomputed summary counts for :class:`~repro.rdf.statistics.GraphStatistics`.
+
+        Returns ``None`` on heap graphs (statistics scan the instance);
+        mapped snapshots return the counts stored in their header so the
+        scan — and the term decoding it implies — is skipped entirely.
+        """
+        return None
+
+    def save_snapshot(self, path: str) -> None:
+        """Serialize this graph into an on-disk columnar snapshot file.
+
+        See :mod:`repro.storage` for the format.  Requires numpy (the
+        ``[fast]`` extra); raises
+        :class:`~repro.errors.ConfigurationError` without it.
+        """
+        from repro.storage.snapshot import save_snapshot
+
+        save_snapshot(self, path)
+
+    @staticmethod
+    def load_snapshot(path: str, mmap: bool = True) -> "Graph":
+        """Load a snapshot file previously written by :meth:`save_snapshot`.
+
+        With ``mmap=True`` (default) returns a read-only memory-mapped
+        :class:`repro.storage.mapped.SnapshotGraph` that opens in O(header)
+        time; with ``mmap=False`` decodes into a plain mutable heap graph.
+        """
+        from repro.storage.snapshot import load_snapshot
+
+        return load_snapshot(path, mmap=mmap)
+
+    # ------------------------------------------------------------------
     # navigation helpers
     # ------------------------------------------------------------------
 

@@ -40,7 +40,26 @@ class GraphStatistics:
         self.refresh()
 
     def refresh(self) -> None:
-        """Recompute all statistics from the current graph contents."""
+        """Recompute all statistics from the current graph contents.
+
+        Graphs that carry a precomputed summary (memory-mapped snapshots,
+        whose headers store the per-predicate and per-class counts) are
+        served from it directly — no instance scan, no term decoding — so
+        building statistics on a mapped graph is O(#predicates + #classes),
+        not O(#triples).
+        """
+        summary = self._graph.statistics_summary()
+        if summary is not None:
+            self.triple_count = summary["triple_count"]
+            self.predicate_counts = dict(summary["predicate_counts"])
+            self.predicate_distinct_subjects = dict(
+                summary["predicate_distinct_subjects"]
+            )
+            self.predicate_distinct_objects = dict(
+                summary["predicate_distinct_objects"]
+            )
+            self.class_counts = dict(summary["class_counts"])
+            return
         graph = self._graph
         self.triple_count = len(graph)
         predicate_counts: Dict[Term, int] = {}

@@ -1,0 +1,43 @@
+"""On-disk columnar snapshots: out-of-core storage for RDF analytics.
+
+A snapshot is a single versioned file holding a graph's fact columns
+(S/P/O as contiguous little-endian int64 arrays in two sort orders), its
+term dictionary (offset-indexed UTF-8 blob + typed-term table + lookup
+permutation), the per-predicate slice index, and a statistics summary —
+everything :mod:`repro`'s columnar kernels need, laid out so that
+:func:`load_snapshot` with ``mmap=True`` only reads the header and lets
+the OS fault pages in on demand.
+
+See ``docs/guides/storage.md`` for the format layout and the cold-start /
+zero-copy-worker trade-offs.
+"""
+
+from repro.storage.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+    Snapshot,
+    load_snapshot,
+    open_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SNAPSHOT_MAGIC",
+    "Snapshot",
+    "MappedTermDictionary",
+    "SnapshotGraph",
+    "load_snapshot",
+    "open_snapshot",
+    "save_snapshot",
+]
+
+
+def __getattr__(name):
+    # SnapshotGraph / MappedTermDictionary import numpy-dependent modules;
+    # resolve them lazily so `import repro.storage` works without numpy.
+    if name in ("SnapshotGraph", "MappedTermDictionary"):
+        from repro.storage import mapped
+
+        return getattr(mapped, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,57 @@
+"""Machine-readable BENCH_*.json run records."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.reporting import (
+    DEFAULT_RECORDS_DIR,
+    RECORDS_DIR_ENV_VAR,
+    bench_records_dir,
+    write_bench_record,
+)
+
+
+class TestBenchRecords:
+    def test_record_is_written_and_parseable(self, tmp_path):
+        path = write_bench_record(
+            "coldstart",
+            "tiny",
+            {"parse_s": 0.5, "mmap_s": 0.01},
+            {"facts": 200, "speedup": 50.0},
+            directory=str(tmp_path),
+        )
+        assert os.path.basename(path) == "BENCH_coldstart_tiny.json"
+        record = json.loads(open(path, encoding="utf-8").read())
+        assert record["name"] == "coldstart"
+        assert record["scale"] == "tiny"
+        assert record["measurements"] == {"parse_s": 0.5, "mmap_s": 0.01}
+        assert record["metadata"]["speedup"] == 50.0
+
+    def test_same_name_and_scale_overwrites(self, tmp_path):
+        first = write_bench_record("x", "tiny", {"a": 1.0}, directory=str(tmp_path))
+        second = write_bench_record("x", "tiny", {"a": 2.0}, directory=str(tmp_path))
+        assert first == second
+        assert json.loads(open(first, encoding="utf-8").read())["measurements"]["a"] == 2.0
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_names_are_slugged(self, tmp_path):
+        path = write_bench_record(
+            "snapshot cold-start!", "tiny", {}, directory=str(tmp_path)
+        )
+        assert os.path.basename(path) == "BENCH_snapshot_cold_start_tiny.json"
+
+    def test_records_dir_honours_environment(self, tmp_path, monkeypatch):
+        target = tmp_path / "custom-records"
+        monkeypatch.setenv(RECORDS_DIR_ENV_VAR, str(target))
+        assert bench_records_dir() == str(target)
+        assert target.is_dir()
+        monkeypatch.delenv(RECORDS_DIR_ENV_VAR)
+        monkeypatch.chdir(tmp_path)
+        assert bench_records_dir() == DEFAULT_RECORDS_DIR
+        assert (tmp_path / DEFAULT_RECORDS_DIR).is_dir()
+
+    def test_non_float_measurement_rejected(self, tmp_path):
+        with pytest.raises((TypeError, ValueError)):
+            write_bench_record("bad", "tiny", {"a": "fast"}, directory=str(tmp_path))

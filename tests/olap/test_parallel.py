@@ -446,3 +446,129 @@ class TestErrorPropagation:
         with _executor(example2_instance, workers=2, shard_count=2, backend="serial") as executor:
             with pytest.raises(ValueError):
                 executor.evaluate(make_sites_query("count"), shard_count=0)
+
+
+class TestExecutorStatsAndAttachMode:
+    """Dispatch bookkeeping: no silent backend mixing, snapshot attach mode."""
+
+    def test_dispatches_are_counted_per_backend(self, example2_instance):
+        query = make_sites_query("count")
+        with _executor(example2_instance, workers=1, shard_count=2, backend="serial") as executor:
+            executor.answer(query)
+            executor.answer(query)
+            assert executor.stats.dispatches == {"serial": 2}
+            assert executor.stats.total_dispatches == 2
+            assert executor.stats.process_failures == 0
+            assert executor.stats.fallbacks == []
+
+    def test_unpicklable_query_fallback_is_recorded(self, example2_instance):
+        from repro.analytics.sigma import DimensionRestriction
+
+        base = make_sites_query("count")
+        sigma = base.sigma.restrict("dage", DimensionRestriction.to_range(20, 30))
+        query = base.with_sigma(sigma, name="Q_range_stats")
+        with _executor(example2_instance, workers=2, shard_count=2, backend="process") as executor:
+            executor.answer(query)
+            assert executor.stats.dispatches.get("thread") == 1
+            assert ("process", "thread", "query not picklable") in executor.stats.fallbacks
+            assert "fallback" in executor.stats.summary()
+
+    def test_unsupported_aggregate_fallback_is_recorded(self, example2_instance):
+        registry = default_registry()
+        name = "median_test_executor_stats"
+        if name not in registry:
+            registry.register(
+                AggregateFunction(
+                    name, lambda values: sorted(values)[len(values) // 2], distributive=False
+                )
+            )
+        query = make_sites_query(name)
+        with _executor(example2_instance, workers=2, shard_count=2, backend="thread") as executor:
+            executor.answer(query)
+            assert executor.stats.dispatches.get("fallback-serial") == 1
+            assert any(reason == "unsupported aggregate" for _, _, reason in executor.stats.fallbacks)
+
+    def test_broken_pool_failure_is_counted_and_surfaced(self, example2_instance, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        query = make_sites_query("count")
+        with _executor(example2_instance, workers=2, shard_count=2, backend="process") as executor:
+            def explode(*args, **kwargs):
+                raise BrokenProcessPool("simulated pool death")
+
+            monkeypatch.setattr(executor, "_dispatch_process", explode)
+            oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+            cube = Cube(executor.answer(query), query)
+            assert cube.same_cells(oracle)
+            assert executor.last_backend == "thread"
+            assert executor.stats.process_failures == 1
+            assert ("process", "thread", "BrokenProcessPool") in executor.stats.fallbacks
+            assert "BrokenProcessPool" in executor.stats.summary()
+
+    def test_heap_graph_attach_mode_is_pickled(self, example2_instance):
+        with _executor(example2_instance, workers=2, shard_count=2) as executor:
+            assert executor.attach_mode == "pickled-graph"
+
+    def test_snapshot_graph_attach_mode_is_mmap(self, example2_instance, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.storage import load_snapshot, save_snapshot
+
+        path = str(tmp_path / "example2.snap")
+        save_snapshot(example2_instance, path)
+        mapped = load_snapshot(path, mmap=True)
+        query = make_sites_query("count")
+        oracle = Cube(AnalyticalQueryEvaluator(example2_instance).answer(query), query)
+        with _executor(mapped, workers=2, shard_count=3, backend="process") as executor:
+            assert executor.attach_mode == "snapshot-mmap"
+            cube = Cube(executor.answer(query), query)
+            assert executor.last_backend == "process"
+            assert executor.stats.dispatches == {"process": 1}
+        assert cube.same_cells(oracle)
+
+    def test_fallbacks_surface_in_plan_explain(self, example2_instance):
+        from repro.analytics.sigma import DimensionRestriction
+        from repro.olap.session import OLAPSession
+
+        base = make_sites_query("count")
+        sigma = base.sigma.restrict("dage", DimensionRestriction.to_range(20, 30))
+        query = base.with_sigma(sigma, name="Q_range_explain")
+        with OLAPSession(
+            example2_instance, workers=2, shard_count=2, parallel_backend="process"
+        ) as session:
+            session.parallel.answer(query)  # triggers the thread downgrade
+            from repro.olap.operations import DrillOut
+
+            plain = make_sites_query("count")
+            operation = DrillOut("dage")
+            plan = session.planner.plan(plain, operation, operation.apply(plain))
+            explanation = plan.explain()
+            assert "pickled-graph attach" in explanation
+            assert "fallback" in explanation
+
+    def test_dispatch_cost_constant_tracks_attach_mode(self, example2_instance, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.olap.parallel import (
+            DISPATCH_SHARD_COST,
+            MMAP_DISPATCH_SHARD_COST,
+            dispatch_shard_cost,
+        )
+        from repro.storage import load_snapshot, save_snapshot
+
+        assert dispatch_shard_cost(example2_instance) == DISPATCH_SHARD_COST
+        path = str(tmp_path / "example2.snap")
+        save_snapshot(example2_instance, path)
+        mapped = load_snapshot(path, mmap=True)
+        assert dispatch_shard_cost(mapped) == MMAP_DISPATCH_SHARD_COST
+        assert MMAP_DISPATCH_SHARD_COST < DISPATCH_SHARD_COST
+
+    def test_mmap_dispatch_prices_parallel_cheaper(self, example2_instance):
+        statistics = AnalyticalQueryEvaluator(example2_instance).bgp_evaluator.statistics
+        query = make_sites_query("count")
+        from repro.olap.parallel import MMAP_DISPATCH_SHARD_COST
+
+        pickled = estimate_parallel_cost(statistics, query, workers=2, shard_count=4)
+        mmap = estimate_parallel_cost(
+            statistics, query, workers=2, shard_count=4,
+            dispatch_cost=MMAP_DISPATCH_SHARD_COST,
+        )
+        assert mmap < pickled

@@ -1,0 +1,150 @@
+"""ADVISOR — profile → recommend → replay, vs. the static cold planner.
+
+Replays the blogger 12-op dashboard chain and the video 10-op drill chain
+twice each:
+
+* **static** — a cold session with the hand-set cost constants (the PR-2
+  planner exactly);
+* **advised** — a fresh session warm-started by the recommendations mined
+  from a profile pass (:meth:`OLAPSession.apply_recommendations`) and
+  planned with the cost model fitted from that pass's observed runtimes.
+
+The claim (shape): the advised replay touches fewer rows AND finishes
+faster — the warm start turns first accesses into cache hits, and the
+fitted model keeps ranking reuse candidates correctly.  Every step of
+every replay is checked cell-for-cell against from-scratch evaluation, so
+the advisor can never win by answering wrongly.  Each run also emits a
+``BENCH_advisor_<workload>_<scale>.json`` record with both timings, the
+rows-touched totals and the fitted model's family scales.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    advisor_session_comparison,
+    blogger_session_replay,
+    replay_on_session,
+    video_session_replay,
+)
+from repro.olap import OLAPSession
+
+
+@pytest.fixture(scope="module")
+def blogger_comparison(blogger_bench_dataset):
+    return blogger_bench_dataset, advisor_session_comparison(
+        blogger_bench_dataset, blogger_session_replay
+    )
+
+
+@pytest.fixture(scope="module")
+def video_comparison(video_bench_dataset):
+    return video_bench_dataset, advisor_session_comparison(
+        video_bench_dataset, video_session_replay
+    )
+
+
+def _record(results):
+    measurements = {
+        "static_replay_s": results["static_seconds"],
+        "advised_replay_s": results["advised_seconds"],
+    }
+    metadata = {
+        "ops": results["ops"],
+        "static_rows_touched": results["static_rows"],
+        "advised_rows_touched": results["advised_rows"],
+        "static_cache_hits": results["static_hits"],
+        "advised_cache_hits": results["advised_hits"],
+        "recommendations": results["recommendations"],
+        "cost_model": results["report"].cost_model.as_dict(),
+        "speedup": (
+            results["static_seconds"] / results["advised_seconds"]
+            if results["advised_seconds"] > 0
+            else float("inf")
+        ),
+        "all_equal": results["static_equal"] and results["advised_equal"],
+    }
+    return measurements, metadata
+
+
+def _check(results):
+    assert results["profile_equal"], "profile pass produced a wrong cube"
+    assert results["static_equal"], "static replay produced a wrong cube"
+    assert results["advised_equal"], "advised replay produced a wrong cube"
+    assert results["recommendations"] > 0, "advisor produced an empty report"
+    assert results["report"].cost_model.source == "fitted"
+    assert results["advised_rows"] < results["static_rows"], (
+        f"advised replay touched {results['advised_rows']} rows, "
+        f"static touched {results['static_rows']}"
+    )
+
+
+# --- blogger dashboard session ----------------------------------------------
+
+
+def test_blogger_advised_replay(benchmark, blogger_comparison, bench_record_writer):
+    dataset, results = blogger_comparison
+    report = results["report"]
+    root_query, steps = blogger_session_replay(dataset)
+
+    def advised_replay():
+        session = OLAPSession(dataset.instance, dataset.schema, cost_model=report.cost_model)
+        session.apply_recommendations(report)
+        return replay_on_session(session, root_query, steps)
+
+    benchmark(advised_replay)
+    _check(results)
+    measurements, metadata = _record(results)
+    bench_record_writer("advisor_blogger", measurements, metadata)
+
+
+def test_blogger_advised_beats_static(blogger_comparison):
+    _, results = blogger_comparison
+    _check(results)
+    assert results["advised_seconds"] < results["static_seconds"], (
+        f"advised {results['advised_seconds']:.4f}s did not beat "
+        f"static {results['static_seconds']:.4f}s"
+    )
+
+
+# --- video drill-navigation session -----------------------------------------
+
+
+def test_video_advised_replay(benchmark, video_comparison, bench_record_writer):
+    dataset, results = video_comparison
+    report = results["report"]
+    root_query, steps = video_session_replay(dataset)
+
+    def advised_replay():
+        session = OLAPSession(dataset.instance, dataset.schema, cost_model=report.cost_model)
+        session.apply_recommendations(report)
+        return replay_on_session(session, root_query, steps)
+
+    benchmark(advised_replay)
+    _check(results)
+    measurements, metadata = _record(results)
+    bench_record_writer("advisor_video", measurements, metadata)
+
+
+def test_video_advised_beats_static(video_comparison):
+    _, results = video_comparison
+    _check(results)
+    assert results["advised_seconds"] < results["static_seconds"], (
+        f"advised {results['advised_seconds']:.4f}s did not beat "
+        f"static {results['static_seconds']:.4f}s"
+    )
+
+
+# --- warm start reaches a fresh session -------------------------------------
+
+
+def test_recommendations_warm_start_fresh_session(blogger_comparison):
+    """apply_recommendations on a fresh session yields cache hits immediately."""
+    dataset, results = blogger_comparison
+    report = results["report"]
+    fresh = OLAPSession(dataset.instance, dataset.schema, cost_model=report.cost_model)
+    applied = fresh.apply_recommendations(report)
+    assert applied["materialized"] + applied["pinned"] > 0
+    root_query, _ = blogger_session_replay(dataset)
+    fresh.execute(root_query)
+    assert fresh.cache.stats.hits >= 1
+    assert fresh.history[-1].strategy.startswith("cache")

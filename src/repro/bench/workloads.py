@@ -43,6 +43,7 @@ __all__ = [
     "experiment_aggregates",
     "experiment_engine_idspace",
     "experiment_planner_sessions",
+    "experiment_advisor_sessions",
     "experiment_incremental_refresh",
     "experiment_parallel_scaling",
     "blogger_session_replay",
@@ -50,6 +51,8 @@ __all__ = [
     "blogger_update_batch",
     "video_update_batch",
     "replay_session",
+    "replay_on_session",
+    "advisor_session_comparison",
     "replay_after_update",
     "run_all_experiments",
 ]
@@ -672,6 +675,165 @@ def experiment_planner_sessions(scale: str = "small", repeats: Optional[int] = N
 
 
 # ---------------------------------------------------------------------------
+# ADVISOR — profile → recommend → replay with a fitted cost model
+# ---------------------------------------------------------------------------
+
+
+def replay_on_session(
+    session: OLAPSession,
+    root_query: AnalyticalQuery,
+    steps: Sequence[Tuple[AnalyticalQuery, OLAPOperation]],
+) -> Tuple[float, List[Cube], int]:
+    """Replay the chain on an *existing* session with the planner.
+
+    Unlike :func:`replay_session` the session is supplied (possibly
+    warm-started by advisor recommendations), so the caller controls its
+    cost model and cache contents.  Returns the replay wall-clock, the
+    per-step cubes, and the total rows touched — the sum of the replay
+    records' ``input_rows``, the same unit the planner's estimates use.
+    """
+    cubes: List[Cube] = []
+    start_index = len(session.history)
+    started = time.perf_counter()
+    session.execute(root_query)
+    for origin, operation in steps:
+        cubes.append(session.transform(origin, operation, strategy="plan"))
+    elapsed = time.perf_counter() - started
+    rows_touched = sum(record.input_rows for record in session.history[start_index:])
+    return elapsed, cubes, rows_touched
+
+
+def advisor_session_comparison(
+    dataset, build: Callable, repeats: int = 3
+) -> Dict[str, object]:
+    """Profile a replayed workload, advise, and replay advised vs. static.
+
+    The profile pass replays the workload once with the static planner and
+    mines its history with the :class:`~repro.olap.advisor.WorkloadAdvisor`.
+    The comparison then replays the same chain in (a) a cold session with
+    the static cost model — the PR-2 planner — and (b) a fresh session
+    constructed with the report's fitted cost model and warm-started via
+    :meth:`~repro.olap.session.OLAPSession.apply_recommendations` (the
+    warm-up itself is not timed: it models session-start pre-materialization
+    amortized over dashboard replays).  Every step of every replay is
+    checked cell-for-cell against from-scratch evaluation.
+    """
+    root_query, steps = build(dataset)
+    reference_evaluator = AnalyticalQueryEvaluator(dataset.instance)
+    reference_cubes: Dict[str, Cube] = {}
+
+    def check(cubes: List[Cube]) -> bool:
+        for cube in cubes:
+            key = canonical_query_key(cube.query)
+            if key not in reference_cubes:
+                reference_cubes[key] = Cube(
+                    reference_evaluator.answer(cube.query), cube.query
+                )
+            if not cube.same_cells(reference_cubes[key]):
+                return False
+        return True
+
+    # Profile pass: static planner, cold cache.
+    profile_session = OLAPSession(dataset.instance, dataset.schema)
+    _, profile_cubes, _ = replay_on_session(profile_session, root_query, steps)
+    report = profile_session.advise()
+
+    results: Dict[str, object] = {
+        "ops": len(steps) + 1,
+        "report": report,
+        "recommendations": len(report.recommendations),
+        "profile_equal": check(profile_cubes),
+    }
+    static_best = float("inf")
+    advised_best = float("inf")
+    for _ in range(max(1, repeats)):
+        static_session = OLAPSession(dataset.instance, dataset.schema)
+        elapsed, cubes, rows = replay_on_session(static_session, root_query, steps)
+        static_best = min(static_best, elapsed)
+        results["static_rows"] = rows
+        results["static_hits"] = static_session.cache.stats.hits
+        results["static_equal"] = check(cubes)
+
+        advised_session = OLAPSession(
+            dataset.instance, dataset.schema, cost_model=report.cost_model
+        )
+        advised_session.apply_recommendations(report)
+        elapsed, cubes, rows = replay_on_session(advised_session, root_query, steps)
+        advised_best = min(advised_best, elapsed)
+        results["advised_rows"] = rows
+        results["advised_hits"] = advised_session.cache.stats.hits
+        results["advised_equal"] = check(cubes)
+    results["static_seconds"] = static_best
+    results["advised_seconds"] = advised_best
+    return results
+
+
+def experiment_advisor_sessions(
+    scale: str = "small", repeats: Optional[int] = None
+) -> ResultTable:
+    """ADVISOR — replayed sessions: advised warm start vs. the static planner.
+
+    Replays the blogger and video operation chains under the PR-2 static
+    planner (cold cache, hand-set cost constants) and under the advisor
+    loop (cache warm-started from the profile pass's recommendations,
+    planner priced by the fitted cost model), reporting total session
+    time, total rows touched, cache hits and per-step cube equality.
+    """
+    parameters = _scale(scale)
+    repeats = repeats or int(parameters["repeats"])
+    table = ResultTable(
+        [
+            "session",
+            "ops",
+            "variant",
+            "time (ms)",
+            "rows touched",
+            "cache hits",
+            "speedup vs static",
+            "all equal",
+        ],
+        title="ADVISOR — replayed OLAP sessions: advised warm start vs. static planner",
+    )
+    workloads = [
+        (
+            "blogger/12-op dashboard",
+            blogger_dataset(BloggerConfig(bloggers=int(parameters["bloggers"]))),
+            blogger_session_replay,
+        ),
+        (
+            "video/10-op drill chain",
+            video_dataset(VideoConfig(videos=int(parameters["videos"]))),
+            video_session_replay,
+        ),
+    ]
+    for label, dataset, build in workloads:
+        results = advisor_session_comparison(dataset, build, repeats=repeats)
+        static_seconds = results["static_seconds"]
+        advised_seconds = results["advised_seconds"]
+        table.add_row(
+            label,
+            results["ops"],
+            "static planner (cold)",
+            static_seconds * 1000,
+            results["static_rows"],
+            results["static_hits"],
+            1.0,
+            results["static_equal"],
+        )
+        table.add_row(
+            label,
+            results["ops"],
+            "advised (warm + fitted)",
+            advised_seconds * 1000,
+            results["advised_rows"],
+            results["advised_hits"],
+            static_seconds / advised_seconds if advised_seconds > 0 else float("inf"),
+            results["advised_equal"],
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
 # REFRESH — incremental maintenance vs. recompute under instance updates
 # ---------------------------------------------------------------------------
 
@@ -985,6 +1147,7 @@ def run_all_experiments(scale: str = "small") -> List[ResultTable]:
         experiment_aggregates(scale),
         experiment_engine_idspace(scale),
         experiment_planner_sessions(scale),
+        experiment_advisor_sessions(scale),
         experiment_incremental_refresh(scale),
         experiment_parallel_scaling(scale),
     ]

@@ -13,10 +13,16 @@
 * :mod:`repro.olap.parallel` — shard-partitioned parallel evaluation with
   mergeable partial aggregates;
 * :mod:`repro.olap.planner` — cost-based strategy planning per operation;
+* :mod:`repro.olap.calibration` — :class:`CostModel` and the least-squares
+  fit of its constants from recorded runtimes;
+* :mod:`repro.olap.advisor` — workload-driven materialize/pin/evict
+  recommendations mined from a session's history;
 * :mod:`repro.olap.session` — :class:`OLAPSession`, the top-level API.
 """
 
+from repro.olap.advisor import AdvisorReport, Recommendation, WorkloadAdvisor, apply_recommendations
 from repro.olap.auxiliary import auxiliary_join_columns, build_auxiliary_query
+from repro.olap.calibration import CalibrationSample, CostModel, fit_cost_model
 from repro.olap.baseline import answer_from_scratch, transformed_answer_from_scratch
 from repro.olap.cache import (
     CacheEntry,
@@ -86,6 +92,13 @@ __all__ = [
     "OLAPPlanner",
     "Plan",
     "PlanCandidate",
+    "CostModel",
+    "CalibrationSample",
+    "fit_cost_model",
+    "WorkloadAdvisor",
+    "AdvisorReport",
+    "Recommendation",
+    "apply_recommendations",
     "answer_from_scratch",
     "transformed_answer_from_scratch",
     "Cube",

@@ -25,7 +25,10 @@ process that computed them.  :class:`ResultCache` provides exactly that:
   result patching needs) are dropped as invalidated;
 * with a ``store_dir`` the cache writes entries through to disk
   (:func:`repro.persistence.save_cache_entry`) and serves misses from disk,
-  which is how a new session warm-starts from a previous one's work.
+  which is how a new session warm-starts from a previous one's work;
+* entries can be **pinned** against LRU eviction (:meth:`ResultCache.pin`)
+  — the workload advisor pins the entries whose replay benefit it values
+  most, so a burst of one-off queries cannot wash them out of the cache.
 """
 
 from __future__ import annotations
@@ -274,6 +277,7 @@ class ResultCache:
         self._capacity = capacity
         self._store_dir = store_dir
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._pinned: set = set()
         self.stats = CacheStats()
 
     # -- introspection -------------------------------------------------------
@@ -448,9 +452,7 @@ class ResultCache:
         if self._capacity > 0:
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._evict_overflow()
         if persist and self._store_dir is not None and _key_is_persistable(key):
             from repro.persistence import save_cache_entry
 
@@ -461,10 +463,77 @@ class ResultCache:
 
     def discard(self, query: AnalyticalQuery) -> bool:
         """Drop the in-memory entry for ``query`` (disk copies are kept)."""
-        return self._entries.pop(canonical_query_key(query), None) is not None
+        key = canonical_query_key(query)
+        self._pinned.discard(key)
+        return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         self._entries.clear()
+        self._pinned.clear()
+
+    # -- pinning (advisor support) -------------------------------------------
+
+    @staticmethod
+    def _resolve_key(query_or_key) -> str:
+        if isinstance(query_or_key, str):
+            return query_or_key
+        return canonical_query_key(query_or_key)
+
+    def pin(self, query_or_key) -> bool:
+        """Protect an entry from LRU eviction until :meth:`unpin`.
+
+        Accepts an :class:`~repro.analytics.query.AnalyticalQuery` or a
+        canonical key string.  Pins are keyed by canonical form, so they
+        survive the entry being refreshed or re-``put`` (a fresher result
+        for the same query stays pinned).  Pinning a key with no in-memory
+        entry is allowed — the pin takes effect as soon as the entry is
+        (re)inserted — and returns False.  A fully pinned cache may exceed
+        ``capacity`` rather than drop pinned work.
+        """
+        key = self._resolve_key(query_or_key)
+        self._pinned.add(key)
+        return key in self._entries
+
+    def unpin(self, query_or_key) -> bool:
+        """Drop an entry's eviction protection; True when it was pinned."""
+        key = self._resolve_key(query_or_key)
+        if key in self._pinned:
+            self._pinned.remove(key)
+            return True
+        return False
+
+    def is_pinned(self, query_or_key) -> bool:
+        return self._resolve_key(query_or_key) in self._pinned
+
+    def pinned_keys(self) -> Tuple[str, ...]:
+        """Canonical keys currently pinned (whether or not in memory)."""
+        return tuple(sorted(self._pinned))
+
+    def evict(self, query_or_key) -> bool:
+        """Explicitly evict an entry (advisor early-eviction), unpinning it.
+
+        Unlike LRU overflow this also removes the pin, and the drop is
+        counted in ``stats.evictions``.  Disk copies are kept.
+        """
+        key = self._resolve_key(query_or_key)
+        self._pinned.discard(key)
+        if self._entries.pop(key, None) is not None:
+            self.stats.evictions += 1
+            return True
+        return False
+
+    def _evict_overflow(self) -> None:
+        """Evict least-recently-used *unpinned* entries down to capacity."""
+        while len(self._entries) > self._capacity:
+            victim = next(
+                (key for key in self._entries if key not in self._pinned), None
+            )
+            if victim is None:
+                # Every entry is pinned: exceeding capacity is the lesser
+                # evil — the caller asked for all of them explicitly.
+                break
+            del self._entries[victim]
+            self.stats.evictions += 1
 
     # -- disk store ----------------------------------------------------------
 
@@ -495,9 +564,7 @@ class ResultCache:
         if self._capacity > 0:
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._evict_overflow()
         return entry
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -60,7 +60,9 @@ __all__ = ["DeltaMaintainer", "estimate_scratch_cost"]
 
 #: Per unifying (delta triple, body pattern) pair: cost of one pinned
 #: affected-fact probe — a mostly-bound BGP evaluation, i.e. a few index
-#: lookups plus the embeddings through the triple.
+#: lookups plus the embeddings through the triple.  (The live values come
+#: from the session's :class:`~repro.olap.calibration.CostModel`; these
+#: module aliases pin the static defaults.)
 DELTA_PROBE_COST = 2.0
 #: Per cached pres(Q) row: cost of the retain-or-recompute partition scan.
 PRES_SCAN_COST = 0.25
@@ -167,10 +169,13 @@ class DeltaMaintainer:
     True
     """
 
-    def __init__(self, evaluator: AnalyticalQueryEvaluator):
+    def __init__(self, evaluator: AnalyticalQueryEvaluator, cost_model=None):
+        from repro.olap.calibration import CostModel
+
         self._evaluator = evaluator
         self._graph = evaluator.instance
         self._statistics = evaluator.bgp_evaluator.statistics
+        self._model = cost_model or CostModel()
         # A refresh *wave* patches many cache entries against one graph
         # version, and a session's entries overwhelmingly share classifier
         # and measure bodies (Σ and head differ, bodies do not).  Both the
@@ -184,9 +189,11 @@ class DeltaMaintainer:
         # id-keyed, but each value holds a strong reference to its pattern,
         # so an id can never be recycled while its memo entry is alive.
         self._pattern_memo: Dict[int, tuple] = {}
-        self._statistics_version = self._graph.version
 
     def _sync_memos(self) -> None:
+        # Statistics need no handling here: GraphStatistics is stamped with
+        # the graph version and re-derives itself on the next read, so both
+        # cost estimates always price against the current instance.
         version = self._graph.version
         if self._memo_version != version:
             self._memo_version = version
@@ -194,16 +201,6 @@ class DeltaMaintainer:
             self._fact_memo.clear()
             self._probe_count_memo.clear()
             self._pattern_memo.clear()
-            # The statistics both cost estimates read were computed at
-            # session start; a long-lived session serving mixed read/write
-            # traffic would otherwise price refresh-vs-scratch on an
-            # ever-more-fictional instance.  An O(n) recount per mutation
-            # would be worse, so refresh them only once the version has
-            # drifted by a meaningful fraction of the instance.
-            drift = abs(version - self._statistics_version)
-            if drift > max(64, len(self._graph) // 20):
-                self._statistics.refresh()
-                self._statistics_version = version
 
     # ------------------------------------------------------------------
     # cost estimation
@@ -247,9 +244,9 @@ class DeltaMaintainer:
             )
             self._probe_count_memo[count_key] = probes
         return (
-            probes * DELTA_PROBE_COST
-            + len(materialized.partial) * PRES_SCAN_COST
-            + len(materialized.answer) * REFRESH_CELL_COST
+            probes * self._model.delta_probe_cost
+            + len(materialized.partial) * self._model.pres_scan_cost
+            + len(materialized.answer) * self._model.refresh_cell_cost
         )
 
     def estimate_scratch_cost(self, query: AnalyticalQuery) -> float:

@@ -135,6 +135,7 @@ def estimate_parallel_cost(
     workers: int,
     shard_count: int,
     dispatch_cost: Optional[float] = None,
+    merge_cell_cost: Optional[float] = None,
 ) -> float:
     """Rows-touched estimate of the partitioned path for ``query``.
 
@@ -143,16 +144,21 @@ def estimate_parallel_cost(
     cell once per shard in the worst case; dispatch pays a flat overhead
     per shard — :data:`DISPATCH_SHARD_COST` by default, or the caller's
     ``dispatch_cost`` (use :func:`dispatch_shard_cost` to price the
-    instance's actual attach mode).  Same unit as
+    instance's actual attach mode).  ``merge_cell_cost`` likewise defaults
+    to :data:`MERGE_CELL_COST` and lets a fitted
+    :class:`~repro.olap.calibration.CostModel` substitute its calibrated
+    value.  Same unit as
     :func:`repro.olap.maintenance.estimate_scratch_cost`, so the planner
     can rank the two directly.
     """
     if dispatch_cost is None:
         dispatch_cost = DISPATCH_SHARD_COST
+    if merge_cell_cost is None:
+        merge_cell_cost = MERGE_CELL_COST
     lanes = max(1, min(int(workers), int(shard_count)))
     per_lane = estimate_scratch_cost(statistics, query) / lanes
     cells = statistics.estimate_bgp_cardinality(query.classifier)
-    merge = MERGE_CELL_COST * (cells + shard_count)
+    merge = merge_cell_cost * (cells + shard_count)
     return per_lane + merge + dispatch_cost * shard_count
 
 

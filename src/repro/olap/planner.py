@@ -59,41 +59,48 @@ cardinalities — the same statistics the BGP evaluator's join optimizer uses.  
 per-cell touch cost.  The model only needs to *rank* strategies, and its
 inputs (cache entry sizes, graph statistics) are all O(1) to read, so
 planning overhead stays negligible next to evaluation.
+
+Every constant lives in a :class:`~repro.olap.calibration.CostModel`; the
+defaults are the hand-set values, and
+:func:`~repro.olap.calibration.fit_cost_model` refits them from the
+observed runtimes a session records — see :mod:`repro.olap.calibration`
+and :mod:`repro.olap.advisor`.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.algebra.columnar import engine_cost_multiplier
 from repro.algebra.operators import select
 from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
 from repro.analytics.evaluator import AnalyticalQueryEvaluator
 from repro.analytics.query import AnalyticalQuery
 from repro.olap.auxiliary import build_auxiliary_query
 from repro.olap.cache import CacheEntry, ResultCache, canonical_query_key
+from repro.olap.calibration import CostModel
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
-from repro.olap.parallel import (
-    ParallelExecutor,
-    dispatch_shard_cost,
-    estimate_parallel_cost,
-)
+from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
 from repro.olap.rewriting import OLAPRewriter, slice_dice_from_answer, transform_partial
 from repro.rdf.graph import GraphDelta
 
 __all__ = ["PlanCandidate", "Plan", "OLAPPlanner"]
 
+# The hand-set constants now live as the defaults of
+# :class:`repro.olap.calibration.CostModel`; the module-level aliases are
+# kept for backwards compatibility and for tests that pin the static values.
+_STATIC_MODEL = CostModel()
+
 #: Per-row weight of a σ-selection over a materialized answer or partial.
-SELECT_ROW_COST = 1.0
+SELECT_ROW_COST = _STATIC_MODEL.select_row_cost
 #: Per-row weight of project + dedup + group-aggregate (Algorithm 1).
-GROUP_ROW_COST = 2.0
+GROUP_ROW_COST = _STATIC_MODEL.group_row_cost
 #: Per-row weight of the pres(Q) side of the auxiliary join (Algorithm 2).
-JOIN_ROW_COST = 2.0
+JOIN_ROW_COST = _STATIC_MODEL.join_row_cost
 #: Per-cell weight of returning an already-computed cached answer.
-CACHED_CELL_COST = 0.05
+CACHED_CELL_COST = _STATIC_MODEL.cached_cell_cost
 #: Flat base cost of any strategy (lookup / bookkeeping), keeps costs > 0.
-BASE_COST = 1.0
+BASE_COST = _STATIC_MODEL.base_cost
 
 
 class PlanCandidate:
@@ -184,6 +191,12 @@ class OLAPPlanner:
         Optional :class:`~repro.olap.parallel.ParallelExecutor`; when
         present (session built with ``workers > 1``) a ``parallel``
         candidate is enumerated for mergeable aggregates.
+    cost_model:
+        Optional :class:`~repro.olap.calibration.CostModel` supplying
+        every pricing constant.  Defaults to the static hand-set model; a
+        model fitted from observed runtimes
+        (:func:`~repro.olap.calibration.fit_cost_model`) recalibrates the
+        *relative* strategy weights without changing any answer.
 
     Examples
     --------
@@ -216,21 +229,30 @@ class OLAPPlanner:
         rewriter: Optional[OLAPRewriter] = None,
         maintainer: Optional[DeltaMaintainer] = None,
         parallel: Optional[ParallelExecutor] = None,
+        cost_model: Optional[CostModel] = None,
     ):
         self._evaluator = evaluator
         self._cache = cache
         self._rewriter = rewriter or OLAPRewriter(evaluator.bgp_evaluator)
         self._statistics = evaluator.bgp_evaluator.statistics
-        self._maintainer = maintainer or DeltaMaintainer(evaluator)
+        self._model = cost_model or CostModel()
+        self._maintainer = maintainer or DeltaMaintainer(
+            evaluator, cost_model=self._model
+        )
         self._parallel = parallel
         # Per-engine rows-touched multiplier: a row touched by the columnar
         # engine's vectorized kernels is cheaper than one touched by the
         # interpreted row loop, so instance-evaluating candidates (scratch,
         # parallel) are priced down accordingly while the row-level reuse
         # candidates (rewrite, refresh, compat) keep weight 1.
-        self._engine_multiplier = engine_cost_multiplier(
+        self._engine_multiplier = self._model.engine_multiplier(
             getattr(evaluator, "engine", "rows")
         )
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The pricing constants every candidate is costed with."""
+        return self._model
 
     @property
     def maintainer(self) -> DeltaMaintainer:
@@ -306,7 +328,7 @@ class OLAPPlanner:
 
         return PlanCandidate(
             "cached",
-            BASE_COST + cells * CACHED_CELL_COST,
+            self._model.base_cost + cells * self._model.cached_cell_cost,
             cells,
             f"ans already cached: {cells} cells",
             run,
@@ -319,7 +341,9 @@ class OLAPPlanner:
         delta: GraphDelta,
         materialize_partial: bool,
     ) -> PlanCandidate:
-        cost = BASE_COST + self._maintainer.estimate_refresh_cost(entry.materialized, delta)
+        cost = self._model.base_cost + self._maintainer.estimate_refresh_cost(
+            entry.materialized, delta
+        )
         pres_rows = len(entry.materialized.partial)
 
         def run() -> Tuple[CubeAnswer, Optional[PartialResult]]:
@@ -360,19 +384,19 @@ class OLAPPlanner:
             # Every rewriting reads its materialized input and writes its
             # estimated output (mirroring the scratch candidate, whose
             # estimate also includes the output cardinality).
-            cost = BASE_COST + option.estimated_output_rows
+            cost = self._model.base_cost + option.estimated_output_rows
             if option.input_kind == "answer":
-                cost += option.input_rows * SELECT_ROW_COST
+                cost += option.input_rows * self._model.select_row_cost
             elif option.needs_instance:
                 # The auxiliary query evaluates on the instance through the
                 # same engine as scratch, so it gets the same multiplier;
                 # the join over pres(Q) stays row-level work.
-                cost += option.input_rows * JOIN_ROW_COST + (
+                cost += option.input_rows * self._model.join_row_cost + (
                     self._engine_multiplier
                     * self._auxiliary_cost(materialized.query, transformed_query)
                 )
             else:
-                cost += option.input_rows * GROUP_ROW_COST
+                cost += option.input_rows * self._model.group_row_cost
 
             def run(op=operation, mat=materialized, tq=transformed_query):
                 result = self._rewriter.answer(
@@ -429,7 +453,7 @@ class OLAPPlanner:
             candidates.append(
                 PlanCandidate(
                     "compat[slice-dice/ans]",
-                    BASE_COST + rows * SELECT_ROW_COST,
+                    self._model.base_cost + rows * self._model.select_row_cost,
                     rows,
                     f"ans({entry.query.name}) with weaker sigma: {rows} rows",
                     run,
@@ -441,12 +465,13 @@ class OLAPPlanner:
         self, transformed_query: AnalyticalQuery, materialize_partial: bool
     ) -> PlanCandidate:
         executor = self._parallel
-        cost = BASE_COST + self._engine_multiplier * estimate_parallel_cost(
+        cost = self._model.base_cost + self._engine_multiplier * estimate_parallel_cost(
             self._statistics,
             transformed_query,
             executor.workers,
             executor.shard_count,
-            dispatch_cost=dispatch_shard_cost(self._evaluator.instance),
+            dispatch_cost=self._model.dispatch_cost(self._evaluator.instance),
+            merge_cell_cost=self._model.merge_cell_cost,
         )
         instance_triples = len(self._evaluator.instance)
 
@@ -474,7 +499,7 @@ class OLAPPlanner:
     def _scratch_candidate(
         self, transformed_query: AnalyticalQuery, materialize_partial: bool
     ) -> PlanCandidate:
-        cost = BASE_COST + self._estimate_scratch_cost(transformed_query)
+        cost = self._model.base_cost + self._estimate_scratch_cost(transformed_query)
         instance_triples = len(self._evaluator.instance)
 
         def run() -> Tuple[CubeAnswer, Optional[PartialResult]]:

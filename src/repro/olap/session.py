@@ -36,7 +36,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import MaterializationError, OLAPError
-from repro.algebra.columnar import engine_cost_multiplier
 from repro.rdf.graph import Graph
 from repro.analytics.answer import CubeAnswer, MaterializedQueryResults
 from repro.analytics.evaluator import AnalyticalQueryEvaluator
@@ -44,14 +43,11 @@ from repro.analytics.query import AnalyticalQuery
 from repro.analytics.schema import AnalyticalSchema
 from repro.olap.baseline import transformed_answer_from_scratch
 from repro.olap.cache import DEFAULT_CAPACITY, CacheEntry, ResultCache
+from repro.olap.calibration import CostModel, fit_cost_model
 from repro.olap.cube import Cube
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
-from repro.olap.parallel import (
-    ParallelExecutor,
-    dispatch_shard_cost,
-    estimate_parallel_cost,
-)
+from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
 from repro.olap.planner import OLAPPlanner
 from repro.olap.rewriting import OLAPRewriter
 
@@ -60,7 +56,15 @@ __all__ = ["OLAPSession", "TransformationRecord"]
 
 @dataclass
 class TransformationRecord:
-    """Bookkeeping for one executed query or OLAP transformation."""
+    """Bookkeeping for one executed query or OLAP transformation.
+
+    ``seconds`` is the end-to-end wall-clock of the operation; it splits
+    into ``plan_seconds`` (planner candidate enumeration — 0 for forced
+    strategies and :meth:`OLAPSession.execute`) and ``execute_seconds``
+    (actually serving the answer).  The calibrator feeds on
+    ``execute_seconds`` only, so a cache hit's sample measures the cost of
+    serving the hit, not of pricing its alternatives.
+    """
 
     query_name: str
     operation: str
@@ -69,6 +73,8 @@ class TransformationRecord:
     input_rows: int
     output_cells: int
     details: Dict[str, object] = field(default_factory=dict)
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
 
     def __str__(self) -> str:
         return (
@@ -121,6 +127,12 @@ class OLAPSession:
         :func:`repro.algebra.columnar.resolve_engine`).  ``auto`` uses the
         vectorized columnar engine when numpy (the ``[fast]`` extra) is
         installed, honouring a ``REPRO_ENGINE`` override.
+    cost_model:
+        Optional :class:`~repro.olap.calibration.CostModel` that the
+        planner, the delta maintainer and the refresh/parallel pricing in
+        this session read instead of the static module constants.  Pass a
+        fitted model (see :meth:`fit_cost_model`) to replan a workload
+        with runtime-calibrated costs; omit it for the static planner.
 
     Examples
     --------
@@ -155,6 +167,7 @@ class OLAPSession:
         engine: Optional[str] = None,
         snapshot: Optional[str] = None,
         snapshot_mmap: bool = True,
+        cost_model: Optional[CostModel] = None,
     ):
         if (instance is None) == (snapshot is None):
             raise ValueError(
@@ -170,7 +183,8 @@ class OLAPSession:
         self._rewriter = OLAPRewriter(self.evaluator.bgp_evaluator)
         self._materialize_partial = materialize_partial
         self._cache = ResultCache(cache_capacity, store_dir=cache_dir)
-        self._maintainer = DeltaMaintainer(self.evaluator)
+        self._cost_model = cost_model or CostModel()
+        self._maintainer = DeltaMaintainer(self.evaluator, cost_model=self._cost_model)
         self._parallel = (
             ParallelExecutor(
                 self.evaluator,
@@ -187,6 +201,7 @@ class OLAPSession:
             rewriter=self._rewriter,
             maintainer=self._maintainer,
             parallel=self._parallel,
+            cost_model=self._cost_model,
         )
         self._queries: Dict[str, AnalyticalQuery] = {}
         self.history: List[TransformationRecord] = []
@@ -203,6 +218,56 @@ class OLAPSession:
     @property
     def planner(self) -> OLAPPlanner:
         return self._planner
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model pricing every candidate in this session."""
+        return self._cost_model
+
+    def fit_cost_model(self, min_samples: int = 1) -> CostModel:
+        """Fit a :class:`~repro.olap.calibration.CostModel` from this
+        session's history.
+
+        Uses the ``(predicted cost, observed execute seconds, strategy)``
+        samples of every planned record (see
+        :func:`~repro.olap.calibration.fit_cost_model`); the current model
+        is the fit's starting point.  The session itself is *not* switched
+        — construct a new :class:`OLAPSession` with ``cost_model=`` (the
+        planner caches per-model derived state at construction) or use the
+        advisor loop in :mod:`repro.olap.advisor`.
+        """
+        return fit_cost_model(
+            self.history,
+            engine=self.engine,
+            base=self._cost_model,
+            min_samples=min_samples,
+        )
+
+    def advise(self, top: int = 8):
+        """Mine this session's history into an :class:`~repro.olap.advisor.AdvisorReport`.
+
+        See :class:`~repro.olap.advisor.WorkloadAdvisor` — recommends
+        canonical query keys to pre-materialize, cache entries to pin
+        against LRU eviction, entries to evict early, and a fitted cost
+        model, each with its predicted rows-touched benefit.
+        """
+        from repro.olap.advisor import WorkloadAdvisor
+
+        return WorkloadAdvisor(self).report(top=top)
+
+    def apply_recommendations(self, report) -> Dict[str, int]:
+        """Apply an advisor report to this session (warm + pin the cache).
+
+        Materializes every recommended query that is not already cached
+        (through :meth:`execute`, so the results flow into the persistent
+        store when one is configured), pins the recommended entries
+        against LRU eviction, and drops the early-evict ones.  Returns
+        counts per action, e.g. ``{"materialized": 2, "pinned": 3,
+        "evicted": 1}``.
+        """
+        from repro.olap.advisor import apply_recommendations
+
+        return apply_recommendations(self, report)
 
     @property
     def maintainer(self) -> DeltaMaintainer:
@@ -245,7 +310,8 @@ class OLAPSession:
             query,
             self._parallel.workers,
             self._parallel.shard_count,
-            dispatch_cost=dispatch_shard_cost(self.instance),
+            dispatch_cost=self._cost_model.dispatch_cost(self.instance),
+            merge_cell_cost=self._cost_model.merge_cell_cost,
         )
         return parallel_cost < estimate_scratch_cost(statistics, query)
 
@@ -268,7 +334,7 @@ class OLAPSession:
         # the per-engine multiplier (patching is row-level work either
         # way), so execute() and transform() never disagree on the
         # refresh-vs-recompute call.
-        scratch_cost = engine_cost_multiplier(
+        scratch_cost = self._cost_model.engine_multiplier(
             self.engine
         ) * self._maintainer.estimate_scratch_cost(query)
         if refresh_cost >= scratch_cost:
@@ -326,6 +392,7 @@ class OLAPSession:
                 seconds=elapsed,
                 input_rows=input_rows,
                 output_cells=len(answer),
+                execute_seconds=elapsed,
             )
         )
         return Cube(answer, query)
@@ -451,6 +518,7 @@ class OLAPSession:
 
         details: Dict[str, object] = {}
         started = time.perf_counter()
+        plan_seconds = 0.0
         transformed_partial = None
         if strategy == "scratch":
             answer, used, input_rows = self._scratch(original_query, operation, transformed_query)
@@ -481,6 +549,7 @@ class OLAPSession:
                 origin_materialized,
                 materialize_partial=materialize,
             )
+            plan_seconds = time.perf_counter() - started
             answer, transformed_partial = plan.execute()
             chosen = plan.chosen
             used = f"plan[{chosen.strategy}]"
@@ -508,6 +577,8 @@ class OLAPSession:
                 input_rows=input_rows,
                 output_cells=len(answer),
                 details=details,
+                plan_seconds=plan_seconds,
+                execute_seconds=max(0.0, elapsed - plan_seconds),
             )
         )
         return Cube(answer, transformed_query)
@@ -552,12 +623,22 @@ class OLAPSession:
         )
 
     def explain_last(self) -> str:
-        """The costed plan of the most recent planned transformation."""
-        for record in reversed(self.history):
-            plan = record.details.get("plan")
-            if plan is not None:
-                return str(plan)
-        return "(no planned operation in this session's history)"
+        """Describe the session's most recent operation.
+
+        Planned transformations return their full costed plan (the
+        candidate table of :meth:`~repro.olap.planner.Plan.explain`);
+        operations that never went through the planner — cache hits,
+        refresh-served and parallel executes, the forced
+        rewrite/scratch/auto strategies — return their one-line history
+        record (strategy, row counts, timing) instead of a placeholder.
+        """
+        if not self.history:
+            return "(no operations in this session's history)"
+        record = self.history[-1]
+        plan = record.details.get("plan")
+        if plan is not None:
+            return str(plan)
+        return str(record)
 
     # ------------------------------------------------------------------
     # roll-up along dimension hierarchies (extension beyond the paper)
@@ -594,6 +675,7 @@ class OLAPSession:
                 seconds=elapsed,
                 input_rows=len(materialized.partial),
                 output_cells=len(answer),
+                execute_seconds=elapsed,
             )
         )
         return Cube(answer, original_query)

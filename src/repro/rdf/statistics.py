@@ -9,8 +9,12 @@ with the classical lightweight statistics of RDF engines:
 * per-predicate distinct subject / object counts;
 * counts of ``rdf:type`` instances per class.
 
-Statistics are computed once per graph snapshot; they do not observe later
-mutations (call :meth:`GraphStatistics.refresh` after bulk updates).
+Statistics are stamped with the graph's change counter
+(:attr:`~repro.rdf.graph.Graph.version`) and re-derive themselves on the
+next read after a mutation — exactly like the result caches — so a
+cardinality estimate can never be served against a graph that has since
+changed.  :meth:`GraphStatistics.refresh` remains available to force a
+recount eagerly (e.g. to move the cost out of a timed region).
 """
 
 from __future__ import annotations
@@ -32,12 +36,26 @@ class GraphStatistics:
 
     def __init__(self, graph: Graph):
         self._graph = graph
+        self._version: Optional[int] = None
         self.triple_count = 0
         self.predicate_counts: Dict[Term, int] = {}
         self.predicate_distinct_subjects: Dict[Term, int] = {}
         self.predicate_distinct_objects: Dict[Term, int] = {}
         self.class_counts: Dict[Term, int] = {}
         self.refresh()
+
+    def _sync(self) -> None:
+        """Re-derive the statistics when the graph has mutated since.
+
+        Every estimation entry point calls this first: the stored version
+        stamp is compared against the graph's change counter (an int
+        compare — free on the hot path) and a mismatch triggers a
+        :meth:`refresh`.  This is what lets planner cost estimates stay
+        honest across interleaved reads and writes without anyone
+        remembering to refresh manually.
+        """
+        if getattr(self._graph, "version", None) != self._version:
+            self.refresh()
 
     def refresh(self) -> None:
         """Recompute all statistics from the current graph contents.
@@ -48,6 +66,7 @@ class GraphStatistics:
         building statistics on a mapped graph is O(#predicates + #classes),
         not O(#triples).
         """
+        self._version = getattr(self._graph, "version", None)
         summary = self._graph.statistics_summary()
         if summary is not None:
             self.triple_count = summary["triple_count"]
@@ -90,10 +109,12 @@ class GraphStatistics:
 
     def predicate_cardinality(self, predicate: Term) -> int:
         """Number of triples with the given predicate (0 when unknown)."""
+        self._sync()
         return self.predicate_counts.get(predicate, 0)
 
     def class_cardinality(self, klass: Term) -> int:
         """Number of ``rdf:type`` triples with the given class as object."""
+        self._sync()
         return self.class_counts.get(klass, 0)
 
     def estimate_pattern(self, pattern: TriplePattern) -> float:
@@ -103,6 +124,7 @@ class GraphStatistics:
         count (the common case for classifier/measure triples); otherwise
         applies independence assumptions over per-predicate statistics.
         """
+        self._sync()
         subject, predicate, object_ = pattern.as_tuple()
         subject_is_var = isinstance(subject, Variable)
         predicate_is_var = isinstance(predicate, Variable)
@@ -144,6 +166,7 @@ class GraphStatistics:
         extra pattern can only keep or shrink the running cardinality, which
         this model reflects.
         """
+        self._sync()
         estimates = sorted(self.estimate_pattern(pattern) for pattern in query.body)
         if not estimates:
             return 0.0
@@ -164,6 +187,7 @@ class GraphStatistics:
         "rows", directly comparable with the reuse costs of
         :mod:`repro.olap.planner` (which count rows of materialized inputs).
         """
+        self._sync()
         scan_cost = sum(self.estimate_pattern(pattern) for pattern in query.body)
         return scan_cost + self.estimate_bgp_cardinality(query)
 

@@ -93,6 +93,85 @@ class TestLRUBehaviour:
             ResultCache(capacity=-1)
 
 
+class TestPinning:
+    def test_pinned_entry_survives_lru_pressure(
+        self, example2_instance, sites_query, materialized
+    ):
+        cache = ResultCache(capacity=2)
+        q1, q2, q3 = (_variant(sites_query, i) for i in (1, 2, 3))
+        cache.put(q1, materialized, example2_instance)
+        assert cache.pin(q1) is True
+        cache.put(q2, materialized, example2_instance)
+        cache.put(q3, materialized, example2_instance)  # would evict q1 (LRU)
+        assert cache.get(q1, example2_instance) is not None  # pinned: survived
+        assert cache.get(q2, example2_instance) is None  # evicted instead
+        assert cache.stats.evictions == 1
+
+    def test_unpin_restores_lru_eligibility(
+        self, example2_instance, sites_query, materialized
+    ):
+        cache = ResultCache(capacity=2)
+        q1, q2, q3 = (_variant(sites_query, i) for i in (1, 2, 3))
+        cache.put(q1, materialized, example2_instance)
+        cache.pin(q1)
+        assert cache.unpin(q1) is True
+        assert cache.unpin(q1) is False  # already unpinned
+        cache.put(q2, materialized, example2_instance)
+        cache.put(q3, materialized, example2_instance)
+        assert cache.get(q1, example2_instance) is None  # LRU again
+
+    def test_all_pinned_cache_may_exceed_capacity(
+        self, example2_instance, sites_query, materialized
+    ):
+        cache = ResultCache(capacity=2)
+        queries = [_variant(sites_query, i) for i in (1, 2, 3)]
+        for query in queries:
+            cache.pin(query)  # latent pin: protects the entry from insert on
+            cache.put(query, materialized, example2_instance)
+        assert len(cache) == 3  # over capacity rather than dropping pins
+        assert cache.stats.evictions == 0
+
+    def test_pin_by_key_before_insert(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=2)
+        key = canonical_query_key(sites_query)
+        assert cache.pin(key) is False  # no entry yet; pin is latent
+        cache.put(sites_query, materialized, example2_instance)
+        assert cache.is_pinned(sites_query)
+        assert key in cache.pinned_keys()
+
+    def test_pin_survives_re_put(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=2)
+        cache.put(sites_query, materialized, example2_instance)
+        cache.pin(sites_query)
+        cache.put(sites_query, materialized, example2_instance)  # refreshed entry
+        assert cache.is_pinned(sites_query)
+
+    def test_explicit_evict_unpins_and_counts(
+        self, example2_instance, sites_query, materialized
+    ):
+        cache = ResultCache(capacity=2)
+        cache.put(sites_query, materialized, example2_instance)
+        cache.pin(sites_query)
+        assert cache.evict(sites_query) is True
+        assert cache.evict(sites_query) is False  # already gone
+        assert not cache.is_pinned(sites_query)
+        assert cache.stats.evictions == 1
+
+    def test_discard_drops_pin(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=2)
+        cache.put(sites_query, materialized, example2_instance)
+        cache.pin(sites_query)
+        cache.discard(sites_query)
+        assert not cache.is_pinned(sites_query)
+
+    def test_clear_drops_pins(self, example2_instance, sites_query, materialized):
+        cache = ResultCache(capacity=2)
+        cache.put(sites_query, materialized, example2_instance)
+        cache.pin(sites_query)
+        cache.clear()
+        assert cache.pinned_keys() == ()
+
+
 class TestAccounting:
     def test_hit_and_miss_counts(self, example2_instance, sites_query, materialized):
         cache = ResultCache(capacity=4)

@@ -235,9 +235,23 @@ class TestExplain:
 
     def test_explain_last_helper(self, executed):
         session, query = executed
-        assert "no planned operation" in session.explain_last()
+        # execute() never goes through the planner, but the operation is
+        # still reported (strategy + timing) instead of a placeholder.
+        explanation = session.explain_last()
+        assert "scratch" in explanation
+        assert "execute" in explanation
         session.transform(query, DrillOut("dage"), strategy="plan")
         assert "drill-out" in session.explain_last()
+
+    def test_explain_last_reports_cache_hits(self, executed):
+        session, query = executed
+        session.execute(query)  # second run: served from cache
+        explanation = session.explain_last()
+        assert "cache" in explanation
+        assert "execute" in explanation
+
+    def test_explain_last_empty_history(self, session):
+        assert "no operations" in session.explain_last()
 
     def test_record_carries_estimated_cost(self, executed):
         session, query = executed

@@ -42,10 +42,20 @@ class TestCounts:
         assert statistics.predicate_distinct_subjects[EX.hasAge] == 10
         assert statistics.predicate_distinct_objects[EX.hasAge] == 5
 
-    def test_refresh_sees_mutations(self, stats_graph):
+    def test_reads_auto_refresh_after_mutations(self, stats_graph):
+        # Regression: statistics used to serve the counts captured at
+        # construction until someone remembered to call refresh(), feeding
+        # the planner estimates for a graph that no longer existed.
+        statistics = GraphStatistics(stats_graph)
+        assert statistics.predicate_cardinality(EX.hasAge) == 10
+        stats_graph.add(Triple(EX.term("user99"), EX.hasAge, Literal(99)))
+        assert statistics.predicate_cardinality(EX.hasAge) == 11
+        stats_graph.add(Triple(EX.term("user99"), RDF_TYPE, EX.Site))
+        assert statistics.class_cardinality(EX.Site) == 4
+
+    def test_manual_refresh_still_works(self, stats_graph):
         statistics = GraphStatistics(stats_graph)
         stats_graph.add(Triple(EX.term("user99"), EX.hasAge, Literal(99)))
-        assert statistics.predicate_cardinality(EX.hasAge) == 10
         statistics.refresh()
         assert statistics.predicate_cardinality(EX.hasAge) == 11
 
@@ -133,6 +143,19 @@ class TestBGPEstimates:
         assert statistics.estimate_bgp_cardinality(joined) <= statistics.estimate_bgp_cardinality(
             single
         )
+
+    def test_bgp_cardinality_sees_mutations_without_manual_refresh(self, query_graph):
+        statistics = GraphStatistics(query_graph)
+        x = Variable("x")
+        query = self._query(TriplePattern(x, EX.livesIn, EX.term("Madrid")))
+        before = statistics.estimate_bgp_cardinality(query)
+        for index in range(20, 40):
+            query_graph.add(
+                Triple(EX.term(f"user{index}"), EX.livesIn, EX.term("Madrid"))
+            )
+        after = statistics.estimate_bgp_cardinality(query)
+        assert after > before
+        assert after == pytest.approx(25.0)
 
     def test_unmatchable_pattern_zeroes_the_estimate(self, query_graph):
         statistics = GraphStatistics(query_graph)

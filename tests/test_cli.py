@@ -78,3 +78,14 @@ class TestDemoCommand:
         assert "cost~" in output
         assert "scratch" in output
         assert "executed plan[" in output
+
+    def test_demo_advise_prints_report_and_comparison(self, capsys):
+        exit_code = main(["demo", "--bloggers", "60", "--advise"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "advisor report" in output
+        assert "materialize" in output
+        assert "pin" in output
+        assert "cost model: fitted" in output
+        assert "advised (warm + fitted)" in output
+        assert "speedup" in output

@@ -1,0 +1,102 @@
+"""SERVING — multi-tenant load generation against the concurrent front-end.
+
+Drives :class:`~repro.serving.service.OLAPService` with concurrent tenant
+clients at the scale selected by ``REPRO_BENCH_SCALE``: for each read/write
+mix (read-only, 90/10) and each client count (1, 4, 8), a fresh service
+over a fresh copy of the generic instance absorbs the full request plan and
+reports p50/p95/p99 read latency, throughput and typed-rejection counts.
+
+Trust anchor: inside the harness, *after* the timed window, every answered
+cube is checked cell-for-cell against from-scratch evaluation over the
+exact graph generation it was served from — a service that tears reads or
+serves stale snapshots fails the run instead of posting good numbers.
+
+Each mix emits one ``BENCH_serving_<mix>_<scale>.json`` record whose
+measurements flatten the run table (``c{clients}_p50_s`` …) and whose
+metadata carries the full per-cell rows.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    SERVING_CLIENTS,
+    SERVING_MIXES,
+    serving_load_run,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_runs(generic_bench_dataset):
+    """The full run table: mix → client count → one load run's results."""
+    runs = {}
+    for mix_label, write_ratio in SERVING_MIXES:
+        for clients in SERVING_CLIENTS:
+            runs[(mix_label, clients)] = serving_load_run(
+                generic_bench_dataset.instance.copy(),
+                generic_bench_dataset.schema,
+                generic_bench_dataset.query,
+                clients=clients,
+                write_ratio=write_ratio,
+                requests_per_client=10,
+                seed=clients,
+                write_dimensions=generic_bench_dataset.config.dimensions,
+            )
+    return runs
+
+
+def _mix_slug(mix_label: str) -> str:
+    return "readonly" if mix_label == "read-only" else "mixed_90_10"
+
+
+@pytest.mark.parametrize("mix_label,write_ratio", SERVING_MIXES, ids=[m for m, _ in SERVING_MIXES])
+def test_serving_load(mix_label, write_ratio, serving_runs, bench_record_writer):
+    measurements = {}
+    rows = []
+    for clients in SERVING_CLIENTS:
+        run = serving_runs[(mix_label, clients)]
+        # The in-harness differential check: every answer verified against
+        # scratch at its snapshot version, all operations accounted for.
+        assert run["verified"] == run["served"]
+        assert run["served"] + run["writes"] + run["rejected"] == run["operations"]
+        assert run["served"] > 0
+        if write_ratio > 0 and run["publishes"] > 0:
+            assert len(run["versions_served"]) >= 1
+        prefix = f"c{clients}"
+        measurements[f"{prefix}_p50_s"] = run["read_p50_ms"] / 1000.0
+        measurements[f"{prefix}_p95_s"] = run["read_p95_ms"] / 1000.0
+        measurements[f"{prefix}_p99_s"] = run["read_p99_ms"] / 1000.0
+        measurements[f"{prefix}_wall_s"] = run["wall_seconds"]
+        rows.append(
+            {
+                "clients": clients,
+                "served": run["served"],
+                "writes": run["writes"],
+                "rejected": run["rejected"],
+                "rejected_queue_full": run["rejected_queue_full"],
+                "rejected_tenant_busy": run["rejected_tenant_busy"],
+                "publishes": run["publishes"],
+                "versions_served": run["versions_served"],
+                "p50_ms": round(run["read_p50_ms"], 3),
+                "p95_ms": round(run["read_p95_ms"], 3),
+                "p99_ms": round(run["read_p99_ms"], 3),
+                "throughput_ops": round(run["throughput_ops"], 1),
+                "verified": run["verified"],
+            }
+        )
+    bench_record_writer(
+        f"serving_{_mix_slug(mix_label)}",
+        measurements,
+        {
+            "mix": mix_label,
+            "write_ratio": write_ratio,
+            "requests_per_client": 10,
+            "runs": rows,
+        },
+    )
+
+
+def test_serving_scales_with_clients(serving_runs):
+    """More clients must mean more served queries, never fewer (sanity)."""
+    for mix_label, _ in SERVING_MIXES:
+        served = [serving_runs[(mix_label, c)]["served"] for c in SERVING_CLIENTS]
+        assert served == sorted(served)

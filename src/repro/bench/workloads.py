@@ -46,6 +46,9 @@ __all__ = [
     "experiment_advisor_sessions",
     "experiment_incremental_refresh",
     "experiment_parallel_scaling",
+    "experiment_serving",
+    "serving_load_run",
+    "serving_fact_batch",
     "blogger_session_replay",
     "video_session_replay",
     "blogger_update_batch",
@@ -1132,6 +1135,245 @@ def experiment_parallel_scaling(scale: str = "small", repeats: Optional[int] = N
     return table
 
 
+# ---------------------------------------------------------------------------
+# SERVING: multi-tenant load generation against the concurrent serving layer
+# ---------------------------------------------------------------------------
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (NaN on empty input)."""
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    index = int(round(fraction * (len(ordered) - 1)))
+    return ordered[max(0, min(index, len(ordered) - 1))]
+
+
+def serving_fact_batch(tag: str, count: int = 2, dimensions: int = 2) -> list:
+    """Triples for ``count`` fresh generic facts (the serving write payload).
+
+    Each fact carries every classifier dimension, so the batch lands in the
+    canonical cube and a publish visibly changes the answers.
+    """
+    from repro.rdf import RDF, Literal, Triple
+    from repro.rdf.namespaces import EX
+
+    rdf_type = RDF.term("type")
+    triples = []
+    for index in range(count):
+        fact = EX.term(f"fact/served-{tag}-{index}")
+        triples.append(Triple(fact, rdf_type, EX.term("Fact")))
+        for dimension in range(dimensions):
+            triples.append(
+                Triple(
+                    fact,
+                    EX.term(f"dim{dimension}"),
+                    EX.term(f"dimvalue/{dimension}/{dimension % 2}"),
+                )
+            )
+        triples.append(Triple(fact, EX.term("measure"), Literal(5 + index)))
+    return triples
+
+
+def serving_load_run(
+    instance,
+    schema,
+    query: AnalyticalQuery,
+    clients: int,
+    write_ratio: float = 0.0,
+    requests_per_client: int = 10,
+    max_concurrency: int = 4,
+    max_queue_depth: int = 8,
+    per_tenant_limit: int = 4,
+    publish_mode: str = "auto",
+    seed: int = 0,
+    verify: bool = True,
+    write_dimensions: int = 2,
+) -> Dict[str, object]:
+    """Drive :class:`~repro.serving.service.OLAPService` with concurrent clients.
+
+    Spawns ``clients`` tenants, each issuing ``requests_per_client``
+    operations: a write (an update batch through the single writer, which
+    republishes the graph) with probability ``write_ratio``, a read
+    otherwise.  Admission rejections are counted per type, never retried.
+    With ``verify=True`` every answered cube is checked cell-for-cell
+    against from-scratch evaluation over the *generation it was served
+    from* — after the timed window, so the check never distorts latency —
+    which makes the throughput numbers trustworthy: the service cannot
+    win by serving torn or stale reads.
+
+    Returns a dict of latency percentiles (milliseconds), throughput and
+    service statistics, ready for a bench record or a
+    :class:`~repro.bench.harness.ResultTable` row.
+    """
+    import asyncio
+    import random
+
+    from repro.errors import AdmissionError
+    from repro.serving import OLAPService
+
+    rng = random.Random(seed)
+    plans = [
+        [
+            "write" if rng.random() < write_ratio else "read"
+            for _ in range(requests_per_client)
+        ]
+        for _ in range(clients)
+    ]
+
+    async def drive():
+        read_latencies: List[float] = []
+        write_latencies: List[float] = []
+        served = []
+        rejections: Dict[str, int] = {}
+
+        async with OLAPService(
+            instance,
+            schema,
+            max_concurrency=max_concurrency,
+            max_queue_depth=max_queue_depth,
+            per_tenant_limit=per_tenant_limit,
+            publish_mode=publish_mode,
+        ) as service:
+
+            async def client(index: int) -> None:
+                tenant = f"tenant-{index}"
+                for step, kind in enumerate(plans[index]):
+                    started = time.perf_counter()
+                    if kind == "write":
+                        await service.update(
+                            add=serving_fact_batch(
+                                f"{index}-{step}", dimensions=write_dimensions
+                            )
+                        )
+                        write_latencies.append(time.perf_counter() - started)
+                    else:
+                        try:
+                            result = await service.query(tenant, query)
+                        except AdmissionError as rejection:
+                            name = type(rejection).__name__
+                            rejections[name] = rejections.get(name, 0) + 1
+                        else:
+                            read_latencies.append(time.perf_counter() - started)
+                            served.append(result)
+                    await asyncio.sleep(0)
+
+            wall_started = time.perf_counter()
+            await asyncio.gather(*[client(index) for index in range(clients)])
+            wall_seconds = time.perf_counter() - wall_started
+
+            verified = 0
+            if verify:
+                oracles: Dict[int, Cube] = {}
+                for result in served:
+                    oracle = oracles.get(result.graph_version)
+                    if oracle is None:
+                        oracle = Cube(
+                            AnalyticalQueryEvaluator(result.generation.graph).answer(
+                                query
+                            ),
+                            query,
+                        )
+                        oracles[result.graph_version] = oracle
+                    if not result.cube.same_cells(oracle):
+                        raise AssertionError(
+                            f"served cube for {result.tenant} diverged from "
+                            f"scratch evaluation at v{result.graph_version}"
+                        )
+                    verified += 1
+
+            statistics = service.stats.as_dict()
+            versions_served = sorted({r.graph_version for r in served})
+
+        operations = sum(len(plan) for plan in plans)
+        return {
+            "clients": clients,
+            "write_ratio": write_ratio,
+            "operations": operations,
+            "served": len(served),
+            "writes": len(write_latencies),
+            "rejected": int(statistics["rejected"]),
+            "rejected_queue_full": int(statistics["rejected_queue_full"]),
+            "rejected_tenant_busy": int(statistics["rejected_tenant_busy"]),
+            "publishes": int(statistics["publishes"]),
+            "versions_served": versions_served,
+            "verified": verified,
+            "wall_seconds": wall_seconds,
+            "throughput_ops": operations / wall_seconds if wall_seconds > 0 else float("inf"),
+            "read_p50_ms": _percentile(read_latencies, 0.50) * 1000.0,
+            "read_p95_ms": _percentile(read_latencies, 0.95) * 1000.0,
+            "read_p99_ms": _percentile(read_latencies, 0.99) * 1000.0,
+            "write_p50_ms": _percentile(write_latencies, 0.50) * 1000.0,
+        }
+
+    return asyncio.run(drive())
+
+
+#: The canonical serving run table: client counts × read/write mixes.
+SERVING_CLIENTS: Tuple[int, ...] = (1, 4, 8)
+SERVING_MIXES: Tuple[Tuple[str, float], ...] = (
+    ("read-only", 0.0),
+    ("90/10 read-write", 0.1),
+)
+
+
+def experiment_serving(
+    scale: str = "small", requests_per_client: Optional[int] = None
+) -> ResultTable:
+    """SERVING — the load-generation run table over the serving layer.
+
+    For each (mix, client count) cell, drives a fresh service over a fresh
+    copy of the generic instance and reports latency percentiles,
+    throughput, typed rejections and the number of graph versions that
+    answered reads.  Every answered cube is verified against scratch
+    evaluation at its snapshot version inside the harness.
+    """
+    parameters = _scale(scale)
+    requests = requests_per_client or max(6, int(parameters["repeats"]) * 3)
+    dataset = generic_dataset(GenericConfig(facts=int(parameters["facts"]), dimensions=2))
+    table = ResultTable(
+        [
+            "mix",
+            "clients",
+            "served",
+            "rejected",
+            "publishes",
+            "versions",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "throughput (op/s)",
+            "verified",
+        ],
+        title="SERVING — multi-tenant latency/throughput under concurrent load",
+    )
+    for mix_label, write_ratio in SERVING_MIXES:
+        for clients in SERVING_CLIENTS:
+            run = serving_load_run(
+                dataset.instance.copy(),
+                dataset.schema,
+                dataset.query,
+                clients=clients,
+                write_ratio=write_ratio,
+                requests_per_client=requests,
+                seed=clients,
+            )
+            table.add_row(
+                mix_label,
+                clients,
+                run["served"],
+                run["rejected"],
+                run["publishes"],
+                len(run["versions_served"]),
+                round(run["read_p50_ms"], 3),
+                round(run["read_p95_ms"], 3),
+                round(run["read_p99_ms"], 3),
+                round(run["throughput_ops"], 1),
+                run["verified"] == run["served"],
+            )
+    return table
+
+
 def run_all_experiments(scale: str = "small") -> List[ResultTable]:
     """Run every experiment at the given scale and return their tables."""
     tables = [
@@ -1150,5 +1392,6 @@ def run_all_experiments(scale: str = "small") -> List[ResultTable]:
         experiment_advisor_sessions(scale),
         experiment_incremental_refresh(scale),
         experiment_parallel_scaling(scale),
+        experiment_serving(scale),
     ]
     return tables

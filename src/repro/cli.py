@@ -77,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
             "report and fitted cost model, and replay advised vs. static"
         ),
     )
+    demo.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "drive the multi-tenant serving layer: concurrent tenants querying "
+            "while a writer republishes, with per-answer verification"
+        ),
+    )
     return parser
 
 
@@ -107,6 +115,8 @@ def _command_experiments(arguments: argparse.Namespace) -> int:
 
 
 def _command_demo(arguments: argparse.Namespace) -> int:
+    if arguments.serve:
+        return _demo_serve()
     dataset = blogger_dataset(BloggerConfig(bloggers=arguments.bloggers))
     session = OLAPSession(dataset.instance, dataset.schema)
     query = sites_per_blogger_query(dataset.schema)
@@ -138,6 +148,43 @@ def _command_demo(arguments: argparse.Namespace) -> int:
             f"speedup {comparison['speedup']:6.1f}x   equal={comparison['equal']}"
         )
     return 0
+
+
+def _demo_serve() -> int:
+    """Smoke the serving layer: 4 tenants × 10 requests, 90/10 read-write.
+
+    Every answered cube is verified against from-scratch evaluation at the
+    generation it was served from; the run fails loudly on any divergence.
+    """
+    from repro.bench.workloads import serving_load_run
+    from repro.serving.generations import resolve_publish_mode
+
+    dataset = generic_dataset(GenericConfig(facts=300, dimensions=2, seed=7))
+    mode = resolve_publish_mode("auto")
+    print(f"serving demo: generic instance, {len(dataset.instance)} triples, publish mode {mode!r}")
+    run = serving_load_run(
+        dataset.instance,
+        dataset.schema,
+        dataset.query,
+        clients=4,
+        write_ratio=0.1,
+        requests_per_client=10,
+        seed=7,
+    )
+    print(
+        f"4 tenants x 10 requests (90/10 read-write): "
+        f"{run['served']} served, {run['writes']} writes, {run['rejected']} rejected, "
+        f"{run['publishes']} publishes"
+    )
+    print(
+        f"read latency p50 {run['read_p50_ms']:.2f} ms, p95 {run['read_p95_ms']:.2f} ms, "
+        f"p99 {run['read_p99_ms']:.2f} ms; throughput {run['throughput_ops']:.1f} op/s"
+    )
+    print(
+        f"snapshot versions answered: {run['versions_served']}; "
+        f"verified {run['verified']}/{run['served']} cubes against scratch at their version"
+    )
+    return 0 if run["verified"] == run["served"] else 1
 
 
 def _demo_advise(dataset, session: OLAPSession, query, operations) -> int:

@@ -187,3 +187,53 @@ class RewritingError(OLAPError):
 
 class MaterializationError(OLAPError):
     """A required materialized input (``ans(Q)`` or ``pres(Q)``) is missing."""
+
+
+# ---------------------------------------------------------------------------
+# Concurrent serving layer
+# ---------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for errors of the concurrent serving layer."""
+
+
+class AdmissionError(ServingError):
+    """Base class for *typed* admission rejections.
+
+    The service rejects rather than queues unboundedly; every rejection
+    subclass carries enough context for the client to decide whether to
+    back off and retry.  Rejections are counted per type in
+    :class:`~repro.serving.service.ServiceStats`.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """The service-wide admission queue is at its depth bound."""
+
+    def __init__(self, depth: int, bound: int):
+        self.depth = depth
+        self.bound = bound
+        super().__init__(
+            f"admission queue is full ({depth} waiting, bound {bound}); retry later"
+        )
+
+
+class TenantBusyError(AdmissionError):
+    """One tenant is at its per-tenant concurrency cap."""
+
+    def __init__(self, tenant: str, inflight: int, limit: int):
+        self.tenant = tenant
+        self.inflight = inflight
+        self.limit = limit
+        super().__init__(
+            f"tenant {tenant!r} is at its concurrency cap "
+            f"({inflight} in flight, limit {limit}); retry later"
+        )
+
+
+class ServiceClosedError(AdmissionError):
+    """The service is shut down (or shutting down) and admits no queries."""
+
+    def __init__(self, message: str = "the serving layer is closed"):
+        super().__init__(message)

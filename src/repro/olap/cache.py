@@ -23,6 +23,10 @@ process that computed them.  :class:`ResultCache` provides exactly that:
   :class:`~repro.olap.maintenance.DeltaMaintainer` instead of throwing the
   work away; only entries past the log window (or lacking the partial
   result patching needs) are dropped as invalidated;
+* the mutation paths (LRU recency moves, inserts, evictions, pin
+  bookkeeping) are guarded by a reentrant lock, so the cache can be shared
+  by the serving layer's concurrent reader threads (one writer at a time;
+  see :mod:`repro.serving`);
 * with a ``store_dir`` the cache writes entries through to disk
   (:func:`repro.persistence.save_cache_entry`) and serves misses from disk,
   which is how a new session warm-starts from a previous one's work;
@@ -35,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -278,6 +283,9 @@ class ResultCache:
         self._store_dir = store_dir
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._pinned: set = set()
+        # Reentrant: refresh() re-enters stale_entry(), and the serving
+        # layer's reader threads race get/put/pin against each other.
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # -- introspection -------------------------------------------------------
@@ -291,25 +299,31 @@ class ResultCache:
         return self._store_dir
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def keys(self) -> Tuple[str, ...]:
         """Canonical keys, least recently used first."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
 
     def entries(self) -> List[CacheEntry]:
         """The live entries, least recently used first (read-only use)."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def entries_with_core(self, query: AnalyticalQuery) -> Iterator[CacheEntry]:
         """Entries whose Σ-independent canonical form matches ``query``'s.
 
         These are the reuse candidates for SLICE/DICE-style answering: same
         classifier/measure/aggregate, possibly different Σ.  Iteration does
-        not touch recency.
+        not touch recency (the candidate list is snapshotted under the
+        lock, so a concurrent insert cannot corrupt it).
         """
         core = canonical_core_key(query)
-        for entry in self._entries.values():
+        with self._lock:
+            candidates = list(self._entries.values())
+        for entry in candidates:
             if entry.core_key == core:
                 yield entry
 
@@ -334,27 +348,28 @@ class ResultCache:
         and a disk hit is promoted into memory.
         """
         key = canonical_query_key(query)
-        entry = self._entries.get(key)
-        if entry is not None and entry.graph_version != graph.version:
-            if not self._refreshable(entry, graph):
-                del self._entries[key]
-                self.stats.invalidations += 1
-            entry = None
-        if entry is not None and require_partial and not entry.materialized.has_partial():
-            # The persisted copy (same entry, written at put time) cannot
-            # have a partial either, so the disk store is not consulted.
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.graph_version != graph.version:
+                if not self._refreshable(entry, graph):
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                entry = None
+            if entry is not None and require_partial and not entry.materialized.has_partial():
+                # The persisted copy (same entry, written at put time) cannot
+                # have a partial either, so the disk store is not consulted.
+                self.stats.misses += 1
+                return None
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.stats.hits += 1
+                return entry
             self.stats.misses += 1
-            return None
-        if entry is not None:
-            self._entries.move_to_end(key)
-            entry.hits += 1
-            self.stats.hits += 1
-            return entry
-        self.stats.misses += 1
-        loaded = self._load_from_store(key, query, graph)
-        if loaded is not None and require_partial and not loaded.materialized.has_partial():
-            return None
-        return loaded
+            loaded = self._load_from_store(key, query, graph)
+            if loaded is not None and require_partial and not loaded.materialized.has_partial():
+                return None
+            return loaded
 
     @staticmethod
     def _refreshable(entry: CacheEntry, graph: Graph) -> bool:
@@ -370,10 +385,11 @@ class ResultCache:
         callers deciding whether other work (e.g. refreshing an origin
         query) is worth doing before the accounted lookup happens.
         """
-        entry = self._entries.get(canonical_query_key(query))
-        if entry is None or entry.graph_version != graph.version:
-            return None
-        return entry
+        with self._lock:
+            entry = self._entries.get(canonical_query_key(query))
+            if entry is None or entry.graph_version != graph.version:
+                return None
+            return entry
 
     def stale_entry(self, query: AnalyticalQuery, graph: Graph):
         """The retained stale entry for ``query`` plus its pending deltas.
@@ -386,19 +402,20 @@ class ResultCache:
         this is the planner's candidate-enumeration probe.
         """
         key = canonical_query_key(query)
-        entry = self._entries.get(key)
-        if entry is None or entry.graph_version == graph.version:
-            return None
-        delta = (
-            graph.deltas_since(entry.graph_version)
-            if entry.materialized.has_partial()
-            else None
-        )
-        if delta is None:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            return None
-        return entry, delta
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.graph_version == graph.version:
+                return None
+            delta = (
+                graph.deltas_since(entry.graph_version)
+                if entry.materialized.has_partial()
+                else None
+            )
+            if delta is None:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return None
+            return entry, delta
 
     def refresh(self, query: AnalyticalQuery, graph: Graph, maintainer) -> Optional[CacheEntry]:
         """Patch the stale entry for ``query`` from graph deltas, in place.
@@ -411,26 +428,27 @@ class ResultCache:
         is not possible, None is returned (an unpatchable entry is dropped
         as an invalidation) and the caller should fall back to recomputing.
         """
-        found = self.stale_entry(query, graph)
-        if found is None:
-            return None
-        entry, delta = found
-        refreshed = maintainer.refresh(entry.materialized, delta)
-        if refreshed is None:
-            del self._entries[entry.key]
-            self.stats.invalidations += 1
-            return None
-        entry.materialized = refreshed
-        entry.graph_version = graph.version
-        self.stats.refreshes += 1
-        self._entries.move_to_end(entry.key)
-        if self._store_dir is not None and _key_is_persistable(entry.key):
-            from repro.persistence import save_cache_entry
+        with self._lock:
+            found = self.stale_entry(query, graph)
+            if found is None:
+                return None
+            entry, delta = found
+            refreshed = maintainer.refresh(entry.materialized, delta)
+            if refreshed is None:
+                del self._entries[entry.key]
+                self.stats.invalidations += 1
+                return None
+            entry.materialized = refreshed
+            entry.graph_version = graph.version
+            self.stats.refreshes += 1
+            self._entries.move_to_end(entry.key)
+            if self._store_dir is not None and _key_is_persistable(entry.key):
+                from repro.persistence import save_cache_entry
 
-            save_cache_entry(
-                refreshed, self._entry_dir(entry.key), entry.key, len(graph), graph_fingerprint(graph)
-            )
-        return entry
+                save_cache_entry(
+                    refreshed, self._entry_dir(entry.key), entry.key, len(graph), graph_fingerprint(graph)
+                )
+            return entry
 
     def put(
         self,
@@ -438,38 +456,59 @@ class ResultCache:
         materialized: MaterializedQueryResults,
         graph: Graph,
         persist: bool = True,
+        version: Optional[int] = None,
     ) -> CacheEntry:
         """Insert (or refresh) the entry for ``query``, evicting LRU overflow.
 
-        The entry is stamped with the graph's current change counter.  With
-        a disk store and ``persist=True`` the entry is also written through;
-        a ``capacity`` of 0 keeps nothing in memory but still writes
-        through, so a cacheless session can feed a later warm start.
+        The entry is stamped with ``version`` — the graph change counter the
+        caller *observed when it materialized the result* — falling back to
+        the graph's current counter when omitted.  Callers that evaluate and
+        insert in two steps must pass the execute-time version: a mutation
+        interleaved between materialization and insertion otherwise yields a
+        fresh-stamped entry holding stale cells.  An entry stamped with an
+        older version is inserted *born stale*: :meth:`get` will never serve
+        it, but :meth:`refresh` can still patch it from the change log.
+
+        With a disk store and ``persist=True`` the entry is also written
+        through; a ``capacity`` of 0 keeps nothing in memory but still
+        writes through, so a cacheless session can feed a later warm start.
+        The persisted stamp is only written when the result is known fresh —
+        a born-stale entry must not poison a later warm start with a
+        fingerprint it never matched.
         """
         key = canonical_query_key(query)
-        entry = CacheEntry(key, canonical_core_key(query), materialized, graph.version)
-        self.stats.puts += 1
-        if self._capacity > 0:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            self._evict_overflow()
-        if persist and self._store_dir is not None and _key_is_persistable(key):
-            from repro.persistence import save_cache_entry
+        stamped = graph.version if version is None else int(version)
+        entry = CacheEntry(key, canonical_core_key(query), materialized, stamped)
+        with self._lock:
+            self.stats.puts += 1
+            if self._capacity > 0:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                self._evict_overflow()
+            if (
+                persist
+                and stamped == graph.version
+                and self._store_dir is not None
+                and _key_is_persistable(key)
+            ):
+                from repro.persistence import save_cache_entry
 
-            save_cache_entry(
-                materialized, self._entry_dir(key), key, len(graph), graph_fingerprint(graph)
-            )
+                save_cache_entry(
+                    materialized, self._entry_dir(key), key, len(graph), graph_fingerprint(graph)
+                )
         return entry
 
     def discard(self, query: AnalyticalQuery) -> bool:
         """Drop the in-memory entry for ``query`` (disk copies are kept)."""
         key = canonical_query_key(query)
-        self._pinned.discard(key)
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            self._pinned.discard(key)
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._pinned.clear()
+        with self._lock:
+            self._entries.clear()
+            self._pinned.clear()
 
     # -- pinning (advisor support) -------------------------------------------
 
@@ -491,23 +530,27 @@ class ResultCache:
         ``capacity`` rather than drop pinned work.
         """
         key = self._resolve_key(query_or_key)
-        self._pinned.add(key)
-        return key in self._entries
+        with self._lock:
+            self._pinned.add(key)
+            return key in self._entries
 
     def unpin(self, query_or_key) -> bool:
         """Drop an entry's eviction protection; True when it was pinned."""
         key = self._resolve_key(query_or_key)
-        if key in self._pinned:
-            self._pinned.remove(key)
-            return True
-        return False
+        with self._lock:
+            if key in self._pinned:
+                self._pinned.remove(key)
+                return True
+            return False
 
     def is_pinned(self, query_or_key) -> bool:
-        return self._resolve_key(query_or_key) in self._pinned
+        with self._lock:
+            return self._resolve_key(query_or_key) in self._pinned
 
     def pinned_keys(self) -> Tuple[str, ...]:
         """Canonical keys currently pinned (whether or not in memory)."""
-        return tuple(sorted(self._pinned))
+        with self._lock:
+            return tuple(sorted(self._pinned))
 
     def evict(self, query_or_key) -> bool:
         """Explicitly evict an entry (advisor early-eviction), unpinning it.
@@ -516,11 +559,12 @@ class ResultCache:
         counted in ``stats.evictions``.  Disk copies are kept.
         """
         key = self._resolve_key(query_or_key)
-        self._pinned.discard(key)
-        if self._entries.pop(key, None) is not None:
-            self.stats.evictions += 1
-            return True
-        return False
+        with self._lock:
+            self._pinned.discard(key)
+            if self._entries.pop(key, None) is not None:
+                self.stats.evictions += 1
+                return True
+            return False
 
     def _evict_overflow(self) -> None:
         """Evict least-recently-used *unpinned* entries down to capacity."""

@@ -77,6 +77,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import OLAPError
+
 from repro.algebra.aggregates import partial_aggregate
 from repro.algebra.grouping import finalize_group_states, merge_group_states
 from repro.algebra.relation import IdRelation, Relation
@@ -318,6 +320,7 @@ class ParallelExecutor:
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._process_pool_version: Optional[int] = None
         self._process_broken = False
+        self._closed = False
         #: Backend used by the most recent dispatch (introspection / tests).
         self.last_backend: Optional[str] = None
         #: Running dispatch/fallback counters (surfaced by Plan.explain()).
@@ -397,6 +400,11 @@ class ParallelExecutor:
     def _dispatch(
         self, query: AnalyticalQuery, shards: Tuple[GraphShard, ...], keep_rows: bool
     ) -> List[Tuple[Optional[list], Dict]]:
+        if self._closed:
+            raise OLAPError(
+                "ParallelExecutor is closed: its worker pools were shut down "
+                "and will not be rebuilt (create a new session/executor)"
+            )
         backend = self._effective_backend(query, shards)
         if backend == "process":
             try:
@@ -551,12 +559,26 @@ class ParallelExecutor:
 
     # -- lifecycle -----------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; dispatch raises from then on."""
+        return self._closed
+
     def close(self) -> None:
-        """Shut down the worker pools (idempotent)."""
-        if self._thread_pool is not None:
-            self._thread_pool.shutdown(wait=True)
-            self._thread_pool = None
-        self._shutdown_process_pool()
+        """Shut down the worker pools (idempotent).
+
+        Both pools are released even if shutting down the thread pool
+        raises; after closing, any further dispatch raises
+        :class:`~repro.errors.OLAPError` instead of silently rebuilding a
+        pool that nobody would ever shut down again.
+        """
+        self._closed = True
+        try:
+            if self._thread_pool is not None:
+                self._thread_pool.shutdown(wait=True)
+                self._thread_pool = None
+        finally:
+            self._shutdown_process_pool()
 
     def _shutdown_process_pool(self) -> None:
         if self._process_pool is not None:

@@ -205,6 +205,7 @@ class OLAPSession:
         )
         self._queries: Dict[str, AnalyticalQuery] = {}
         self.history: List[TransformationRecord] = []
+        self._closed = False
 
     # ------------------------------------------------------------------
     # cache / planner access
@@ -289,8 +290,25 @@ class OLAPSession:
         """The from-scratch evaluator's engine: ``"rows"`` or ``"columnar"``."""
         return self.evaluator.engine
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (the session stays queryable
+        serially, but the parallel pools are gone for good)."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the parallel worker pools (no-op for serial sessions)."""
+        """Release the parallel worker pools (idempotent; no-op when serial).
+
+        Safe to call any number of times — a second close does nothing.
+        After closing, the executor refuses to rebuild its pools, so a
+        closed session can never leak worker processes; serial execution
+        still works.  ``__exit__`` always calls this, so leaving the
+        ``with`` block through an exception shuts down the thread *and*
+        process pools too.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._parallel is not None:
             self._parallel.close()
 
@@ -371,6 +389,11 @@ class OLAPSession:
             materialized = entry.materialized
             input_rows = len(materialized.answer)
         if entry is None:
+            # Stamp the entry with the version observed *before* evaluating:
+            # a mutation interleaved between materialization and insertion
+            # must yield a born-stale entry, never a fresh-stamped one
+            # holding stale cells.
+            observed_version = self.instance.version
             if self._parallel_is_cheaper(query):
                 materialized = self._parallel.evaluate(
                     query, materialize_partial=keep_partial
@@ -379,7 +402,7 @@ class OLAPSession:
             else:
                 materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
                 strategy = "scratch"
-            self._cache.put(query, materialized, self.instance)
+            self._cache.put(query, materialized, self.instance, version=observed_version)
             input_rows = len(self.instance)
         elapsed = time.perf_counter() - started
         self._queries[query.name] = query
@@ -520,6 +543,10 @@ class OLAPSession:
         started = time.perf_counter()
         plan_seconds = 0.0
         transformed_partial = None
+        # Version observed when the transformed result is materialized (see
+        # ResultCache.put: the stamp must predate the evaluation, not the
+        # insertion).
+        observed_version = self.instance.version
         if strategy == "scratch":
             answer, used, input_rows = self._scratch(original_query, operation, transformed_query)
         elif strategy == "rewrite":
@@ -566,7 +593,9 @@ class OLAPSession:
                 # overhead.
                 self._queries[transformed_query.name] = transformed_query
             else:
-                self._store_transformed(transformed_query, answer, transformed_partial)
+                self._store_transformed(
+                    transformed_query, answer, transformed_partial, version=observed_version
+                )
 
         self.history.append(
             TransformationRecord(
@@ -613,13 +642,18 @@ class OLAPSession:
         return answer, "scratch", len(self.instance)
 
     def _store_transformed(
-        self, transformed_query: AnalyticalQuery, answer: CubeAnswer, partial=None
+        self,
+        transformed_query: AnalyticalQuery,
+        answer: CubeAnswer,
+        partial=None,
+        version: Optional[int] = None,
     ) -> None:
         self._queries[transformed_query.name] = transformed_query
         self._cache.put(
             transformed_query,
             MaterializedQueryResults(transformed_query, answer=answer, partial=partial),
             self.instance,
+            version=version,
         )
 
     def explain_last(self) -> str:

@@ -1,0 +1,38 @@
+"""Multi-tenant, snapshot-isolated concurrent serving layer.
+
+This package turns the single-session OLAP engine into a service:
+
+* :class:`~repro.serving.service.OLAPService` — the asyncio front-end
+  with bounded admission (typed rejections), per-tenant sessions over
+  one shared graph, and a single writer publishing updates.
+* :class:`~repro.serving.generations.GenerationManager` — the MVCC core:
+  immutable published graph generations with pin/drain/retire lifecycle,
+  spooled as memory-mapped snapshots when numpy is available and as heap
+  copies otherwise.
+
+See ``docs/guides/serving.md`` for the tour.
+"""
+
+from repro.serving.generations import (
+    GenerationManager,
+    GraphGeneration,
+    resolve_publish_mode,
+)
+from repro.serving.service import (
+    OLAPService,
+    PublishResult,
+    ServedResult,
+    ServiceStats,
+    TenantState,
+)
+
+__all__ = [
+    "GenerationManager",
+    "GraphGeneration",
+    "resolve_publish_mode",
+    "OLAPService",
+    "PublishResult",
+    "ServedResult",
+    "ServiceStats",
+    "TenantState",
+]

@@ -1,0 +1,481 @@
+"""Asyncio front-end serving analytical queries to many tenants at once.
+
+:class:`OLAPService` is the first layer of the system that is concurrent
+end to end.  It composes the pieces the engine PRs built — snapshot
+storage, version-stamped caches, per-session planners — into a
+multi-tenant serving loop:
+
+* **Admission control.**  Queries are *rejected, never queued unboundedly*:
+  a service-wide waiting-depth bound and a per-tenant concurrency cap each
+  raise a typed :class:`~repro.errors.AdmissionError` subclass
+  (:class:`~repro.errors.QueueFullError`,
+  :class:`~repro.errors.TenantBusyError`,
+  :class:`~repro.errors.ServiceClosedError`), and every rejection is
+  counted per type in :class:`ServiceStats` — load shedding a client can
+  reason about.
+* **Snapshot-isolated reads.**  At admission each query pins the current
+  :class:`~repro.serving.generations.GraphGeneration`; it is answered
+  against that frozen graph version even while the writer publishes
+  successors, and the generation is retired only when its last reader
+  drains.  The :class:`~repro.serving.service.ServedResult` carries the
+  generation, so callers can verify the answer against from-scratch
+  evaluation *at the version it was served from*.
+* **Per-tenant sessions sharing one graph.**  Each (tenant, generation)
+  pair lazily gets its own :class:`~repro.olap.session.OLAPSession` —
+  private result cache, planner and history — over the *shared* published
+  graph; tenants are isolated in state, not in data.  Two queries of one
+  tenant may run concurrently in the same session (the result cache is
+  lock-protected for exactly this).
+* **A single writer.**  :meth:`OLAPService.update` applies triple deltas
+  to the authoritative heap graph under the writer lock and republishes;
+  readers never observe a half-applied batch.
+
+The service is an ``async`` object: construct it, then ``async with`` it
+(or call :meth:`aclose` yourself).  Query execution itself runs on a
+bounded thread pool (`max_concurrency` threads), so the event loop stays
+responsive while the engine works.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import (
+    QueueFullError,
+    ServiceClosedError,
+    ServingError,
+    TenantBusyError,
+)
+from repro.analytics.query import AnalyticalQuery
+from repro.analytics.schema import AnalyticalSchema
+from repro.olap.cache import DEFAULT_CAPACITY
+from repro.olap.cube import Cube
+from repro.olap.session import OLAPSession
+from repro.rdf.graph import Graph
+from repro.serving.generations import GenerationManager, GraphGeneration
+
+__all__ = ["OLAPService", "ServedResult", "PublishResult", "ServiceStats", "TenantState"]
+
+
+@dataclass
+class ServedResult:
+    """One answered query with its provenance.
+
+    ``graph_version`` is the generation version the answer is consistent
+    with; ``generation`` keeps that generation's graph reachable, so a
+    differential check (``scratch evaluation at the served version``) is
+    always possible, even after the service has moved on.
+    """
+
+    tenant: str
+    query: AnalyticalQuery
+    cube: Cube
+    graph_version: int
+    generation: GraphGeneration
+    strategy: str
+    seconds: float
+    waited_seconds: float
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ServedResult({self.tenant!r}, {self.query.name!r}, "
+            f"{len(self.cube)} cells @ v{self.graph_version}, {self.strategy})"
+        )
+
+
+@dataclass
+class PublishResult:
+    """Outcome of one writer update."""
+
+    mutations: int
+    published: bool
+    version: int
+
+
+class ServiceStats:
+    """Served / rejected / published accounting of one service."""
+
+    __slots__ = (
+        "served",
+        "rejected_queue_full",
+        "rejected_tenant_busy",
+        "rejected_closed",
+        "updates",
+        "publishes",
+        "served_by_tenant",
+    )
+
+    def __init__(self) -> None:
+        self.served = 0
+        self.rejected_queue_full = 0
+        self.rejected_tenant_busy = 0
+        self.rejected_closed = 0
+        self.updates = 0
+        self.publishes = 0
+        self.served_by_tenant: Dict[str, int] = {}
+
+    @property
+    def rejected(self) -> int:
+        """Total rejections across all typed causes."""
+        return self.rejected_queue_full + self.rejected_tenant_busy + self.rejected_closed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "served": self.served,
+            "rejected": self.rejected,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_tenant_busy": self.rejected_tenant_busy,
+            "rejected_closed": self.rejected_closed,
+            "updates": self.updates,
+            "publishes": self.publishes,
+            "served_by_tenant": dict(self.served_by_tenant),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ServiceStats(served={self.served}, rejected={self.rejected}, "
+            f"updates={self.updates}, publishes={self.publishes})"
+        )
+
+
+@dataclass
+class TenantState:
+    """Per-tenant bookkeeping: concurrency cap and per-generation sessions."""
+
+    name: str
+    limit: int
+    inflight: int = 0
+    served: int = 0
+    #: Generation version -> that generation's private OLAPSession.
+    sessions: Dict[int, OLAPSession] = field(default_factory=dict)
+
+
+class OLAPService:
+    """Concurrent, multi-tenant, snapshot-isolated OLAP serving layer.
+
+    Parameters
+    ----------
+    instance:
+        The mutable authoritative AnS instance graph (the writer's copy).
+    schema:
+        Optional analytical schema shared by every tenant session.
+    max_concurrency:
+        Queries executing simultaneously (the executor thread count).
+    max_queue_depth:
+        Admitted queries allowed to *wait* for an execution slot beyond
+        the ``max_concurrency`` running ones; the next is rejected with
+        :class:`~repro.errors.QueueFullError`.
+    per_tenant_limit:
+        In-flight queries (waiting + running) allowed per tenant before
+        :class:`~repro.errors.TenantBusyError`.
+    cache_capacity:
+        Result-cache bound of each per-tenant session.
+    engine:
+        Execution engine pin passed to every session (None = auto).
+    publish_mode / spool_dir:
+        Generation publication knobs — see
+        :class:`~repro.serving.generations.GenerationManager`.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.datagen.generic import GenericConfig, generic_dataset, generic_query
+    >>> dataset = generic_dataset(GenericConfig(facts=30, dimensions=2, seed=3))
+    >>> query = generic_query(dataset.config, aggregate="count")
+    >>> async def serve_one():
+    ...     async with OLAPService(dataset.instance, dataset.schema) as service:
+    ...         result = await service.query("tenant-a", query)
+    ...         return len(result.cube) > 0, result.graph_version == service.current_version
+    >>> asyncio.run(serve_one())
+    (True, True)
+    """
+
+    def __init__(
+        self,
+        instance: Graph,
+        schema: Optional[AnalyticalSchema] = None,
+        max_concurrency: int = 4,
+        max_queue_depth: int = 16,
+        per_tenant_limit: int = 2,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        engine: Optional[str] = None,
+        publish_mode: str = "auto",
+        spool_dir: Optional[str] = None,
+    ):
+        if max_concurrency < 1:
+            raise ServingError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if max_queue_depth < 0:
+            raise ServingError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        if per_tenant_limit < 1:
+            raise ServingError(f"per_tenant_limit must be >= 1, got {per_tenant_limit}")
+        self.schema = schema
+        self._max_concurrency = int(max_concurrency)
+        self._max_queue_depth = int(max_queue_depth)
+        self._per_tenant_limit = int(per_tenant_limit)
+        self._cache_capacity = cache_capacity
+        self._engine = engine
+        self._generations = GenerationManager(
+            instance,
+            spool_dir=spool_dir,
+            mode=publish_mode,
+            on_retire=self._close_generation_sessions,
+        )
+        self._tenants: Dict[str, TenantState] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_concurrency, thread_name_prefix="repro-serving"
+        )
+        self._waiting = 0
+        self._inflight = 0
+        self._closed = False
+        self.stats = ServiceStats()
+        # asyncio primitives bind to a running loop; created lazily on the
+        # first awaited call (and re-created if that loop has since closed,
+        # so a service object survives consecutive asyncio.run() calls as
+        # long as it is idle in between).
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._writer_lock: Optional[asyncio.Lock] = None
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def current_version(self) -> int:
+        """The generation version new queries are admitted against."""
+        return self._generations.current.version
+
+    @property
+    def generations(self) -> GenerationManager:
+        return self._generations
+
+    @property
+    def max_concurrency(self) -> int:
+        return self._max_concurrency
+
+    @property
+    def max_queue_depth(self) -> int:
+        return self._max_queue_depth
+
+    @property
+    def per_tenant_limit(self) -> int:
+        return self._per_tenant_limit
+
+    @property
+    def inflight(self) -> int:
+        """Admitted queries not yet completed (waiting + running)."""
+        return self._inflight
+
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def tenant(self, name: str) -> TenantState:
+        """The (existing or fresh) bookkeeping record for ``name``."""
+        state = self._tenants.get(name)
+        if state is None:
+            state = self._tenants[name] = TenantState(name, self._per_tenant_limit)
+        return state
+
+    # -- async plumbing ------------------------------------------------
+
+    def _ensure_loop_state(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is loop:
+            return
+        if self._loop is not None and not self._loop.is_closed() and self._inflight > 0:
+            raise ServingError(
+                "OLAPService is bound to a different running event loop; "
+                "drive one service from one loop"
+            )
+        self._loop = loop
+        self._slots = asyncio.Semaphore(self._max_concurrency)
+        self._writer_lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "OLAPService":
+        self._ensure_loop_state()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- reads ---------------------------------------------------------
+
+    async def query(
+        self,
+        tenant: str,
+        query: AnalyticalQuery,
+        materialize_partial: Optional[bool] = None,
+    ) -> ServedResult:
+        """Admit, execute and answer ``query`` for ``tenant``.
+
+        Raises a typed :class:`~repro.errors.AdmissionError` subclass when
+        the query cannot be admitted; otherwise answers against the
+        generation pinned at admission time, no matter how many updates
+        land while the query waits or runs.
+        """
+        if self._closed:
+            self.stats.rejected_closed += 1
+            raise ServiceClosedError()
+        self._ensure_loop_state()
+        state = self.tenant(tenant)
+        if state.inflight >= state.limit:
+            self.stats.rejected_tenant_busy += 1
+            raise TenantBusyError(tenant, state.inflight, state.limit)
+        # ``_waiting`` counts queries genuinely blocked on an execution slot
+        # (admission never suspends between this check and the semaphore, so
+        # the counter is exact).  Reject only a query that *would* wait into
+        # a full queue — one that would run immediately is always admitted.
+        running = self._inflight - self._waiting
+        if running >= self._max_concurrency and self._waiting >= self._max_queue_depth:
+            self.stats.rejected_queue_full += 1
+            raise QueueFullError(self._waiting, self._max_queue_depth)
+        state.inflight += 1
+        self._inflight += 1
+        self._waiting += 1
+        generation = self._generations.pin_current()
+        admitted = time.perf_counter()
+        try:
+            try:
+                await self._slots.acquire()
+            finally:
+                self._waiting -= 1
+            try:
+                started = time.perf_counter()
+                session = self._session_for(state, generation)
+                cube = await self._loop.run_in_executor(
+                    self._executor, self._execute, session, query, materialize_partial
+                )
+                finished = time.perf_counter()
+            finally:
+                self._slots.release()
+            generation.served += 1
+            state.served += 1
+            self.stats.served += 1
+            self.stats.served_by_tenant[tenant] = (
+                self.stats.served_by_tenant.get(tenant, 0) + 1
+            )
+            return ServedResult(
+                tenant=tenant,
+                query=query,
+                cube=cube,
+                graph_version=generation.version,
+                generation=generation,
+                strategy=session.history[-1].strategy if session.history else "scratch",
+                seconds=finished - started,
+                waited_seconds=started - admitted,
+            )
+        finally:
+            state.inflight -= 1
+            self._inflight -= 1
+            self._generations.unpin(generation)
+
+    @staticmethod
+    def _execute(
+        session: OLAPSession, query: AnalyticalQuery, materialize_partial: Optional[bool]
+    ) -> Cube:
+        return session.execute(query, materialize_partial=materialize_partial)
+
+    def _session_for(self, state: TenantState, generation: GraphGeneration) -> OLAPSession:
+        session = state.sessions.get(generation.version)
+        if session is None:
+            session = OLAPSession(
+                generation.graph,
+                self.schema,
+                cache_capacity=self._cache_capacity,
+                engine=self._engine,
+            )
+            state.sessions[generation.version] = session
+        return session
+
+    # -- writes --------------------------------------------------------
+
+    async def update(
+        self,
+        add: Iterable = (),
+        remove: Iterable = (),
+        mutate: Optional[Callable[[Graph], object]] = None,
+        publish: bool = True,
+    ) -> PublishResult:
+        """Apply a delta to the authoritative graph and republish.
+
+        The single-writer discipline is enforced with an async lock:
+        concurrent callers serialize, and the mutation + publication runs
+        on the executor, so the event loop keeps admitting reads (which
+        stay snapshot-isolated on their pinned generations throughout).
+        ``mutate`` receives the writer graph for arbitrary batches beyond
+        plain ``add``/``remove`` triples; with ``publish=False`` the delta
+        is applied but only becomes visible at the next published update.
+        """
+        if self._closed:
+            self.stats.rejected_closed += 1
+            raise ServiceClosedError("the serving layer is closed to writes")
+        self._ensure_loop_state()
+        add = tuple(add)
+        remove = tuple(remove)
+        async with self._writer_lock:
+            writer = self._generations.writer_graph
+
+            def apply_and_publish() -> PublishResult:
+                before = writer.version
+                for triple in remove:
+                    writer.remove(triple)
+                for triple in add:
+                    writer.add(triple)
+                if mutate is not None:
+                    mutate(writer)
+                mutations = writer.version - before
+                previous = self._generations.current.version
+                if publish:
+                    generation = self._generations.publish()
+                    return PublishResult(
+                        mutations=mutations,
+                        published=generation.version != previous,
+                        version=generation.version,
+                    )
+                return PublishResult(mutations=mutations, published=False, version=previous)
+
+            result = await self._loop.run_in_executor(self._executor, apply_and_publish)
+        self.stats.updates += 1
+        if result.published:
+            self.stats.publishes += 1
+        return result
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _close_generation_sessions(self, generation: GraphGeneration) -> None:
+        """Retire hook: drop every tenant's session for a drained generation."""
+        for state in self._tenants.values():
+            session = state.sessions.pop(generation.version, None)
+            if session is not None:
+                session.close()
+
+    async def aclose(self) -> None:
+        """Stop admitting queries, drain in-flight work, release everything.
+
+        Idempotent.  New queries (and updates) are rejected with
+        :class:`~repro.errors.ServiceClosedError` the moment closing
+        starts; queries already admitted finish normally and are awaited.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while self._inflight > 0:
+            await asyncio.sleep(0.002)
+        for state in self._tenants.values():
+            for session in state.sessions.values():
+                session.close()
+            state.sessions.clear()
+        self._generations.close()
+        self._executor.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"OLAPService(v{self.current_version}, {len(self._tenants)} tenants, "
+            f"{self.stats.served} served, {self.stats.rejected} rejected)"
+        )

@@ -598,3 +598,124 @@ class TestRefreshAccounting:
         session.execute(sites_query)
         assert session.history[-1].strategy == "scratch"
         assert session.cache.stats.refreshes == 0
+
+
+class TestExecuteTimeVersionStamping:
+    """Regression: entries must be stamped with the graph version observed at
+    *evaluation* time, not whatever the version is when ``put`` finally runs.
+
+    Pre-fix, ``put`` stamped ``graph.version`` at insert time, so a mutation
+    interleaved between evaluation and insertion produced an entry stamped
+    *newer* than the data it holds — it would then be served for the mutated
+    graph even though it answers the old one.
+    """
+
+    def test_put_with_older_version_is_born_stale(
+        self, example2_instance, sites_query, materialized
+    ):
+        cache = ResultCache(capacity=4)
+        observed = example2_instance.version
+        # The mutation lands between evaluation and insertion.
+        example2_instance.add(Triple(EX.term("userX"), RDF_TYPE, EX.Blogger))
+        entry = cache.put(
+            sites_query, materialized, example2_instance, version=observed
+        )
+        assert entry.graph_version == observed
+        # Born stale: never served as fresh for the mutated graph...
+        assert cache.get(sites_query, example2_instance) is None
+        # ...but retained for delta refresh like any other stale entry.
+        assert cache.stale_entry(sites_query, example2_instance) is not None
+
+    def test_put_default_still_stamps_insert_time(
+        self, example2_instance, sites_query, materialized
+    ):
+        cache = ResultCache(capacity=4)
+        entry = cache.put(sites_query, materialized, example2_instance)
+        assert entry.graph_version == example2_instance.version
+        assert cache.get(sites_query, example2_instance) is not None
+
+    def test_born_stale_entry_never_persisted(
+        self, tmp_path, example2_instance, sites_query, materialized
+    ):
+        store = str(tmp_path / "cache")
+        cache = ResultCache(capacity=4, store_dir=store)
+        observed = example2_instance.version
+        example2_instance.add(Triple(EX.term("userX"), RDF_TYPE, EX.Blogger))
+        cache.put(sites_query, materialized, example2_instance, version=observed)
+        # A fresh cache over the same store must not warm-start from it.
+        rewarmed = ResultCache(capacity=4, store_dir=store)
+        assert rewarmed.get(sites_query, example2_instance) is None
+
+    def test_session_stamps_before_evaluation(self, example2_instance, sites_query):
+        """A mutation racing ``execute`` makes the entry stale, never wrong."""
+        session = OLAPSession(example2_instance)
+        original_evaluate = session.evaluator.evaluate
+
+        def mutating_evaluate(query, **kwargs):
+            result = original_evaluate(query, **kwargs)
+            # Simulate a writer thread landing a triple mid-evaluation,
+            # after the answer is computed but before the cache insert.
+            example2_instance.add(
+                Triple(EX.term("userRace"), RDF_TYPE, EX.Blogger)
+            )
+            return result
+
+        session.evaluator.evaluate = mutating_evaluate
+        session.execute(sites_query)
+        session.evaluator.evaluate = original_evaluate
+        # The entry was stamped with the pre-mutation version, so it is
+        # already stale for the mutated graph — a lookup misses instead of
+        # serving the pre-mutation cube as current.
+        assert session.cache.get(sites_query, example2_instance) is None
+        cube = session.execute(sites_query)
+        scratch = Cube(
+            AnalyticalQueryEvaluator(example2_instance).answer(sites_query),
+            sites_query,
+        )
+        assert cube.same_cells(scratch)
+
+
+class TestCacheThreadSafety:
+    """Hammer the cache from many threads; the counters must stay coherent."""
+
+    def test_concurrent_get_put_pin(self, example2_instance, sites_query):
+        import threading
+
+        evaluator = AnalyticalQueryEvaluator(example2_instance)
+        variants = [_variant(sites_query, index) for index in range(8)]
+        results = [evaluator.evaluate(variant) for variant in variants]
+        cache = ResultCache(capacity=4)
+        threads = 8
+        rounds = 60
+        barrier = threading.Barrier(threads)
+        errors = []
+        gets_per_thread = rounds * len(variants)
+
+        def hammer(seed):
+            try:
+                barrier.wait()
+                for round_index in range(rounds):
+                    for index, variant in enumerate(variants):
+                        if (round_index + seed + index) % 3 == 0:
+                            cache.put(variant, results[index], example2_instance)
+                        cache.get(variant, example2_instance)
+                        if (round_index + seed + index) % 5 == 0:
+                            cache.pin(variant)
+                            cache.unpin(variant)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert errors == []
+        # Every get is accounted for exactly once: a hit or a miss.
+        assert cache.stats.hits + cache.stats.misses == threads * gets_per_thread
+        # All pins were released; LRU bookkeeping survived the hammering.
+        assert cache.pinned_keys() == ()
+        assert len(cache) <= 4

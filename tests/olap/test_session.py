@@ -142,3 +142,50 @@ class TestCompareStrategies:
         for operation in operations:
             comparison = session.compare_strategies(query, operation)
             assert comparison["equal"], f"{operation.describe()} rewriting disagrees with scratch"
+
+
+class TestLifecycle:
+    """`close()` is idempotent and `__exit__` releases every pool, always."""
+
+    def test_close_is_idempotent(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance, workers=2, parallel_backend="thread")
+        session.execute(sites_query)
+        session.close()
+        assert session.closed
+        session.close()  # second close must be a harmless no-op
+        assert session.closed
+
+    def test_exit_after_exception_leaves_no_live_pool(
+        self, example2_instance, sites_query
+    ):
+        session = OLAPSession(example2_instance, workers=2, parallel_backend="thread")
+        with pytest.raises(RuntimeError):
+            with session:
+                session.execute(sites_query)
+                raise RuntimeError("body failed")
+        assert session.closed
+        assert session._parallel.closed
+        assert session._parallel._thread_pool is None
+        assert session._parallel._process_pool is None
+
+    def test_closed_executor_refuses_dispatch(self, example2_instance, sites_query):
+        from repro.errors import OLAPError
+
+        session = OLAPSession(example2_instance, workers=2, parallel_backend="thread")
+        session.close()
+        with pytest.raises(OLAPError):
+            session._parallel.evaluate(sites_query)
+
+    def test_closed_session_still_executes_serially(
+        self, example2_instance, sites_query
+    ):
+        session = OLAPSession(example2_instance, workers=2, parallel_backend="thread")
+        session.close()
+        cube = session.execute(sites_query)
+        assert len(cube) > 0
+
+    def test_serial_session_close_is_noop(self, example2_instance, sites_query):
+        with OLAPSession(example2_instance) as session:
+            session.execute(sites_query)
+        assert session.closed
+        session.close()

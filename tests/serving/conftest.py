@@ -1,0 +1,65 @@
+"""Shared fixtures for the serving-layer tests.
+
+The suite runs over the generic star-shaped dataset, in both publication
+modes: ``heap`` always, ``snapshot`` when numpy is available.
+"""
+
+import pytest
+
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.datagen.generic import GenericConfig, generic_dataset
+from repro.olap.cube import Cube
+from repro.rdf import Literal, RDF, Triple
+from repro.rdf.namespaces import EX
+
+RDF_TYPE = RDF.term("type")
+
+
+def _has_numpy() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.fixture(
+    params=[
+        "heap",
+        pytest.param(
+            "snapshot",
+            marks=pytest.mark.skipif(
+                not _has_numpy(), reason="snapshot publication requires numpy"
+            ),
+        ),
+    ]
+)
+def publish_mode(request):
+    return request.param
+
+
+@pytest.fixture()
+def dataset():
+    return generic_dataset(GenericConfig(facts=60, dimensions=2, seed=11))
+
+
+@pytest.fixture()
+def query(dataset):
+    return dataset.query
+
+
+def scratch_cube(graph, query) -> Cube:
+    """From-scratch oracle: evaluate ``query`` over ``graph`` right now."""
+    return Cube(AnalyticalQueryEvaluator(graph).answer(query), query)
+
+
+def fact_batch(tag: str, count: int = 3):
+    """Triples for ``count`` fresh facts that land in the canonical cube."""
+    triples = []
+    for index in range(count):
+        fact = EX.term(f"fact/extra-{tag}-{index}")
+        triples.append(Triple(fact, RDF_TYPE, EX.term("Fact")))
+        triples.append(Triple(fact, EX.term("dim0"), EX.term("dimvalue/0/0")))
+        triples.append(Triple(fact, EX.term("dim1"), EX.term("dimvalue/1/1")))
+        triples.append(Triple(fact, EX.term("measure"), Literal(7 + index)))
+    return triples

@@ -1,0 +1,185 @@
+"""MVCC generation lifecycle: publish, pin, drain, retire."""
+
+import os
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.generations import GenerationManager, resolve_publish_mode
+
+from tests.serving.conftest import fact_batch, scratch_cube
+
+
+class TestResolvePublishMode:
+    def test_explicit_modes_pass_through(self):
+        assert resolve_publish_mode("heap") == "heap"
+        assert resolve_publish_mode("snapshot") == "snapshot"
+
+    def test_auto_picks_an_available_mode(self):
+        assert resolve_publish_mode("auto") in ("snapshot", "heap")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServingError, match="unknown publish mode"):
+            resolve_publish_mode("carrier-pigeon")
+
+
+class TestPublication:
+    def test_initial_generation_matches_writer(self, dataset, publish_mode):
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        try:
+            current = manager.current
+            assert current.version == dataset.instance.version
+            assert len(current.graph) == len(dataset.instance)
+        finally:
+            manager.close()
+
+    def test_publish_without_changes_is_noop(self, dataset, publish_mode):
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        try:
+            before = manager.current
+            assert manager.publish() is before
+            assert manager.published_count == 1
+        finally:
+            manager.close()
+
+    def test_published_generation_is_isolated_from_writer(
+        self, dataset, query, publish_mode
+    ):
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        try:
+            generation = manager.pin_current()
+            frozen = scratch_cube(generation.graph, query)
+            for triple in fact_batch("iso"):
+                dataset.instance.add(triple)
+            # The pinned generation still answers the pre-mutation state.
+            assert scratch_cube(generation.graph, query).same_cells(frozen)
+            assert not scratch_cube(dataset.instance, query).same_cells(frozen)
+            manager.unpin(generation)
+        finally:
+            manager.close()
+
+    def test_generation_version_tracks_writer_version(
+        self, dataset, publish_mode
+    ):
+        """Both modes must expose one consistent version axis: the published
+        graph reports the writer's version at publish time (the heap copy is
+        re-stamped — ``Graph.copy`` alone would restart the counter)."""
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        try:
+            for triple in fact_batch("stamp"):
+                dataset.instance.add(triple)
+            generation = manager.publish()
+            assert generation.version == dataset.instance.version
+            assert generation.graph.version == dataset.instance.version
+        finally:
+            manager.close()
+
+
+class TestPinRetire:
+    def test_pinned_generation_survives_publications(self, dataset, publish_mode):
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        try:
+            pinned = manager.pin_current()
+            for round_index in range(3):
+                for triple in fact_batch(f"r{round_index}", count=1):
+                    dataset.instance.add(triple)
+                manager.publish()
+            assert not pinned.retired
+            assert manager.current is not pinned
+            manager.unpin(pinned)
+            assert pinned.retired
+        finally:
+            manager.close()
+
+    def test_superseded_unpinned_generation_retires_immediately(
+        self, dataset, publish_mode
+    ):
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        try:
+            first = manager.current
+            for triple in fact_batch("now", count=1):
+                dataset.instance.add(triple)
+            manager.publish()
+            assert first.retired
+            assert manager.retired_count == 1
+            assert manager.live_generations() == [manager.current]
+        finally:
+            manager.close()
+
+    def test_current_generation_never_retires_on_unpin(self, dataset, publish_mode):
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        try:
+            generation = manager.pin_current()
+            manager.unpin(generation)
+            assert not generation.retired
+            assert manager.current is generation
+        finally:
+            manager.close()
+
+    def test_retire_callback_fires_once_per_generation(self, dataset, publish_mode):
+        retired = []
+        manager = GenerationManager(
+            dataset.instance, mode=publish_mode, on_retire=retired.append
+        )
+        try:
+            first = manager.current
+            for triple in fact_batch("cb", count=1):
+                dataset.instance.add(triple)
+            manager.publish()
+            assert retired == [first]
+        finally:
+            manager.close()
+        assert len(retired) == 2  # close() retired the final generation too
+
+    def test_pin_after_close_raises(self, dataset, publish_mode):
+        manager = GenerationManager(dataset.instance, mode=publish_mode)
+        manager.close()
+        with pytest.raises(ServingError, match="closed"):
+            manager.pin_current()
+        manager.close()  # idempotent
+
+
+class TestSnapshotSpool:
+    """Snapshot-specific behaviour: spool files appear and are reclaimed."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy")
+
+    def test_spool_file_unlinked_on_retire(self, tmp_path, dataset, query):
+        manager = GenerationManager(
+            dataset.instance, spool_dir=str(tmp_path), mode="snapshot"
+        )
+        try:
+            first = manager.pin_current()
+            assert first.path is not None and os.path.exists(first.path)
+            for triple in fact_batch("spool", count=1):
+                dataset.instance.add(triple)
+            manager.publish()
+            assert os.path.exists(first.path)  # still pinned
+            # A pinned reader can keep answering even after retirement
+            # unlinks the file: the mmap stays valid.
+            frozen = scratch_cube(first.graph, query)
+            manager.unpin(first)
+            assert not os.path.exists(first.path)
+            assert scratch_cube(first.graph, query).same_cells(frozen)
+        finally:
+            manager.close()
+
+    def test_owned_spool_directory_removed_on_close(self, dataset):
+        manager = GenerationManager(dataset.instance, mode="snapshot")
+        spool = manager._spool_dir
+        assert spool is not None and os.path.isdir(spool)
+        manager.close()
+        assert not os.path.exists(spool)
+
+    def test_mutating_a_published_snapshot_raises(self, dataset):
+        from repro.errors import ReadOnlyGraphError
+
+        manager = GenerationManager(dataset.instance, mode="snapshot")
+        try:
+            generation = manager.current
+            with pytest.raises(ReadOnlyGraphError):
+                generation.graph.add(next(iter(dataset.instance)))
+        finally:
+            manager.close()

@@ -1,0 +1,322 @@
+"""OLAPService: admission control, per-tenant sessions, writer updates."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    ServiceClosedError,
+    ServingError,
+    TenantBusyError,
+)
+from repro.serving import OLAPService
+
+from tests.serving.conftest import fact_batch, scratch_cube
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestBasics:
+    def test_query_matches_scratch(self, dataset, query, publish_mode):
+        async def main():
+            async with OLAPService(
+                dataset.instance, dataset.schema, publish_mode=publish_mode
+            ) as service:
+                result = await service.query("alice", query)
+                assert result.tenant == "alice"
+                assert result.graph_version == service.current_version
+                assert result.cube.same_cells(
+                    scratch_cube(result.generation.graph, query)
+                )
+                assert service.stats.served == 1
+                assert service.stats.served_by_tenant == {"alice": 1}
+
+        run(main())
+
+    def test_tenants_get_private_sessions_over_shared_graph(
+        self, dataset, query, publish_mode
+    ):
+        async def main():
+            async with OLAPService(
+                dataset.instance, dataset.schema, publish_mode=publish_mode
+            ) as service:
+                first = await service.query("alice", query)
+                second = await service.query("alice", query)
+                other = await service.query("bob", query)
+                # Same tenant, same generation: the second answer is a cache
+                # hit in that tenant's private session.
+                assert second.strategy in ("cache", "cache[disk]")
+                # Another tenant shares the graph but not the cache.
+                assert other.strategy == "scratch"
+                assert first.cube.same_cells(other.cube)
+                alice = service.tenant("alice")
+                bob = service.tenant("bob")
+                assert alice.sessions != bob.sessions
+                assert service.tenants() == ["alice", "bob"]
+
+        run(main())
+
+    def test_constructor_validation(self, dataset):
+        with pytest.raises(ServingError):
+            OLAPService(dataset.instance, max_concurrency=0)
+        with pytest.raises(ServingError):
+            OLAPService(dataset.instance, max_queue_depth=-1)
+        with pytest.raises(ServingError):
+            OLAPService(dataset.instance, per_tenant_limit=0)
+
+
+class TestAdmission:
+    """Typed rejections: nothing queues unboundedly, every refusal counted."""
+
+    @staticmethod
+    def _blocking_execute(gate: threading.Event, started: "asyncio.Queue"):
+        def execute(session, query, materialize_partial):
+            started.put_nowait(None)
+            gate.wait(timeout=10)
+            return session.execute(query, materialize_partial=materialize_partial)
+
+        return execute
+
+    def test_tenant_cap_rejects_with_tenant_busy(self, dataset, query):
+        async def main():
+            gate = threading.Event()
+            async with OLAPService(
+                dataset.instance,
+                dataset.schema,
+                max_concurrency=4,
+                per_tenant_limit=2,
+                publish_mode="heap",
+            ) as service:
+                started = asyncio.Queue()
+                service._execute = self._blocking_execute(gate, started)
+                inflight = [
+                    asyncio.ensure_future(service.query("alice", query))
+                    for _ in range(2)
+                ]
+                await started.get()
+                await started.get()
+                with pytest.raises(TenantBusyError) as info:
+                    await service.query("alice", query)
+                assert info.value.tenant == "alice"
+                assert info.value.limit == 2
+                # Another tenant is not affected by alice's cap.
+                bob_future = asyncio.ensure_future(service.query("bob", query))
+                await started.get()
+                gate.set()
+                results = await asyncio.gather(*inflight, bob_future)
+                assert all(r.cube is not None for r in results)
+                assert service.stats.rejected_tenant_busy == 1
+                assert service.stats.served == 3
+
+        run(main())
+
+    def test_queue_depth_rejects_with_queue_full(self, dataset, query):
+        async def main():
+            gate = threading.Event()
+            async with OLAPService(
+                dataset.instance,
+                dataset.schema,
+                max_concurrency=1,
+                max_queue_depth=1,
+                per_tenant_limit=16,
+                publish_mode="heap",
+            ) as service:
+                started = asyncio.Queue()
+                service._execute = self._blocking_execute(gate, started)
+                # One running (holds the slot), one waiting (fills the queue).
+                running = asyncio.ensure_future(service.query("alice", query))
+                await started.get()
+                waiting = asyncio.ensure_future(service.query("alice", query))
+                await asyncio.sleep(0.02)  # let it block on the semaphore
+                with pytest.raises(QueueFullError) as info:
+                    await service.query("alice", query)
+                assert info.value.bound == 1  # the configured queue depth
+                gate.set()
+                await asyncio.gather(running, waiting)
+                assert service.stats.rejected_queue_full == 1
+                assert service.stats.served == 2
+
+        run(main())
+
+    def test_rejected_queries_do_not_leak_pins_or_counters(self, dataset, query):
+        async def main():
+            gate = threading.Event()
+            async with OLAPService(
+                dataset.instance,
+                dataset.schema,
+                max_concurrency=1,
+                max_queue_depth=0,
+                per_tenant_limit=1,
+                publish_mode="heap",
+            ) as service:
+                started = asyncio.Queue()
+                service._execute = self._blocking_execute(gate, started)
+                running = asyncio.ensure_future(service.query("alice", query))
+                await started.get()
+                with pytest.raises(TenantBusyError):
+                    await service.query("alice", query)
+                with pytest.raises(QueueFullError):
+                    await service.query("bob", query)
+                gate.set()
+                await running
+                assert service.inflight == 0
+                assert service.tenant("alice").inflight == 0
+                assert service.tenant("bob").inflight == 0
+                # Only the running query's pin remains accounted: one manager
+                # currency pin on the current generation, nothing leaked.
+                assert service.generations.current.pins == 1
+
+        run(main())
+
+
+class TestUpdates:
+    def test_update_publishes_new_generation(self, dataset, query, publish_mode):
+        async def main():
+            async with OLAPService(
+                dataset.instance, dataset.schema, publish_mode=publish_mode
+            ) as service:
+                before = await service.query("alice", query)
+                result = await service.update(add=fact_batch("upd"))
+                assert result.published
+                assert result.mutations == len(fact_batch("upd"))
+                assert service.current_version == result.version
+                after = await service.query("alice", query)
+                assert after.graph_version > before.graph_version
+                assert not after.cube.same_cells(before.cube)
+                assert after.cube.same_cells(
+                    scratch_cube(after.generation.graph, query)
+                )
+                assert service.stats.publishes == 1
+
+        run(main())
+
+    def test_unpublished_update_stays_invisible(self, dataset, query, publish_mode):
+        async def main():
+            async with OLAPService(
+                dataset.instance, dataset.schema, publish_mode=publish_mode
+            ) as service:
+                before = await service.query("alice", query)
+                result = await service.update(
+                    add=fact_batch("hidden"), publish=False
+                )
+                assert not result.published
+                mid = await service.query("alice", query)
+                assert mid.graph_version == before.graph_version
+                # The next published update carries the deferred delta too.
+                await service.update(add=fact_batch("visible"))
+                after = await service.query("alice", query)
+                assert after.graph_version == service.current_version
+                assert after.cube.same_cells(
+                    scratch_cube(after.generation.graph, query)
+                )
+
+        run(main())
+
+    def test_remove_and_mutate_batches(self, dataset, query, publish_mode):
+        async def main():
+            async with OLAPService(
+                dataset.instance, dataset.schema, publish_mode=publish_mode
+            ) as service:
+                added = fact_batch("gone")
+                await service.update(add=added)
+                removal = await service.update(remove=added)
+                assert removal.mutations == len(added)
+
+                def add_more(graph):
+                    for triple in fact_batch("cb"):
+                        graph.add(triple)
+
+                mutated = await service.update(mutate=add_more)
+                assert mutated.mutations == len(fact_batch("cb"))
+                result = await service.query("alice", query)
+                assert result.cube.same_cells(
+                    scratch_cube(result.generation.graph, query)
+                )
+
+        run(main())
+
+    def test_noop_update_does_not_publish(self, dataset, publish_mode):
+        async def main():
+            async with OLAPService(
+                dataset.instance, dataset.schema, publish_mode=publish_mode
+            ) as service:
+                duplicate = next(iter(dataset.instance))
+                result = await service.update(add=[duplicate])
+                assert result.mutations == 0
+                assert not result.published
+                assert service.stats.publishes == 0
+
+        run(main())
+
+
+class TestLifecycle:
+    def test_closed_service_rejects_reads_and_writes(self, dataset, query):
+        async def main():
+            service = OLAPService(dataset.instance, dataset.schema, publish_mode="heap")
+            async with service:
+                await service.query("alice", query)
+            with pytest.raises(ServiceClosedError):
+                await service.query("alice", query)
+            with pytest.raises(ServiceClosedError):
+                await service.update(add=fact_batch("late"))
+            assert service.stats.rejected_closed == 2
+            await service.aclose()  # idempotent
+
+        run(main())
+
+    def test_close_drains_inflight_queries(self, dataset, query):
+        async def main():
+            gate = threading.Event()
+            service = OLAPService(dataset.instance, dataset.schema, publish_mode="heap")
+            async with service:
+                started = asyncio.Queue()
+                real_execute = service._execute
+
+                def slow_execute(session, q, mp):
+                    started.put_nowait(None)
+                    gate.wait(timeout=10)
+                    return real_execute(session, q, mp)
+
+                service._execute = slow_execute
+                inflight = asyncio.ensure_future(service.query("alice", query))
+                await started.get()
+                closer = asyncio.ensure_future(service.aclose())
+                await asyncio.sleep(0.02)
+                assert service.closed  # admissions stop immediately...
+                assert not closer.done()  # ...but close waits for the reader
+                gate.set()
+                result = await inflight  # the admitted query still answers
+                await closer
+                assert result.cube.same_cells(
+                    scratch_cube(result.generation.graph, query)
+                )
+
+        run(main())
+
+    def test_close_releases_generations_and_sessions(self, dataset, query):
+        async def main():
+            service = OLAPService(dataset.instance, dataset.schema, publish_mode="heap")
+            async with service:
+                await service.query("alice", query)
+                await service.update(add=fact_batch("final"))
+                await service.query("bob", query)
+            assert service.generations.live_generations() == []
+            for state in service._tenants.values():
+                assert state.sessions == {}
+
+        run(main())
+
+    def test_service_survives_consecutive_event_loops(self, dataset, query):
+        service = OLAPService(dataset.instance, dataset.schema, publish_mode="heap")
+
+        async def one_query(tenant):
+            return await service.query(tenant, query)
+
+        first = asyncio.run(one_query("alice"))
+        second = asyncio.run(one_query("alice"))
+        assert first.cube.same_cells(second.cube)
+        asyncio.run(service.aclose())

@@ -89,3 +89,12 @@ class TestDemoCommand:
         assert "cost model: fitted" in output
         assert "advised (warm + fitted)" in output
         assert "speedup" in output
+
+    def test_demo_serve_runs_and_verifies(self, capsys):
+        exit_code = main(["demo", "--serve"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "serving demo" in output
+        assert "publish mode" in output
+        assert "read latency p50" in output
+        assert "verified 32/32" in output

@@ -1,0 +1,100 @@
+"""INGEST — streaming ingestion with continuous refresh scheduling.
+
+Drives an :class:`~repro.olap.session.OLAPSession` over a live graph fed
+through a :class:`~repro.ingest.stream.StreamIngestor` at the scale
+selected by ``REPRO_BENCH_SCALE``: a mixed 90/10 read/write stream where
+writes are coalesced into micro-batches and, after every published batch,
+the :class:`~repro.ingest.scheduler.RefreshScheduler` decides per cached
+cube between eager refresh, lazy refresh-on-read and invalidation.  One
+run per policy (eager / lazy / auto) reports sustained applied
+mutations/sec on the write path and p50/p95/p99 read latency.
+
+Trust anchor: inside the harness, outside the timed sections, every served
+cube is checked cell-for-cell against from-scratch evaluation at the graph
+version it was served from — an ingestor that tears batches or a scheduler
+that patches wrongly fails the run instead of posting good numbers.
+
+Each policy emits one ``BENCH_ingest_<policy>_<scale>.json`` record.
+"""
+
+import pytest
+
+from repro.bench.workloads import INGEST_POLICIES, ingest_load_run
+
+OPERATIONS = 200
+WRITE_RATIO = 0.1
+
+
+@pytest.fixture(scope="module")
+def ingest_runs(generic_bench_dataset):
+    """One mixed-stream run per refresh policy over the same dataset."""
+    runs = {}
+    for policy in INGEST_POLICIES:
+        runs[policy] = ingest_load_run(
+            generic_bench_dataset.instance,
+            generic_bench_dataset.schema,
+            generic_bench_dataset.query,
+            policy=policy,
+            operations=OPERATIONS,
+            write_ratio=WRITE_RATIO,
+            batch_size=8,
+            seed=7,
+            dimensions=generic_bench_dataset.config.dimensions,
+        )
+    return runs
+
+
+@pytest.mark.parametrize("policy", INGEST_POLICIES)
+def test_ingest_mixed_stream(policy, ingest_runs, bench_record_writer):
+    run = ingest_runs[policy]
+    # The in-harness differential check: every read (plus the final one
+    # after the drain) verified against scratch at its graph version.
+    assert run["verified"] == run["reads"] + 1
+    assert run["reads"] + run["writes"] == run["operations"]
+    assert run["batches"] > 0
+    assert run["applied"] <= run["submitted"]
+    # The policy actually ran: eager patches eagerly, lazy defers to the
+    # read path (each lazy mark is consumed by a later read or the drain).
+    if policy == "eager":
+        assert run["eager_refreshes"] > 0 and run["lazy_marks"] == 0
+    if policy == "lazy":
+        assert run["lazy_marks"] > 0 and run["eager_refreshes"] == 0
+        assert run["lazy_refreshes"] > 0
+    bench_record_writer(
+        f"ingest_{policy}",
+        {
+            "updates_per_s": run["updates_per_s"],
+            "read_p50_s": run["read_p50_ms"] / 1000.0,
+            "read_p95_s": run["read_p95_ms"] / 1000.0,
+            "read_p99_s": run["read_p99_ms"] / 1000.0,
+            "write_s": run["write_seconds"],
+            "wall_s": run["wall_seconds"],
+        },
+        {
+            "policy": policy,
+            "operations": run["operations"],
+            "write_ratio": WRITE_RATIO,
+            "reads": run["reads"],
+            "writes": run["writes"],
+            "batches": run["batches"],
+            "submitted": run["submitted"],
+            "applied": run["applied"],
+            "coalesced": run["coalesced"],
+            "eager_refreshes": run["eager_refreshes"],
+            "lazy_marks": run["lazy_marks"],
+            "invalidations": run["invalidations"],
+            "cache_refreshes": run["cache_refreshes"],
+            "lazy_refreshes": run["lazy_refreshes"],
+            "verified": run["verified"],
+        },
+    )
+
+
+def test_ingest_policies_serve_identical_data(ingest_runs):
+    """Policies trade *when* refresh work happens, never *what* is served:
+    every run verified all of its reads, whatever the decision mix."""
+    for policy, run in ingest_runs.items():
+        assert run["verified"] == run["reads"] + 1, policy
+    mixes = {p: (r["eager_refreshes"], r["lazy_marks"]) for p, r in ingest_runs.items()}
+    assert mixes["eager"][1] == 0
+    assert mixes["lazy"][0] == 0

@@ -47,8 +47,11 @@ __all__ = [
     "experiment_incremental_refresh",
     "experiment_parallel_scaling",
     "experiment_serving",
+    "experiment_ingest",
     "serving_load_run",
     "serving_fact_batch",
+    "ingest_load_run",
+    "ingest_mutation_stream",
     "blogger_session_replay",
     "video_session_replay",
     "blogger_update_batch",
@@ -1374,6 +1377,214 @@ def experiment_serving(
     return table
 
 
+# ---------------------------------------------------------------------------
+# INGEST: streaming ingestion under a mixed read/write stream
+# ---------------------------------------------------------------------------
+
+
+def ingest_mutation_stream(
+    operations: int,
+    write_ratio: float = 0.1,
+    seed: int = 0,
+    dimensions: int = 2,
+    remove_fraction: float = 0.25,
+) -> list:
+    """A mixed read/write operation stream for the ingestion benchmark.
+
+    Returns ``operations`` entries, each ``("read", None)``,
+    ``("add", [triples])`` (one fresh generic fact) or
+    ``("remove", [triples])`` (full retraction of a fact added earlier in
+    the stream — so coalescing and the delete path are both exercised).
+    The stream is deterministic in ``seed``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    stream: list = []
+    added_facts: List[list] = []
+    for index in range(operations):
+        if rng.random() >= write_ratio:
+            stream.append(("read", None))
+            continue
+        if added_facts and rng.random() < remove_fraction:
+            victim = added_facts.pop(rng.randrange(len(added_facts)))
+            stream.append(("remove", victim))
+        else:
+            fact = serving_fact_batch(f"stream-{seed}-{index}", count=1, dimensions=dimensions)
+            added_facts.append(fact)
+            stream.append(("add", fact))
+    return stream
+
+
+def ingest_load_run(
+    instance,
+    schema,
+    query: AnalyticalQuery,
+    policy: Optional[str] = "auto",
+    operations: int = 200,
+    write_ratio: float = 0.1,
+    batch_size: int = 8,
+    seed: int = 0,
+    verify: bool = True,
+    dimensions: int = 2,
+) -> Dict[str, object]:
+    """Drive a session over a live graph fed by a :class:`StreamIngestor`.
+
+    One loop interleaves reads (``session.execute``, timed individually)
+    with writes (mutations submitted to the ingestor, which cuts
+    micro-batches at its size threshold and runs the refresh scheduler
+    after each one).  With ``verify=True`` every served cube is checked
+    cell-for-cell against from-scratch evaluation at the graph version it
+    was served from — the oracle runs outside the timed sections and is
+    memoized per version, so a read burst between two batches verifies
+    once.
+
+    Returns read latency percentiles, sustained applied-mutations/sec over
+    the write path, coalescing and scheduler counters.
+    """
+    from repro.ingest import RefreshScheduler, StreamIngestor
+
+    live = instance.copy()
+    session = OLAPSession(live, schema)
+    scheduler = None if policy is None else RefreshScheduler([session], policy=policy)
+    ingestor = StreamIngestor(
+        live, batch_size=batch_size, max_batch_age=1000.0, scheduler=scheduler
+    )
+    stream = ingest_mutation_stream(
+        operations, write_ratio=write_ratio, seed=seed, dimensions=dimensions
+    )
+    session.execute(query)  # warm the cache so the scheduler has a target
+
+    read_latencies: List[float] = []
+    write_seconds = 0.0
+    verified = 0
+    oracles: Dict[int, Cube] = {}
+
+    def check(cube, version: int) -> None:
+        nonlocal verified
+        if not verify:
+            return
+        oracle = oracles.get(version)
+        if oracle is None:
+            oracle = Cube(AnalyticalQueryEvaluator(live).answer(query), query)
+            oracles[version] = oracle
+        if not cube.same_cells(oracle):
+            raise AssertionError(
+                f"served cube diverged from scratch evaluation at v{version} "
+                f"(policy {policy!r}, batch_size {batch_size})"
+            )
+        verified += 1
+
+    wall_started = time.perf_counter()
+    for kind, triples in stream:
+        if kind == "read":
+            started = time.perf_counter()
+            cube = session.execute(query)
+            read_latencies.append(time.perf_counter() - started)
+            check(cube, live.version)
+        else:
+            started = time.perf_counter()
+            if kind == "add":
+                ingestor.ingest(add=triples)
+            else:
+                ingestor.ingest(remove=triples)
+            ingestor.pump()
+            write_seconds += time.perf_counter() - started
+    started = time.perf_counter()
+    ingestor.drain()
+    write_seconds += time.perf_counter() - started
+    wall_seconds = time.perf_counter() - wall_started
+
+    cube = session.execute(query)
+    check(cube, live.version)
+    session.close()
+
+    applied = ingestor.stats.applied_adds + ingestor.stats.applied_removes
+    scheduler_stats = scheduler.stats.as_dict() if scheduler is not None else {}
+    return {
+        "policy": policy or "none",
+        "operations": len(stream),
+        "reads": len(read_latencies),
+        "writes": sum(1 for kind, _ in stream if kind != "read"),
+        "batches": ingestor.stats.batches,
+        "submitted": ingestor.stats.submitted,
+        "applied": applied,
+        "coalesced": ingestor.stats.coalesced,
+        "verified": verified,
+        "wall_seconds": wall_seconds,
+        "write_seconds": write_seconds,
+        "updates_per_s": applied / write_seconds if write_seconds > 0 else float("inf"),
+        "read_p50_ms": _percentile(read_latencies, 0.50) * 1000.0,
+        "read_p95_ms": _percentile(read_latencies, 0.95) * 1000.0,
+        "read_p99_ms": _percentile(read_latencies, 0.99) * 1000.0,
+        "eager_refreshes": int(scheduler_stats.get("eager_refreshes", 0)),
+        "lazy_marks": int(scheduler_stats.get("lazy_marks", 0)),
+        "invalidations": int(scheduler_stats.get("invalidations", 0)),
+        "cache_refreshes": session.cache.stats.refreshes,
+        "lazy_refreshes": session.cache.stats.lazy_refreshes,
+    }
+
+
+#: The canonical ingestion run table: refresh policies under a 90/10 mix.
+INGEST_POLICIES: Tuple[str, ...] = ("eager", "lazy", "auto")
+
+
+def experiment_ingest(scale: str = "small", operations: Optional[int] = None) -> ResultTable:
+    """INGEST — streaming ingestion under a mixed 90/10 read/write stream.
+
+    For each refresh-scheduler policy, drives a session over a live graph
+    fed through the ingestor and reports sustained applied-mutations/sec,
+    read latency percentiles and the scheduler's decision mix.  Every
+    served cube is verified against scratch evaluation at its version
+    inside the harness.
+    """
+    parameters = _scale(scale)
+    count = operations or max(120, int(parameters["repeats"]) * 60)
+    dataset = generic_dataset(GenericConfig(facts=int(parameters["facts"]), dimensions=2))
+    table = ResultTable(
+        [
+            "policy",
+            "reads",
+            "batches",
+            "coalesced",
+            "updates/s",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "eager",
+            "lazy",
+            "invalidated",
+            "verified",
+        ],
+        title="INGEST — streaming ingestion with continuous refresh (90/10 mix)",
+    )
+    for policy in INGEST_POLICIES:
+        run = ingest_load_run(
+            dataset.instance,
+            dataset.schema,
+            dataset.query,
+            policy=policy,
+            operations=count,
+            write_ratio=0.1,
+            seed=7,
+        )
+        table.add_row(
+            policy,
+            run["reads"],
+            run["batches"],
+            run["coalesced"],
+            round(run["updates_per_s"], 1),
+            round(run["read_p50_ms"], 3),
+            round(run["read_p95_ms"], 3),
+            round(run["read_p99_ms"], 3),
+            run["eager_refreshes"],
+            run["lazy_marks"],
+            run["invalidations"],
+            run["verified"] == run["reads"] + 1,
+        )
+    return table
+
+
 def run_all_experiments(scale: str = "small") -> List[ResultTable]:
     """Run every experiment at the given scale and return their tables."""
     tables = [
@@ -1393,5 +1604,6 @@ def run_all_experiments(scale: str = "small") -> List[ResultTable]:
         experiment_incremental_refresh(scale),
         experiment_parallel_scaling(scale),
         experiment_serving(scale),
+        experiment_ingest(scale),
     ]
     return tables

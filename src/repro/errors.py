@@ -237,3 +237,37 @@ class ServiceClosedError(AdmissionError):
 
     def __init__(self, message: str = "the serving layer is closed"):
         super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Streaming ingestion
+# ---------------------------------------------------------------------------
+
+
+class IngestError(ReproError):
+    """Base class for errors of the streaming-ingestion layer."""
+
+
+class IngestBackpressureError(IngestError):
+    """The ingest buffer is at capacity and the caller chose not to block.
+
+    Raised by the synchronous submit paths (and by the asynchronous ones
+    under ``backpressure="error"``) when accepting the mutation would grow
+    the pending buffer past its bound.  Carries the observed depth and the
+    bound so callers can implement typed back-off.
+    """
+
+    def __init__(self, pending: int, capacity: int):
+        self.pending = pending
+        self.capacity = capacity
+        super().__init__(
+            f"ingest buffer is full ({pending} pending mutations, capacity "
+            f"{capacity}); flush or retry later"
+        )
+
+
+class IngestClosedError(IngestError):
+    """The ingestor is closed and accepts no further mutations."""
+
+    def __init__(self, message: str = "the stream ingestor is closed"):
+        super().__init__(message)

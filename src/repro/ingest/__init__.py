@@ -1,0 +1,34 @@
+"""Streaming ingestion: micro-batched writes with continuous refresh.
+
+:class:`~repro.ingest.stream.StreamIngestor` turns a continuous stream of
+add/remove triples into coalesced, atomic micro-batches applied to a bare
+:class:`~repro.rdf.graph.Graph` or through the serving layer's single
+writer, with bounded-buffer backpressure (typed error or async blocking).
+:class:`~repro.ingest.scheduler.RefreshScheduler` runs after every
+published batch and decides, per stale cached cube, between eager refresh,
+lazy refresh-on-read and invalidation, using the calibrated cost model's
+refresh-vs-scratch pricing and each entry's observed hit rate.
+"""
+
+from __future__ import annotations
+
+from repro.ingest.scheduler import POLICIES, RefreshDecision, RefreshScheduler, SchedulerStats
+from repro.ingest.stream import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CAPACITY,
+    AppliedBatch,
+    IngestStats,
+    StreamIngestor,
+)
+
+__all__ = [
+    "AppliedBatch",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CAPACITY",
+    "IngestStats",
+    "POLICIES",
+    "RefreshDecision",
+    "RefreshScheduler",
+    "SchedulerStats",
+    "StreamIngestor",
+]

@@ -1,0 +1,622 @@
+"""Micro-batched streaming ingestion with backpressure and coalescing.
+
+PR 3 made cached cubes survive *batched* updates; this module turns a
+continuous stream of add/remove triples into those batches.  The design is
+the classic write-ahead staging buffer of streaming stores:
+
+* **Bounded buffer, typed backpressure.**  Pending mutations live in a
+  bounded net-effect buffer.  When it is full, the synchronous submit paths
+  raise :class:`~repro.errors.IngestBackpressureError` (typed: carries the
+  depth and the bound) and the asynchronous ones either raise or *block*
+  until a flush frees space — the caller picks with ``backpressure=``.
+* **Coalescing before the graph.**  The buffer keys pending mutations by
+  triple and stores only the net effect: an ``add`` chased by a ``remove``
+  of the same triple (or vice versa) cancels *in the buffer* and never
+  costs graph work, index maintenance, a change-log record or a refresh
+  probe.  Duplicate submissions of the same pending mutation are absorbed
+  for free.  This is sound because RDF graphs are sets: mutations of
+  distinct triples commute, and same-triple mutations totally order
+  through the single buffer slot.
+* **Micro-batches at a cadence.**  A batch is cut when the buffer reaches
+  ``batch_size`` pending mutations (size threshold) or the oldest pending
+  mutation reaches ``max_batch_age`` seconds (age threshold); an async
+  pump task (:meth:`StreamIngestor.start_pump`) enforces the age cadence
+  autonomously, and :meth:`~StreamIngestor.flush` /
+  :meth:`~StreamIngestor.aflush` cut one on demand.
+* **Atomic application.**  Batches apply through the serving layer's
+  single writer (:meth:`repro.serving.service.OLAPService.update`, itself
+  atomic since this PR) or directly onto a bare
+  :class:`~repro.rdf.graph.Graph` with the same
+  roll-back-the-applied-prefix discipline, so a failed batch never leaves
+  the sink half-mutated.
+* **Refresh scheduling.**  After every applied batch the attached
+  :class:`~repro.ingest.scheduler.RefreshScheduler` (when given) walks its
+  registered session caches and decides, per stale entry, between eager
+  refresh, lazy refresh-on-read and invalidation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import IngestBackpressureError, IngestClosedError, IngestError, InvalidTripleError
+from repro.rdf.triples import Triple
+
+__all__ = ["AppliedBatch", "IngestStats", "StreamIngestor", "DEFAULT_CAPACITY", "DEFAULT_BATCH_SIZE"]
+
+#: Default bound on pending (coalesced) mutations in the buffer.
+DEFAULT_CAPACITY = 4096
+#: Default size threshold: pending mutations that cut a micro-batch.
+DEFAULT_BATCH_SIZE = 256
+#: Default age threshold in seconds: a pending mutation older than this
+#: forces a flush even when the size threshold has not been reached.
+DEFAULT_MAX_BATCH_AGE = 0.05
+
+
+@dataclass
+class AppliedBatch:
+    """One micro-batch that reached the sink, with its provenance."""
+
+    #: Monotonic batch number within this ingestor (0-based).
+    sequence: int
+    adds: Tuple[Triple, ...]
+    removes: Tuple[Triple, ...]
+    #: What cut the batch: ``"size"``, ``"age"`` or ``"forced"``.
+    reason: str
+    #: Wall-clock seconds spent applying (and publishing) the batch.
+    seconds: float
+    #: The sink's version after the batch (service publish version, or the
+    #: bare graph's change counter).
+    version: int
+
+    def __len__(self) -> int:
+        return len(self.adds) + len(self.removes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"AppliedBatch(#{self.sequence}, +{len(self.adds)}/-{len(self.removes)}, "
+            f"{self.reason}, v{self.version})"
+        )
+
+
+class IngestStats:
+    """Accepted / coalesced / rejected / applied accounting of one ingestor."""
+
+    __slots__ = (
+        "submitted",
+        "accepted",
+        "cancelled_pairs",
+        "duplicates",
+        "rejected",
+        "blocked",
+        "batches",
+        "applied_adds",
+        "applied_removes",
+        "failed_batches",
+        "flush_reasons",
+    )
+
+    def __init__(self) -> None:
+        #: Mutations offered to the ingestor (before coalescing).
+        self.submitted = 0
+        #: Mutations that grew the pending buffer.
+        self.accepted = 0
+        #: Opposite-mutation pairs that cancelled in the buffer (each pair
+        #: is two submitted mutations that will never touch the graph).
+        self.cancelled_pairs = 0
+        #: Submissions identical to an already-pending mutation (absorbed).
+        self.duplicates = 0
+        #: Submissions refused with :class:`IngestBackpressureError`.
+        self.rejected = 0
+        #: Async submissions that had to wait for a flush to free space.
+        self.blocked = 0
+        self.batches = 0
+        self.applied_adds = 0
+        self.applied_removes = 0
+        self.failed_batches = 0
+        #: Batches per cut reason (``size`` / ``age`` / ``forced``).
+        self.flush_reasons: Dict[str, int] = {}
+
+    @property
+    def coalesced(self) -> int:
+        """Submitted mutations that never reached the sink (pairs + dups)."""
+        return 2 * self.cancelled_pairs + self.duplicates
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "cancelled_pairs": self.cancelled_pairs,
+            "duplicates": self.duplicates,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "blocked": self.blocked,
+            "batches": self.batches,
+            "applied_adds": self.applied_adds,
+            "applied_removes": self.applied_removes,
+            "failed_batches": self.failed_batches,
+            "flush_reasons": dict(self.flush_reasons),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"IngestStats(submitted={self.submitted}, coalesced={self.coalesced}, "
+            f"batches={self.batches}, rejected={self.rejected})"
+        )
+
+
+class StreamIngestor:
+    """Turns a continuous triple stream into atomic micro-batches.
+
+    Parameters
+    ----------
+    sink:
+        Where batches land: an :class:`~repro.serving.service.OLAPService`
+        (batches go through the single writer's atomic
+        :meth:`~repro.serving.service.OLAPService.update` and republish) or
+        a bare mutable :class:`~repro.rdf.graph.Graph` (batches apply
+        directly, with the same rollback-on-error discipline).
+    capacity:
+        Bound on pending coalesced mutations (backpressure beyond it).
+    batch_size:
+        Size threshold: a flush cuts at most this many mutations, and the
+        buffer reaching it makes a batch *due*.
+    max_batch_age:
+        Age threshold in seconds: a pending mutation older than this makes
+        a batch due even below ``batch_size``.
+    backpressure:
+        ``"error"`` — a full buffer always raises
+        :class:`~repro.errors.IngestBackpressureError`;
+        ``"block"`` — the async submit paths instead wait for a flush to
+        free space (the sync paths still raise: they have no way to wait
+        without deadlocking their own consumer).
+    scheduler:
+        Optional :class:`~repro.ingest.scheduler.RefreshScheduler` invoked
+        after every applied batch.
+    clock:
+        Monotonic time source (injectable for deterministic age tests).
+
+    Examples
+    --------
+    >>> from repro.rdf.graph import Graph
+    >>> from repro.rdf.namespaces import EX
+    >>> from repro.rdf.triples import Triple
+    >>> graph = Graph()
+    >>> ingestor = StreamIngestor(graph, batch_size=2)
+    >>> ingestor.add(Triple(EX.a, EX.p, EX.b))   # buffered, not yet applied
+    >>> len(graph)
+    0
+    >>> ingestor.remove(Triple(EX.a, EX.p, EX.b))  # cancels in the buffer
+    >>> ingestor.pending
+    0
+    >>> ingestor.add(Triple(EX.c, EX.p, EX.d))
+    >>> batch = ingestor.flush(force=True)
+    >>> (len(graph), batch.reason, ingestor.stats.cancelled_pairs)
+    (1, 'forced', 1)
+    """
+
+    def __init__(
+        self,
+        sink,
+        capacity: int = DEFAULT_CAPACITY,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        max_batch_age: float = DEFAULT_MAX_BATCH_AGE,
+        backpressure: str = "error",
+        scheduler=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise IngestError(f"capacity must be >= 1, got {capacity}")
+        if batch_size < 1:
+            raise IngestError(f"batch_size must be >= 1, got {batch_size}")
+        if max_batch_age < 0:
+            raise IngestError(f"max_batch_age must be >= 0, got {max_batch_age}")
+        if backpressure not in ("error", "block"):
+            raise IngestError(
+                f"backpressure must be 'error' or 'block', got {backpressure!r}"
+            )
+        update = getattr(sink, "update", None)
+        self._service_sink = asyncio.iscoroutinefunction(update)
+        if not self._service_sink and not hasattr(sink, "add"):
+            raise IngestError(
+                f"sink must be an OLAPService or a mutable Graph, got {type(sink).__name__}"
+            )
+        self._sink = sink
+        self._capacity = int(capacity)
+        self._batch_size = int(batch_size)
+        self._max_batch_age = float(max_batch_age)
+        self._backpressure = backpressure
+        self._scheduler = scheduler
+        self._clock = clock
+        #: Triple -> net sign (+1 add, -1 remove), oldest-first.
+        self._pending: "OrderedDict[Triple, int]" = OrderedDict()
+        #: Clock reading when the oldest pending mutation arrived.
+        self._oldest: Optional[float] = None
+        self._sequence = 0
+        self._closed = False
+        self._pump_task: Optional[asyncio.Task] = None
+        # Created lazily in async context: set whenever a flush frees space.
+        self._space: Optional[asyncio.Event] = None
+        self._flush_lock: Optional[asyncio.Lock] = None
+        self.stats = IngestStats()
+        self.applied: List[AppliedBatch] = []
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def sink(self):
+        return self._sink
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def max_batch_age(self) -> float:
+        return self._max_batch_age
+
+    @property
+    def backpressure(self) -> str:
+        return self._backpressure
+
+    @property
+    def scheduler(self):
+        return self._scheduler
+
+    @property
+    def pending(self) -> int:
+        """Coalesced mutations waiting in the buffer."""
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def due(self) -> bool:
+        """True when a micro-batch should be cut now (size or age)."""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self._batch_size:
+            return True
+        return (
+            self._oldest is not None
+            and self._clock() - self._oldest >= self._max_batch_age
+        )
+
+    # -- submission ----------------------------------------------------
+
+    @staticmethod
+    def _as_triple(triple) -> Triple:
+        """Normalize to a validated :class:`Triple` at the ingest boundary.
+
+        Malformed input is rejected *here*, before it is buffered — a bad
+        triple must fail its producer, never poison a later micro-batch.
+        """
+        if isinstance(triple, Triple):
+            return triple
+        try:
+            subject, predicate, object_ = triple
+        except (TypeError, ValueError) as exc:
+            raise InvalidTripleError(f"cannot interpret {triple!r} as a triple") from exc
+        return Triple(subject, predicate, object_)
+
+    def _enqueue(self, triple, sign: int, count_reject: bool = True) -> bool:
+        """Coalesce one mutation into the buffer; True when it grew.
+
+        Raises :class:`IngestBackpressureError` when growth would exceed
+        ``capacity``; ``count_reject=False`` keeps the raise out of
+        ``stats.rejected`` (blocking callers retry, they don't reject).
+        """
+        if self._closed:
+            raise IngestClosedError()
+        triple = self._as_triple(triple)
+        self.stats.submitted += 1
+        pending = self._pending
+        existing = pending.get(triple)
+        if existing is not None:
+            if existing == sign:
+                self.stats.duplicates += 1
+                return False
+            # Opposite mutation of a pending triple: both cancel and the
+            # pair never reaches the sink.
+            del pending[triple]
+            self.stats.cancelled_pairs += 1
+            if not pending:
+                self._oldest = None
+            return False
+        if len(pending) >= self._capacity:
+            self.stats.submitted -= 1  # not admitted; recounted on retry
+            if count_reject:
+                self.stats.rejected += 1
+            raise IngestBackpressureError(len(pending), self._capacity)
+        pending[triple] = sign
+        if self._oldest is None:
+            self._oldest = self._clock()
+        self.stats.accepted += 1
+        return True
+
+    def add(self, triple) -> None:
+        """Buffer one triple addition (synchronous; raises when full)."""
+        self._enqueue(triple, 1)
+
+    def remove(self, triple) -> None:
+        """Buffer one triple removal (synchronous; raises when full)."""
+        self._enqueue(triple, -1)
+
+    def ingest(self, add: Iterable = (), remove: Iterable = ()) -> None:
+        """Buffer a group of mutations (synchronous; raises when full)."""
+        for triple in remove:
+            self._enqueue(triple, -1)
+        for triple in add:
+            self._enqueue(triple, 1)
+
+    async def asubmit(self, triple, sign: int) -> None:
+        """Async submit: blocks for space under ``backpressure="block"``.
+
+        With a pump task running, a blocked producer waits for the pump's
+        next flush; without one it drains a due batch inline — either way
+        the await returns only once the mutation is buffered (or cancels
+        with the typed error under ``backpressure="error"``).
+        """
+        blocking = self._backpressure == "block"
+        while True:
+            try:
+                self._enqueue(triple, sign, count_reject=not blocking)
+                return
+            except IngestBackpressureError:
+                if not blocking:
+                    raise
+                self.stats.blocked += 1
+                await self._wait_for_space()
+
+    async def _wait_for_space(self) -> None:
+        if self._pump_task is not None:
+            if self._space is None:
+                self._space = asyncio.Event()
+            self._space.clear()
+            await self._space.wait()
+        else:
+            # No pump: the producer is its own consumer — cut a batch now.
+            await self.aflush(force=True)
+
+    async def aadd(self, triple) -> None:
+        await self.asubmit(triple, 1)
+
+    async def aremove(self, triple) -> None:
+        await self.asubmit(triple, -1)
+
+    async def aingest(self, add: Iterable = (), remove: Iterable = ()) -> None:
+        for triple in remove:
+            await self.asubmit(triple, -1)
+        for triple in add:
+            await self.asubmit(triple, 1)
+
+    # -- flushing ------------------------------------------------------
+
+    def _take_batch(self, force: bool) -> Optional[Tuple[Tuple[Triple, ...], Tuple[Triple, ...], str]]:
+        """Pop up to ``batch_size`` pending mutations, oldest first.
+
+        Returns ``(adds, removes, reason)`` or None when no batch is due.
+        Popping *before* any (possibly awaited) application means two
+        concurrent flushes can never ship the same mutation twice.
+        """
+        if not self._pending:
+            return None
+        if len(self._pending) >= self._batch_size:
+            reason = "size"
+        elif (
+            self._oldest is not None
+            and self._clock() - self._oldest >= self._max_batch_age
+        ):
+            reason = "age"
+        elif force:
+            reason = "forced"
+        else:
+            return None
+        adds: List[Triple] = []
+        removes: List[Triple] = []
+        pending = self._pending
+        while pending and len(adds) + len(removes) < self._batch_size:
+            triple, sign = pending.popitem(last=False)
+            (adds if sign > 0 else removes).append(triple)
+        self._oldest = self._clock() if pending else None
+        return tuple(adds), tuple(removes), reason
+
+    def _apply_to_graph(self, adds, removes) -> int:
+        """Apply one batch to a bare graph atomically; returns its version.
+
+        Mirrors the serving writer's discipline: on error the applied
+        prefix is rolled back (reverse order) before the error propagates.
+        """
+        graph = self._sink
+        applied: List[Tuple[int, Triple]] = []
+        try:
+            for triple in removes:
+                if graph.remove(triple):
+                    applied.append((-1, triple))
+            for triple in adds:
+                if graph.add(triple):
+                    applied.append((1, triple))
+        except Exception:
+            for sign, triple in reversed(applied):
+                if sign > 0:
+                    graph.remove(triple)
+                else:
+                    graph.add(triple)
+            raise
+        return graph.version
+
+    def _record(self, adds, removes, reason, seconds, version) -> AppliedBatch:
+        batch = AppliedBatch(
+            sequence=self._sequence,
+            adds=adds,
+            removes=removes,
+            reason=reason,
+            seconds=seconds,
+            version=version,
+        )
+        self._sequence += 1
+        self.stats.batches += 1
+        self.stats.applied_adds += len(adds)
+        self.stats.applied_removes += len(removes)
+        self.stats.flush_reasons[reason] = self.stats.flush_reasons.get(reason, 0) + 1
+        self.applied.append(batch)
+        if self._space is not None:
+            self._space.set()
+        if self._scheduler is not None:
+            self._scheduler.after_batch(batch)
+        return batch
+
+    def flush(self, force: bool = False) -> Optional[AppliedBatch]:
+        """Cut and apply one micro-batch synchronously (bare-graph sinks).
+
+        Returns the applied batch, or None when nothing is due (pass
+        ``force=True`` to cut a below-threshold batch).  Service sinks are
+        asynchronous — use :meth:`aflush` (calling ``flush`` on one raises).
+        """
+        if self._service_sink:
+            raise IngestError(
+                "this ingestor's sink is an OLAPService; use aflush()/adrain()"
+            )
+        taken = self._take_batch(force)
+        if taken is None:
+            return None
+        adds, removes, reason = taken
+        started = time.perf_counter()
+        try:
+            version = self._apply_to_graph(adds, removes)
+        except Exception:
+            self.stats.failed_batches += 1
+            raise
+        return self._record(adds, removes, reason, time.perf_counter() - started, version)
+
+    async def aflush(self, force: bool = False) -> Optional[AppliedBatch]:
+        """Cut and apply one micro-batch (any sink; service sinks await)."""
+        if not self._service_sink:
+            return self.flush(force=force)
+        if self._flush_lock is None:
+            self._flush_lock = asyncio.Lock()
+        async with self._flush_lock:
+            taken = self._take_batch(force)
+            if taken is None:
+                return None
+            adds, removes, reason = taken
+            started = time.perf_counter()
+            try:
+                result = await self._sink.update(add=adds, remove=removes)
+            except Exception:
+                self.stats.failed_batches += 1
+                raise
+            return self._record(
+                adds, removes, reason, time.perf_counter() - started, result.version
+            )
+
+    def drain(self) -> List[AppliedBatch]:
+        """Flush until the buffer is empty (synchronous sinks)."""
+        batches = []
+        while self._pending:
+            batch = self.flush(force=True)
+            if batch is not None:
+                batches.append(batch)
+        return batches
+
+    async def adrain(self) -> List[AppliedBatch]:
+        """Flush until the buffer is empty (any sink)."""
+        batches = []
+        while self._pending:
+            batch = await self.aflush(force=True)
+            if batch is not None:
+                batches.append(batch)
+        return batches
+
+    def pump(self) -> Optional[AppliedBatch]:
+        """Apply one micro-batch *if due* (the sync cadence driver).
+
+        Callers feeding a bare graph interleave ``pump()`` with their
+        submissions; it is a no-op until the size or age threshold trips.
+        """
+        if not self.due():
+            return None
+        return self.flush()
+
+    # -- async pump / lifecycle ---------------------------------------
+
+    def start_pump(self, interval: Optional[float] = None) -> asyncio.Task:
+        """Start the background flush task enforcing the age cadence.
+
+        Must be called with a running event loop.  The pump wakes every
+        ``interval`` seconds (default: half the age threshold) and flushes
+        whenever a batch is due; :meth:`aclose` cancels it and drains.
+        """
+        if self._closed:
+            raise IngestClosedError()
+        if self._pump_task is not None and not self._pump_task.done():
+            return self._pump_task
+        loop = asyncio.get_running_loop()
+        period = interval if interval is not None else max(self._max_batch_age / 2, 0.001)
+        self._pump_task = loop.create_task(self._pump_loop(period))
+        return self._pump_task
+
+    async def _pump_loop(self, period: float) -> None:
+        try:
+            while True:
+                await asyncio.sleep(period)
+                while self.due():
+                    await self.aflush()
+        except asyncio.CancelledError:
+            pass
+
+    async def aclose(self) -> None:
+        """Stop the pump, drain the buffer, refuse further submissions."""
+        if self._closed:
+            return
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        await self.adrain()
+        self._closed = True
+
+    def close(self) -> None:
+        """Drain and close a pump-less ingestor synchronously."""
+        if self._closed:
+            return
+        if self._pump_task is not None and not self._pump_task.done():
+            raise IngestError("a pump task is running; use aclose()")
+        if self._service_sink:
+            raise IngestError(
+                "this ingestor's sink is an OLAPService; use aclose()"
+            )
+        self.drain()
+        self._closed = True
+
+    async def __aenter__(self) -> "StreamIngestor":
+        self.start_pump()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    def __enter__(self) -> "StreamIngestor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "service" if self._service_sink else "graph"
+        return (
+            f"StreamIngestor({kind} sink, {self.pending}/{self._capacity} pending, "
+            f"{self.stats.batches} batches)"
+        )

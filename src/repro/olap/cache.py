@@ -178,6 +178,7 @@ class CacheStats:
         "evictions",
         "invalidations",
         "refreshes",
+        "lazy_refreshes",
         "disk_hits",
         "puts",
     )
@@ -188,6 +189,9 @@ class CacheStats:
         self.evictions = 0
         self.invalidations = 0
         self.refreshes = 0
+        #: Subset of ``refreshes`` that patched an entry the refresh
+        #: scheduler had marked for lazy refresh-on-read.
+        self.lazy_refreshes = 0
         self.disk_hits = 0
         self.puts = 0
 
@@ -283,6 +287,9 @@ class ResultCache:
         self._store_dir = store_dir
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._pinned: set = set()
+        # Keys the refresh scheduler deferred: stale entries to be patched
+        # on their next read instead of eagerly after the publishing batch.
+        self._lazy: set = set()
         # Reentrant: refresh() re-enters stale_entry(), and the serving
         # layer's reader threads race get/put/pin against each other.
         self._lock = threading.RLock()
@@ -353,6 +360,7 @@ class ResultCache:
             if entry is not None and entry.graph_version != graph.version:
                 if not self._refreshable(entry, graph):
                     del self._entries[key]
+                    self._lazy.discard(key)
                     self.stats.invalidations += 1
                 entry = None
             if entry is not None and require_partial and not entry.materialized.has_partial():
@@ -413,6 +421,7 @@ class ResultCache:
             )
             if delta is None:
                 del self._entries[key]
+                self._lazy.discard(key)
                 self.stats.invalidations += 1
                 return None
             return entry, delta
@@ -436,11 +445,15 @@ class ResultCache:
             refreshed = maintainer.refresh(entry.materialized, delta)
             if refreshed is None:
                 del self._entries[entry.key]
+                self._lazy.discard(entry.key)
                 self.stats.invalidations += 1
                 return None
             entry.materialized = refreshed
             entry.graph_version = graph.version
             self.stats.refreshes += 1
+            if entry.key in self._lazy:
+                self._lazy.discard(entry.key)
+                self.stats.lazy_refreshes += 1
             self._entries.move_to_end(entry.key)
             if self._store_dir is not None and _key_is_persistable(entry.key):
                 from repro.persistence import save_cache_entry
@@ -503,12 +516,49 @@ class ResultCache:
         key = canonical_query_key(query)
         with self._lock:
             self._pinned.discard(key)
+            self._lazy.discard(key)
             return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._pinned.clear()
+            self._lazy.clear()
+
+    # -- lazy refresh-on-read marks (refresh-scheduler support) ----------------
+
+    def mark_lazy(self, query_or_key) -> bool:
+        """Mark an entry for lazy refresh-on-read (scheduler decision).
+
+        The refresh scheduler marks stale-but-patchable entries it chose
+        *not* to refresh eagerly; the session's read path then patches a
+        marked entry on its next access without re-pricing the decision.
+        Accepts a query or canonical key; returns True when a (stale)
+        in-memory entry currently carries the mark's key.  Marks are
+        dropped when the entry is refreshed, invalidated or evicted.
+        """
+        key = self._resolve_key(query_or_key)
+        with self._lock:
+            self._lazy.add(key)
+            return key in self._entries
+
+    def unmark_lazy(self, query_or_key) -> bool:
+        """Remove a lazy mark; True when the key was marked."""
+        key = self._resolve_key(query_or_key)
+        with self._lock:
+            if key in self._lazy:
+                self._lazy.remove(key)
+                return True
+            return False
+
+    def is_lazy(self, query_or_key) -> bool:
+        with self._lock:
+            return self._resolve_key(query_or_key) in self._lazy
+
+    def lazy_keys(self) -> Tuple[str, ...]:
+        """Canonical keys currently marked for lazy refresh-on-read."""
+        with self._lock:
+            return tuple(sorted(self._lazy))
 
     # -- pinning (advisor support) -------------------------------------------
 
@@ -561,6 +611,7 @@ class ResultCache:
         key = self._resolve_key(query_or_key)
         with self._lock:
             self._pinned.discard(key)
+            self._lazy.discard(key)
             if self._entries.pop(key, None) is not None:
                 self.stats.evictions += 1
                 return True
@@ -577,6 +628,7 @@ class ResultCache:
                 # evil — the caller asked for all of them explicitly.
                 break
             del self._entries[victim]
+            self._lazy.discard(victim)
             self.stats.evictions += 1
 
     # -- disk store ----------------------------------------------------------

@@ -253,6 +253,25 @@ class DeltaMaintainer:
         """From-scratch estimate in the same unit (see module function)."""
         return estimate_scratch_cost(self._statistics, query)
 
+    def price_refresh(
+        self, materialized: MaterializedQueryResults, delta: GraphDelta, engine: str = "rows"
+    ) -> Tuple[float, float]:
+        """``(refresh cost, scratch cost)`` for one stale entry, one unit.
+
+        The refresh-vs-recompute comparison every consumer must agree on:
+        the session's refresh-on-read path, the planner's refresh-cached
+        candidate and the ingest layer's :class:`~repro.ingest.scheduler.RefreshScheduler`
+        all price through here, so a scheduler decision made at publish
+        time can never contradict the read path's own pricing.  Scratch is
+        scaled by the cost model's per-``engine`` multiplier (patching is
+        row-level work regardless of engine).
+        """
+        refresh_cost = self.estimate_refresh_cost(materialized, delta)
+        scratch_cost = self._model.engine_multiplier(engine) * self.estimate_scratch_cost(
+            materialized.query
+        )
+        return refresh_cost, scratch_cost
+
     # ------------------------------------------------------------------
     # affected facts
     # ------------------------------------------------------------------

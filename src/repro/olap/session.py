@@ -347,16 +347,18 @@ class OLAPSession:
         if found is None:
             return None
         entry, delta = found
-        refresh_cost = self._maintainer.estimate_refresh_cost(entry.materialized, delta)
-        # Same pricing as the planner's candidates: scratch is scaled by
-        # the per-engine multiplier (patching is row-level work either
-        # way), so execute() and transform() never disagree on the
-        # refresh-vs-recompute call.
-        scratch_cost = self._cost_model.engine_multiplier(
-            self.engine
-        ) * self._maintainer.estimate_scratch_cost(query)
-        if refresh_cost >= scratch_cost:
-            return None
+        # An entry the refresh scheduler marked lazy was already priced (and
+        # chosen for refresh-on-read) when its batch published: patch it now
+        # without second-guessing that decision.
+        if not self._cache.is_lazy(entry.key):
+            # Same pricing as the planner's candidates (see
+            # DeltaMaintainer.price_refresh), so execute() and transform()
+            # never disagree on the refresh-vs-recompute call.
+            refresh_cost, scratch_cost = self._maintainer.price_refresh(
+                entry.materialized, delta, engine=self.engine
+            )
+            if refresh_cost >= scratch_cost:
+                return None
         return self._cache.refresh(query, self.instance, self._maintainer)
 
     # ------------------------------------------------------------------

@@ -17,7 +17,8 @@ Two access levels are offered:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.errors import InvalidTripleError
 from repro.rdf.dictionary import TermDictionary
@@ -131,8 +132,10 @@ class Graph:
     name:
         Optional human-readable name, used in ``repr`` and benchmark reports.
     change_log_limit:
-        Bound on the change log powering :meth:`deltas_since` (default
-        4096 records); overflowing it degrades honestly to the
+        Bound on the ring-buffer change log powering :meth:`deltas_since`
+        (default 4096 records).  Overflow evicts the oldest record, so the
+        log always answers for the most recent ``change_log_limit``
+        mutations; only versions older than that window degrade to the
         full-invalidation answer (``deltas_since`` returns None).
 
     Examples
@@ -174,12 +177,13 @@ class Graph:
         self._pos: Dict[int, Dict[int, Set[int]]] = {}
         self._osp: Dict[int, Dict[int, Set[int]]] = {}
         self._version = 0
-        # Bounded log of effective mutations: (version after the mutation,
-        # +1 / -1, encoded triple).  ``_log_base`` is the oldest version the
-        # log can still reconstruct deltas from; anything older degrades to
-        # the full-invalidation answer (deltas_since -> None).
+        # Bounded ring buffer of effective mutations: (version after the
+        # mutation, +1 / -1, encoded triple).  Overflow evicts the *oldest*
+        # record and advances ``_log_base`` — the oldest version the log can
+        # still reconstruct deltas from; anything older degrades to the
+        # full-invalidation answer (deltas_since -> None).
         self._change_log_limit = change_log_limit
-        self._change_log: List[Tuple[int, int, EncodedTriple]] = []
+        self._change_log: Deque[Tuple[int, int, EncodedTriple]] = deque()
         self._log_base = 0
         # Single-slot memo for deltas_since: refresh waves ask for the same
         # window once per cached entry.  Keyed by (asked-for version,
@@ -317,13 +321,21 @@ class Graph:
     # ------------------------------------------------------------------
 
     def _log_change(self, sign: int, encoded: EncodedTriple) -> None:
-        if len(self._change_log) >= self._change_log_limit:
-            # Overflow: drop the history (including this record) and move
-            # the base forward — deltas are only answerable from here on.
-            self._change_log.clear()
+        if self._change_log_limit == 0:
             self._log_base = self._version
             return
-        self._change_log.append((self._version, sign, encoded))
+        log = self._change_log
+        log.append((self._version, sign, encoded))
+        while len(log) > self._change_log_limit:
+            # Ring-buffer eviction: drop the *oldest* record only.  Under a
+            # sustained write stream the log always retains the most recent
+            # ``change_log_limit`` mutations, so consumers a few versions
+            # behind keep getting deltas; only consumers older than the
+            # window degrade to full invalidation.
+            log.popleft()
+        # Effective mutations bump the version by exactly 1 and log exactly
+        # once, so the retained records cover (oldest version - 1, current].
+        self._log_base = log[0][0] - 1
 
     @property
     def change_log_limit(self) -> int:

@@ -105,6 +105,7 @@ class ServiceStats:
         "rejected_tenant_busy",
         "rejected_closed",
         "updates",
+        "update_failures",
         "publishes",
         "served_by_tenant",
     )
@@ -115,6 +116,9 @@ class ServiceStats:
         self.rejected_tenant_busy = 0
         self.rejected_closed = 0
         self.updates = 0
+        #: Batches that raised and were rolled back — never counted in
+        #: ``updates``, which only ever counts batches readers can observe.
+        self.update_failures = 0
         self.publishes = 0
         self.served_by_tenant: Dict[str, int] = {}
 
@@ -131,6 +135,7 @@ class ServiceStats:
             "rejected_tenant_busy": self.rejected_tenant_busy,
             "rejected_closed": self.rejected_closed,
             "updates": self.updates,
+            "update_failures": self.update_failures,
             "publishes": self.publishes,
             "served_by_tenant": dict(self.served_by_tenant),
         }
@@ -239,6 +244,7 @@ class OLAPService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._slots: Optional[asyncio.Semaphore] = None
         self._writer_lock: Optional[asyncio.Lock] = None
+        self._drained: Optional[asyncio.Event] = None
 
     # -- introspection -------------------------------------------------
 
@@ -296,6 +302,12 @@ class OLAPService:
         self._loop = loop
         self._slots = asyncio.Semaphore(self._max_concurrency)
         self._writer_lock = asyncio.Lock()
+        # Signalled whenever ``_inflight`` drops to zero; aclose() awaits it
+        # instead of polling.  Starts set: a service with nothing in flight
+        # is already drained.
+        self._drained = asyncio.Event()
+        if self._inflight == 0:
+            self._drained.set()
 
     async def __aenter__(self) -> "OLAPService":
         self._ensure_loop_state()
@@ -338,6 +350,7 @@ class OLAPService:
         state.inflight += 1
         self._inflight += 1
         self._waiting += 1
+        self._drained.clear()
         generation = self._generations.pin_current()
         admitted = time.perf_counter()
         try:
@@ -373,6 +386,8 @@ class OLAPService:
         finally:
             state.inflight -= 1
             self._inflight -= 1
+            if self._inflight == 0 and self._drained is not None:
+                self._drained.set()
             self._generations.unpin(generation)
 
     @staticmethod
@@ -411,6 +426,12 @@ class OLAPService:
         ``mutate`` receives the writer graph for arbitrary batches beyond
         plain ``add``/``remove`` triples; with ``publish=False`` the delta
         is applied but only becomes visible at the next published update.
+
+        Batches are **atomic**: when any triple of the batch (or the
+        ``mutate`` callback) raises, the already-applied prefix is rolled
+        back before the error propagates, so a later successful update can
+        never publish a torn batch.  Failed batches count in
+        ``stats.update_failures``, never in ``stats.updates``.
         """
         if self._closed:
             self.stats.rejected_closed += 1
@@ -423,12 +444,21 @@ class OLAPService:
 
             def apply_and_publish() -> PublishResult:
                 before = writer.version
-                for triple in remove:
-                    writer.remove(triple)
-                for triple in add:
-                    writer.add(triple)
-                if mutate is not None:
-                    mutate(writer)
+                applied: List[tuple] = []
+                ran_mutate = False
+                try:
+                    for triple in remove:
+                        if writer.remove(triple):
+                            applied.append((-1, triple))
+                    for triple in add:
+                        if writer.add(triple):
+                            applied.append((1, triple))
+                    if mutate is not None:
+                        ran_mutate = True
+                        mutate(writer)
+                except Exception as error:
+                    self._roll_back(writer, before, applied, ran_mutate, error)
+                    raise
                 mutations = writer.version - before
                 previous = self._generations.current.version
                 if publish:
@@ -440,11 +470,61 @@ class OLAPService:
                     )
                 return PublishResult(mutations=mutations, published=False, version=previous)
 
-            result = await self._loop.run_in_executor(self._executor, apply_and_publish)
+            try:
+                result = await self._loop.run_in_executor(self._executor, apply_and_publish)
+            except Exception:
+                self.stats.update_failures += 1
+                raise
         self.stats.updates += 1
         if result.published:
             self.stats.publishes += 1
         return result
+
+    @staticmethod
+    def _roll_back(
+        writer: Graph, before: int, applied: List[tuple], ran_mutate: bool, error: Exception
+    ) -> None:
+        """Undo the applied prefix of a failed update batch.
+
+        The explicit ``add``/``remove`` lists are undone from the recorded
+        prefix in reverse order.  A failed ``mutate`` callback may have made
+        arbitrary effective mutations, so its rollback replays the graph's
+        own coalesced deltas since the batch started (which subsume the
+        prefix list); when the change log cannot reconstruct them (overflow
+        inside one batch, or ``clear()``), the writer really is torn and a
+        :class:`~repro.errors.ServingError` chains the original error
+        rather than silently leaving half a batch behind.
+        """
+        if not ran_mutate:
+            for sign, triple in reversed(applied):
+                if sign > 0:
+                    writer.remove(triple)
+                else:
+                    writer.add(triple)
+            return
+        delta = writer.deltas_since(before)
+        if delta is None:
+            raise ServingError(
+                "update batch failed and its mutate() effects cannot be rolled "
+                "back (the change log cannot reconstruct the batch); the writer "
+                "graph is torn — rebuild it before publishing again"
+            ) from error
+        decode = writer.decode_id
+        for s, p, o in delta.added:
+            writer.remove((decode(s), decode(p), decode(o)))
+        for s, p, o in delta.removed:
+            writer.add((decode(s), decode(p), decode(o)))
+
+    def stream_ingestor(self, **kwargs):
+        """A :class:`~repro.ingest.stream.StreamIngestor` sinking into this
+        service: micro-batches flow through the single writer's atomic
+        :meth:`update` and publish a new generation per batch.  Keyword
+        arguments (``capacity``, ``batch_size``, ``max_batch_age``,
+        ``backpressure``, ``scheduler``) pass through to the ingestor.
+        """
+        from repro.ingest.stream import StreamIngestor
+
+        return StreamIngestor(self, **kwargs)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -465,8 +545,11 @@ class OLAPService:
         if self._closed:
             return
         self._closed = True
-        while self._inflight > 0:
-            await asyncio.sleep(0.002)
+        # Wait on the drain event (set when the last in-flight query's
+        # bookkeeping completes) instead of a sleep-poll loop: close wakes
+        # the moment the service drains, not up to a poll period later.
+        if self._inflight > 0 and self._drained is not None:
+            await self._drained.wait()
         for state in self._tenants.values():
             for session in state.sessions.values():
                 session.close()

@@ -1,0 +1,164 @@
+"""RefreshScheduler: per-entry eager / lazy / invalidate decisions."""
+
+import pytest
+
+from repro.datagen.generic import GenericConfig, generic_dataset
+from repro.errors import IngestError
+from repro.ingest import POLICIES, RefreshScheduler, StreamIngestor
+from repro.olap.operations import Slice
+from repro.olap.session import OLAPSession
+from repro.rdf import Literal, RDF, Triple
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import EX
+
+RDF_TYPE = RDF.term("type")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generic_dataset(GenericConfig(facts=60, dimensions=2, seed=11))
+
+
+@pytest.fixture()
+def live(dataset):
+    """A mutable copy of the dataset instance plus a session over it."""
+    graph = dataset.instance.copy()
+    session = OLAPSession(graph, dataset.schema)
+    yield graph, session, dataset.query
+    session.close()
+
+
+def fact_triples(tag: str, index: int):
+    fact = EX.term(f"fact/extra-{tag}-{index}")
+    return [
+        Triple(fact, RDF_TYPE, EX.term("Fact")),
+        Triple(fact, EX.term("dim0"), EX.term("dimvalue/0/0")),
+        Triple(fact, EX.term("dim1"), EX.term("dimvalue/1/1")),
+        Triple(fact, EX.term("measure"), Literal(7 + index)),
+    ]
+
+
+def ingest_round(graph, scheduler, tag: str, rounds: int = 1):
+    ingestor = StreamIngestor(graph, batch_size=4, scheduler=scheduler)
+    for index in range(rounds):
+        ingestor.ingest(add=fact_triples(tag, index))
+        ingestor.pump()
+    ingestor.drain()
+    return ingestor
+
+
+class TestPolicies:
+    def test_eager_policy_refreshes_in_place(self, live):
+        graph, session, query = live
+        session.execute(query)
+        scheduler = RefreshScheduler([session], policy="eager")
+        ingest_round(graph, scheduler, "eager", rounds=2)
+        assert scheduler.stats.eager_refreshes >= 1
+        assert scheduler.stats.lazy_marks == 0
+        # The cached entry is already fresh: the next read is a plain hit.
+        session.execute(query)
+        assert session.history[-1].strategy in ("cache", "cache[disk]")
+        assert not session.cache.lazy_keys()
+
+    def test_lazy_policy_defers_to_the_read_path(self, live):
+        graph, session, query = live
+        session.execute(query)
+        scheduler = RefreshScheduler([session], policy="lazy")
+        ingest_round(graph, scheduler, "lazy")
+        assert scheduler.stats.lazy_marks == 1
+        assert scheduler.stats.eager_refreshes == 0
+        assert session.cache.lazy_keys()
+        before = session.cache.stats.lazy_refreshes
+        session.execute(query)
+        assert session.history[-1].strategy == "refresh"
+        assert session.cache.stats.lazy_refreshes == before + 1
+        assert not session.cache.lazy_keys()  # consumed by the read
+
+    def test_lazy_entry_is_not_rewalked(self, live):
+        """A lazy-marked entry belongs to the read path; later batches skip it."""
+        graph, session, query = live
+        session.execute(query)
+        scheduler = RefreshScheduler([session], policy="lazy")
+        ingest_round(graph, scheduler, "first")
+        walked = scheduler.stats.walked
+        ingest_round(graph, scheduler, "second")
+        assert scheduler.stats.walked == walked
+        assert scheduler.stats.lazy_marks == 1
+
+    def test_auto_policy_splits_by_hit_rate(self, live):
+        graph, session, query = live
+        cold_query = Slice("d0", EX.term("dimvalue/0/0")).apply(query)
+        session.execute(query)
+        session.execute(query)
+        session.execute(query)  # hot: 2 hits after materialization
+        session.execute(cold_query)  # cold: 0 hits
+        scheduler = RefreshScheduler([session], policy="auto", hot_hits=2)
+        ingest_round(graph, scheduler, "auto")
+        actions = {d.query_name: d.action for d in scheduler.last_decisions}
+        assert actions[query.name] == "eager"
+        assert actions[cold_query.name] == "lazy"
+        assert scheduler.stats.eager_refreshes == 1
+        assert scheduler.stats.lazy_marks == 1
+
+    def test_decisions_carry_the_pricing(self, live):
+        graph, session, query = live
+        session.execute(query)
+        scheduler = RefreshScheduler([session], policy="eager")
+        ingest_round(graph, scheduler, "price")
+        decision = scheduler.last_decisions[0]
+        assert decision.action == "eager"
+        assert 0 < decision.refresh_cost < decision.scratch_cost
+        assert decision.as_dict()["query_name"] == query.name
+
+    def test_unprofitable_patch_is_invalidated(self, live):
+        """When refresh prices >= scratch the entry is dropped, never marked."""
+        graph, session, query = live
+        session.execute(query)
+        scheduler = RefreshScheduler([session], policy="lazy")
+        # A huge delta relative to the cube: patching costs more than
+        # recomputing, so every policy must invalidate.
+        ingestor = StreamIngestor(graph, batch_size=100000, scheduler=scheduler)
+        for index in range(400):
+            ingestor.ingest(add=fact_triples("bulk", index))
+        ingestor.drain()
+        assert scheduler.stats.invalidations == 1
+        assert scheduler.stats.lazy_marks == 0
+        assert not session.cache.lazy_keys()
+        assert session.cache.peek(query, graph) is None
+
+
+class TestWalk:
+    def test_fresh_entries_are_skipped(self, live):
+        graph, session, query = live
+        session.execute(query)
+        scheduler = RefreshScheduler([session])
+        scheduler.after_batch()
+        assert scheduler.stats.walked == 0
+        assert scheduler.last_decisions == ()
+
+    def test_multiple_sessions_are_walked(self, dataset):
+        graph = dataset.instance.copy()
+        sessions = [OLAPSession(graph, dataset.schema) for _ in range(2)]
+        for session in sessions:
+            session.execute(dataset.query)
+        scheduler = RefreshScheduler(sessions, policy="eager")
+        ingest_round(graph, scheduler, "multi")
+        assert scheduler.stats.eager_refreshes == 2
+        for session in sessions:
+            session.close()
+
+    def test_register_and_unregister(self, live):
+        graph, session, _ = live
+        scheduler = RefreshScheduler()
+        scheduler.register(session)
+        scheduler.register(session)  # idempotent
+        assert scheduler.sessions == (session,)
+        scheduler.unregister(session)
+        assert scheduler.sessions == ()
+
+    def test_constructor_validation(self):
+        with pytest.raises(IngestError):
+            RefreshScheduler(policy="psychic")
+        with pytest.raises(IngestError):
+            RefreshScheduler(hot_hits=-1)
+        assert set(POLICIES) == {"eager", "lazy", "auto"}

@@ -1,0 +1,183 @@
+"""Differential oracle for streaming ingestion and refresh scheduling.
+
+Hypothesis generates random interleaved add/remove streams and feeds every
+mutation twice: directly into a shadow graph (the oracle) and through a
+:class:`~repro.ingest.stream.StreamIngestor` — with varying micro-batch
+sizes, so coalescing and batch boundaries land differently on every run —
+into the live graph a warmed :class:`~repro.olap.session.OLAPSession`
+serves.  Reads are interleaved at random points.  The invariants:
+
+* after a drain the live graph equals the shadow graph, triple for triple
+  (coalescing and micro-batching change *work*, never *state*);
+* every cube the session serves mid-stream equals a from-scratch
+  recomputation over the live graph at that moment, cell for cell —
+  whatever the attached :class:`~repro.ingest.scheduler.RefreshScheduler`
+  policy (none, eager, lazy, auto) decided for the cached entry, and at
+  cache capacities 0, 1 and the default.
+
+The hypothesis profile matches the other differential suites:
+``deadline=None`` and ``print_blob=True``.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics.evaluator import AnalyticalQueryEvaluator
+from repro.datagen import BloggerConfig, blogger_dataset
+from repro.datagen.blogger import words_per_blogger_query
+from repro.ingest import RefreshScheduler, StreamIngestor
+from repro.olap.cube import Cube
+from repro.olap.session import OLAPSession
+from repro.rdf import EX, Literal, RDF, Triple
+
+_SETTINGS = dict(max_examples=8, deadline=None, print_blob=True)
+
+RDF_TYPE = RDF.term("type")
+
+_dataset_cache = {}
+
+
+def _blogger(seed: int):
+    if seed not in _dataset_cache:
+        _dataset_cache[seed] = blogger_dataset(BloggerConfig(bloggers=10 + seed % 5, seed=seed))
+    return _dataset_cache[seed]
+
+
+def _fresh_fact(draw, counter):
+    """Triples for one new blogger with one post (lands in the cube)."""
+    tag = f"stream_user{next(counter)}"
+    user = EX.term(tag)
+    post = EX.term(f"{tag}_post")
+    return [
+        Triple(user, RDF_TYPE, EX.Blogger),
+        Triple(user, EX.hasAge, Literal(draw(st.integers(18, 60)))),
+        Triple(user, EX.livesIn, EX.term(draw(st.sampled_from(["Madrid", "NY", "Kyoto"])))),
+        Triple(post, RDF_TYPE, EX.BlogPost),
+        Triple(user, EX.wrotePost, post),
+        Triple(post, EX.hasWordCount, Literal(draw(st.integers(1, 900)))),
+    ]
+
+
+def _draw_mutations(draw, shadow, counter):
+    """One stream step: ``(sign, triple)`` pairs for both destinations."""
+    kind = draw(st.sampled_from(["add_fact", "remove", "flicker", "noop_pair"]))
+    if kind == "add_fact":
+        return [(1, triple) for triple in _fresh_fact(draw, counter)]
+    triples = sorted(shadow, key=repr)
+    if not triples:
+        return [(1, triple) for triple in _fresh_fact(draw, counter)]
+    victim = triples[draw(st.integers(0, len(triples) - 1))]
+    if kind == "remove":
+        return [(-1, victim)]
+    if kind == "flicker":
+        # Remove and immediately re-add: must coalesce away in the buffer.
+        return [(-1, victim), (1, victim)]
+    # noop_pair: add a fresh triple then retract it before it ever lands.
+    phantom = Triple(EX.term(f"phantom{next(counter)}"), EX.hasAge, Literal(1))
+    return [(1, phantom), (-1, phantom)]
+
+
+def _check_cube(session, query, live):
+    cube = session.execute(query)
+    scratch = Cube(AnalyticalQueryEvaluator(live).answer(query), query)
+    assert cube.same_cells(scratch), (
+        f"served cube diverged from scratch at version {live.version} "
+        f"(strategy {session.history[-1].strategy}): "
+        f"{cube.cells()} != {scratch.cells()}"
+    )
+
+
+@given(
+    data=st.data(),
+    seed=st.integers(min_value=0, max_value=10),
+    policy=st.sampled_from([None, "eager", "lazy", "auto"]),
+    capacity=st.sampled_from([0, 1, None]),
+    batch_size=st.integers(min_value=1, max_value=8),
+    steps=st.integers(min_value=2, max_value=10),
+)
+@settings(**_SETTINGS)
+def test_ingested_streams_match_direct_application(
+    data, seed, policy, capacity, batch_size, steps
+):
+    dataset = _blogger(seed)
+    live = dataset.instance.copy()
+    shadow = dataset.instance.copy()
+    query = words_per_blogger_query(dataset.schema)
+    kwargs = {} if capacity is None else {"cache_capacity": capacity}
+    session = OLAPSession(live, dataset.schema, **kwargs)
+    scheduler = None if policy is None else RefreshScheduler([session], policy=policy)
+    ingestor = StreamIngestor(
+        live, batch_size=batch_size, max_batch_age=1000.0, scheduler=scheduler
+    )
+    counter = itertools.count()
+    session.execute(query)  # warm the cache so refreshes have a target
+
+    for _ in range(steps):
+        action = data.draw(st.sampled_from(["mutate", "mutate", "pump", "read"]))
+        if action == "mutate":
+            for sign, triple in _draw_mutations(data.draw, shadow, counter):
+                if sign > 0:
+                    shadow.add(triple)
+                    ingestor.add(triple)
+                else:
+                    shadow.remove(triple)
+                    ingestor.remove(triple)
+            ingestor.pump()  # applies only when the size threshold tripped
+        elif action == "pump":
+            ingestor.drain()
+            assert set(live) == set(shadow)
+        else:
+            _check_cube(session, query, live)
+
+    ingestor.drain()
+    assert set(live) == set(shadow), (
+        f"ingested graph diverged from direct application "
+        f"(batch_size={batch_size}, policy={policy}, "
+        f"stats={ingestor.stats.as_dict()})"
+    )
+    _check_cube(session, query, live)
+    # Micro-batching may only reduce the mutations that hit the graph.
+    assert ingestor.stats.applied_adds + ingestor.stats.applied_removes <= (
+        ingestor.stats.submitted
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=6),
+    policy=st.sampled_from(["eager", "lazy", "auto"]),
+)
+@settings(**_SETTINGS)
+def test_scheduler_policies_converge_to_the_same_cube(seed, policy):
+    """All policies serve identical cubes; only the *timing* of the patch
+    work differs (eager pays before the read, lazy on it)."""
+    dataset = _blogger(seed)
+    live = dataset.instance.copy()
+    query = words_per_blogger_query(dataset.schema)
+    session = OLAPSession(live, dataset.schema)
+    scheduler = RefreshScheduler([session], policy=policy)
+    ingestor = StreamIngestor(live, batch_size=6, max_batch_age=1000.0, scheduler=scheduler)
+    counter = itertools.count()
+    session.execute(query)
+    session.execute(query)  # make the entry hot for the auto policy
+
+    # Deterministic mutations: hypothesis varies only seed and policy here.
+    tag = EX.term(f"conv_user{seed}")
+    post = EX.term(f"conv_user{seed}_post")
+    for triple in (
+        Triple(tag, RDF_TYPE, EX.Blogger),
+        Triple(tag, EX.hasAge, Literal(33)),
+        Triple(tag, EX.livesIn, EX.term("Madrid")),
+        Triple(post, RDF_TYPE, EX.BlogPost),
+        Triple(tag, EX.wrotePost, post),
+        Triple(post, EX.hasWordCount, Literal(next(counter) + 100)),
+    ):
+        ingestor.add(triple)
+    ingestor.drain()
+
+    if policy == "lazy":
+        assert scheduler.stats.lazy_marks + scheduler.stats.invalidations >= 1
+    _check_cube(session, query, live)
+    if policy in ("eager", "auto") and scheduler.stats.eager_refreshes:
+        # The eager patch already ran; the read was a plain cache hit.
+        assert session.history[-1].strategy in ("cache", "cache[disk]")

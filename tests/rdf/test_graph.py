@@ -293,6 +293,43 @@ class TestChangeLog:
         assert delta is not None
         assert len(delta.added) == graph.version - base
 
+    def test_overflow_evicts_one_record_not_the_window(self):
+        """Regression: overflow is a ring buffer, not a wholesale drop.
+
+        The old ``_log_change`` truncated the *entire* retained history on
+        every overflow, so a consumer even one version behind lost delta
+        coverage the moment a sustained stream crossed the limit.  Eviction
+        must drop only the oldest record: after N > limit adds, exactly the
+        newest ``limit`` records survive and every version in that window
+        stays answerable.
+        """
+        limit = 4
+        graph = Graph(change_log_limit=limit)
+        for index in range(limit + 1):  # one past the limit: first overflow
+            graph.add(Triple(EX.term(f"s{index}"), EX.p, EX.o))
+        assert graph.change_log_length == limit
+        # The old behavior left base == version (empty log) here; the ring
+        # buffer retains versions (1, limit+1] and answers all of them.
+        assert graph.change_log_base == graph.version - limit
+        for behind in range(1, limit + 1):
+            delta = graph.deltas_since(graph.version - behind)
+            assert delta is not None
+            assert len(delta.added) == behind
+
+    def test_sustained_stream_never_starves_a_trailing_consumer(self):
+        """A consumer refreshing every batch stays within the window forever."""
+        limit = 8
+        batch = 3  # < limit: the consumer never falls out of the window
+        graph = Graph(change_log_limit=limit)
+        seen = graph.version
+        for round_index in range(20):  # 60 mutations, far past the limit
+            for index in range(batch):
+                graph.add(Triple(EX.term(f"r{round_index}/{index}"), EX.p, EX.o))
+            delta = graph.deltas_since(seen)
+            assert delta is not None, f"starved at round {round_index}"
+            assert len(delta.added) == batch
+            seen = graph.version
+
     def test_future_version_is_unanswerable(self, small_graph):
         assert small_graph.deltas_since(small_graph.version + 1) is None
 

@@ -17,6 +17,7 @@ import pytest
 DOCUMENTED_MODULES = [
     "repro.algebra.columnar",
     "repro.analytics.answer",
+    "repro.ingest.stream",
     "repro.olap.cache",
     "repro.olap.maintenance",
     "repro.olap.parallel",

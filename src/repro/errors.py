@@ -271,3 +271,23 @@ class IngestClosedError(IngestError):
 
     def __init__(self, message: str = "the stream ingestor is closed"):
         super().__init__(message)
+
+
+class IngestPumpError(IngestError):
+    """The ingestor's background pump task died on a flush failure.
+
+    Raised by the submit paths after the pump swallows a non-cancellation
+    exception: the cadence is no longer enforced, so accepting more input
+    would only grow an unflushed buffer.  The failed batch's mutations were
+    re-queued (nothing is lost); callers can still ``adrain()``/``flush``
+    manually, and :meth:`~repro.ingest.stream.StreamIngestor.start_pump`
+    clears the error and resumes.  The original failure is both chained
+    (``__cause__``) and kept in :attr:`cause`.
+    """
+
+    def __init__(self, cause: BaseException):
+        self.cause = cause
+        super().__init__(
+            f"the background pump task failed ({cause!r}); pending mutations "
+            f"were re-queued — drain manually or call start_pump() to resume"
+        )

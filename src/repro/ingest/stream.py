@@ -10,13 +10,17 @@ the classic write-ahead staging buffer of streaming stores:
   depth and the bound) and the asynchronous ones either raise or *block*
   until a flush frees space — the caller picks with ``backpressure=``.
 * **Coalescing before the graph.**  The buffer keys pending mutations by
-  triple and stores only the net effect: an ``add`` chased by a ``remove``
-  of the same triple (or vice versa) cancels *in the buffer* and never
-  costs graph work, index maintenance, a change-log record or a refresh
-  probe.  Duplicate submissions of the same pending mutation are absorbed
-  for free.  This is sound because RDF graphs are sets: mutations of
-  distinct triples commute, and same-triple mutations totally order
-  through the single buffer slot.
+  triple and keeps only the *last* mutation of each: an ``add`` chased by
+  a ``remove`` of the same triple (or vice versa) collapses to the later
+  mutation in place, so at most one graph operation per triple survives a
+  burst of churn.  Duplicate submissions of the same pending mutation are
+  absorbed for free.  Last-writer-wins is the only sound reduction for
+  set-semantics graphs: the final state of a triple is decided by its last
+  mutation alone, whereas cancelling an opposite *pair* outright would
+  assume the earlier mutation had been effective — wrong exactly when it
+  was a no-op (adding a triple the graph already holds, or removing one it
+  never did).  Mutations of distinct triples commute, and same-triple
+  mutations totally order through the single buffer slot.
 * **Micro-batches at a cadence.**  A batch is cut when the buffer reaches
   ``batch_size`` pending mutations (size threshold) or the oldest pending
   mutation reaches ``max_batch_age`` seconds (age threshold); an async
@@ -43,7 +47,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import IngestBackpressureError, IngestClosedError, IngestError, InvalidTripleError
+from repro.errors import (
+    IngestBackpressureError,
+    IngestClosedError,
+    IngestError,
+    IngestPumpError,
+    InvalidTripleError,
+)
 from repro.rdf.triples import Triple
 
 __all__ = ["AppliedBatch", "IngestStats", "StreamIngestor", "DEFAULT_CAPACITY", "DEFAULT_BATCH_SIZE"]
@@ -89,7 +99,7 @@ class IngestStats:
     __slots__ = (
         "submitted",
         "accepted",
-        "cancelled_pairs",
+        "superseded",
         "duplicates",
         "rejected",
         "blocked",
@@ -105,9 +115,10 @@ class IngestStats:
         self.submitted = 0
         #: Mutations that grew the pending buffer.
         self.accepted = 0
-        #: Opposite-mutation pairs that cancelled in the buffer (each pair
-        #: is two submitted mutations that will never touch the graph).
-        self.cancelled_pairs = 0
+        #: Pending mutations overwritten by an opposite mutation of the
+        #: same triple (last-writer-wins: the earlier one never touches
+        #: the graph).
+        self.superseded = 0
         #: Submissions identical to an already-pending mutation (absorbed).
         self.duplicates = 0
         #: Submissions refused with :class:`IngestBackpressureError`.
@@ -123,14 +134,14 @@ class IngestStats:
 
     @property
     def coalesced(self) -> int:
-        """Submitted mutations that never reached the sink (pairs + dups)."""
-        return 2 * self.cancelled_pairs + self.duplicates
+        """Submitted mutations that never reached the sink (superseded + dups)."""
+        return self.superseded + self.duplicates
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "submitted": self.submitted,
             "accepted": self.accepted,
-            "cancelled_pairs": self.cancelled_pairs,
+            "superseded": self.superseded,
             "duplicates": self.duplicates,
             "coalesced": self.coalesced,
             "rejected": self.rejected,
@@ -186,16 +197,16 @@ class StreamIngestor:
     >>> from repro.rdf.namespaces import EX
     >>> from repro.rdf.triples import Triple
     >>> graph = Graph()
-    >>> ingestor = StreamIngestor(graph, batch_size=2)
+    >>> ingestor = StreamIngestor(graph, batch_size=4)
     >>> ingestor.add(Triple(EX.a, EX.p, EX.b))   # buffered, not yet applied
     >>> len(graph)
     0
-    >>> ingestor.remove(Triple(EX.a, EX.p, EX.b))  # cancels in the buffer
-    >>> ingestor.pending
-    0
+    >>> ingestor.remove(Triple(EX.a, EX.p, EX.b))  # supersedes the add
+    >>> ingestor.pending                           # one pending remove
+    1
     >>> ingestor.add(Triple(EX.c, EX.p, EX.d))
     >>> batch = ingestor.flush(force=True)
-    >>> (len(graph), batch.reason, ingestor.stats.cancelled_pairs)
+    >>> (len(graph), batch.reason, ingestor.stats.superseded)
     (1, 'forced', 1)
     """
 
@@ -232,13 +243,16 @@ class StreamIngestor:
         self._backpressure = backpressure
         self._scheduler = scheduler
         self._clock = clock
-        #: Triple -> net sign (+1 add, -1 remove), oldest-first.
-        self._pending: "OrderedDict[Triple, int]" = OrderedDict()
-        #: Clock reading when the oldest pending mutation arrived.
-        self._oldest: Optional[float] = None
+        #: Triple -> (net sign: +1 add / -1 remove, arrival clock reading),
+        #: oldest arrival first.  Supersession keeps slot position and
+        #: arrival, so the front entry is always the oldest and the age
+        #: threshold never restarts for surviving mutations.
+        self._pending: "OrderedDict[Triple, Tuple[int, float]]" = OrderedDict()
         self._sequence = 0
         self._closed = False
         self._pump_task: Optional[asyncio.Task] = None
+        #: Why the background pump died, when it did (see start_pump).
+        self._pump_error: Optional[BaseException] = None
         # Created lazily in async context: set whenever a flush frees space.
         self._space: Optional[asyncio.Event] = None
         self._flush_lock: Optional[asyncio.Lock] = None
@@ -280,16 +294,30 @@ class StreamIngestor:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def pump_error(self) -> Optional[BaseException]:
+        """The exception that killed the background pump, or None.
+
+        While set, the submit paths raise
+        :class:`~repro.errors.IngestPumpError` instead of quietly buffering
+        into a stream nobody flushes; :meth:`start_pump` clears it.
+        """
+        return self._pump_error
+
+    def _oldest_arrival(self) -> Optional[float]:
+        """Arrival clock reading of the oldest pending mutation, or None."""
+        if not self._pending:
+            return None
+        return next(iter(self._pending.values()))[1]
+
     def due(self) -> bool:
         """True when a micro-batch should be cut now (size or age)."""
         if not self._pending:
             return False
         if len(self._pending) >= self._batch_size:
             return True
-        return (
-            self._oldest is not None
-            and self._clock() - self._oldest >= self._max_batch_age
-        )
+        oldest = self._oldest_arrival()
+        return oldest is not None and self._clock() - oldest >= self._max_batch_age
 
     # -- submission ----------------------------------------------------
 
@@ -317,29 +345,33 @@ class StreamIngestor:
         """
         if self._closed:
             raise IngestClosedError()
+        if self._pump_error is not None:
+            raise IngestPumpError(self._pump_error) from self._pump_error
         triple = self._as_triple(triple)
         self.stats.submitted += 1
         pending = self._pending
         existing = pending.get(triple)
         if existing is not None:
-            if existing == sign:
+            existing_sign, arrival = existing
+            if existing_sign == sign:
                 self.stats.duplicates += 1
                 return False
-            # Opposite mutation of a pending triple: both cancel and the
-            # pair never reaches the sink.
-            del pending[triple]
-            self.stats.cancelled_pairs += 1
-            if not pending:
-                self._oldest = None
+            # Opposite mutation of a pending triple: the last writer wins.
+            # The slot keeps its position and arrival (the oldest pending
+            # intent still bounds the batch age), only the sign flips.
+            # Cancelling the pair outright would be unsound: it assumes the
+            # pending mutation would have been effective, which a no-op add
+            # (triple already in the sink) or no-op remove (never there)
+            # is not.
+            pending[triple] = (sign, arrival)
+            self.stats.superseded += 1
             return False
         if len(pending) >= self._capacity:
             self.stats.submitted -= 1  # not admitted; recounted on retry
             if count_reject:
                 self.stats.rejected += 1
             raise IngestBackpressureError(len(pending), self._capacity)
-        pending[triple] = sign
-        if self._oldest is None:
-            self._oldest = self._clock()
+        pending[triple] = (sign, self._clock())
         self.stats.accepted += 1
         return True
 
@@ -378,13 +410,18 @@ class StreamIngestor:
                 await self._wait_for_space()
 
     async def _wait_for_space(self) -> None:
-        if self._pump_task is not None:
+        pump = self._pump_task
+        if pump is not None and not pump.done():
+            # A live pump will flush; wait for it to signal freed space (or
+            # for its failure handler to set the event and record the error
+            # that the retry in asubmit then surfaces).
             if self._space is None:
                 self._space = asyncio.Event()
             self._space.clear()
             await self._space.wait()
         else:
-            # No pump: the producer is its own consumer — cut a batch now.
+            # No pump (or a dead one): the producer is its own consumer —
+            # cut a batch now.
             await self.aflush(force=True)
 
     async def aadd(self, triple) -> None:
@@ -401,34 +438,51 @@ class StreamIngestor:
 
     # -- flushing ------------------------------------------------------
 
-    def _take_batch(self, force: bool) -> Optional[Tuple[Tuple[Triple, ...], Tuple[Triple, ...], str]]:
+    def _take_batch(self, force: bool) -> Optional[Tuple[List[Tuple[Triple, int, float]], str]]:
         """Pop up to ``batch_size`` pending mutations, oldest first.
 
-        Returns ``(adds, removes, reason)`` or None when no batch is due.
-        Popping *before* any (possibly awaited) application means two
-        concurrent flushes can never ship the same mutation twice.
+        Returns ``(items, reason)`` — items are ``(triple, sign, arrival)``
+        — or None when no batch is due.  Popping *before* any (possibly
+        awaited) application means two concurrent flushes can never ship
+        the same mutation twice; survivors keep their own arrival stamps,
+        so cutting a batch never restarts their age.
         """
         if not self._pending:
             return None
+        oldest = self._oldest_arrival()
         if len(self._pending) >= self._batch_size:
             reason = "size"
-        elif (
-            self._oldest is not None
-            and self._clock() - self._oldest >= self._max_batch_age
-        ):
+        elif oldest is not None and self._clock() - oldest >= self._max_batch_age:
             reason = "age"
         elif force:
             reason = "forced"
         else:
             return None
-        adds: List[Triple] = []
-        removes: List[Triple] = []
+        items: List[Tuple[Triple, int, float]] = []
         pending = self._pending
-        while pending and len(adds) + len(removes) < self._batch_size:
-            triple, sign = pending.popitem(last=False)
-            (adds if sign > 0 else removes).append(triple)
-        self._oldest = self._clock() if pending else None
-        return tuple(adds), tuple(removes), reason
+        while pending and len(items) < self._batch_size:
+            triple, (sign, arrival) = pending.popitem(last=False)
+            items.append((triple, sign, arrival))
+        return items, reason
+
+    def _requeue(self, items: List[Tuple[Triple, int, float]]) -> None:
+        """Put a failed batch's mutations back at the front of the buffer.
+
+        The sink's rollback discipline guarantees a failed batch left it
+        unchanged, so re-queuing (for the caller's retry) loses nothing and
+        double-applies nothing.  The items re-enter at the front with their
+        original arrival stamps — they are older than everything pending —
+        except where a newer mutation of the same triple arrived while the
+        batch was in flight: last-writer-wins, the newer slot stands.  The
+        buffer may transiently exceed ``capacity``; refusing the re-queue
+        would turn backpressure into data loss.
+        """
+        pending = self._pending
+        for triple, sign, arrival in reversed(items):
+            if triple in pending:
+                continue
+            pending[triple] = (sign, arrival)
+            pending.move_to_end(triple, last=False)
 
     def _apply_to_graph(self, adds, removes) -> int:
         """Apply one batch to a bare graph atomically; returns its version.
@@ -489,12 +543,17 @@ class StreamIngestor:
         taken = self._take_batch(force)
         if taken is None:
             return None
-        adds, removes, reason = taken
+        items, reason = taken
+        adds = tuple(triple for triple, sign, _ in items if sign > 0)
+        removes = tuple(triple for triple, sign, _ in items if sign < 0)
         started = time.perf_counter()
         try:
             version = self._apply_to_graph(adds, removes)
         except Exception:
+            # The rollback left the graph unchanged: re-queue the batch so
+            # a transient failure costs a retry, not the mutations.
             self.stats.failed_batches += 1
+            self._requeue(items)
             raise
         return self._record(adds, removes, reason, time.perf_counter() - started, version)
 
@@ -508,12 +567,17 @@ class StreamIngestor:
             taken = self._take_batch(force)
             if taken is None:
                 return None
-            adds, removes, reason = taken
+            items, reason = taken
+            adds = tuple(triple for triple, sign, _ in items if sign > 0)
+            removes = tuple(triple for triple, sign, _ in items if sign < 0)
             started = time.perf_counter()
             try:
                 result = await self._sink.update(add=adds, remove=removes)
             except Exception:
+                # update() is atomic: the writer graph rolled back, so the
+                # batch can be re-queued and retried without double-apply.
                 self.stats.failed_batches += 1
+                self._requeue(items)
                 raise
             return self._record(
                 adds, removes, reason, time.perf_counter() - started, result.version
@@ -554,12 +618,16 @@ class StreamIngestor:
 
         Must be called with a running event loop.  The pump wakes every
         ``interval`` seconds (default: half the age threshold) and flushes
-        whenever a batch is due; :meth:`aclose` cancels it and drains.
+        whenever a batch is due; :meth:`aclose` cancels it and drains.  If
+        a previous pump died on a flush failure (see :attr:`pump_error`),
+        starting a new one clears the error and resumes ingestion — the
+        failed batch is still in the buffer, re-queued.
         """
         if self._closed:
             raise IngestClosedError()
         if self._pump_task is not None and not self._pump_task.done():
             return self._pump_task
+        self._pump_error = None
         loop = asyncio.get_running_loop()
         period = interval if interval is not None else max(self._max_batch_age / 2, 0.001)
         self._pump_task = loop.create_task(self._pump_loop(period))
@@ -573,6 +641,16 @@ class StreamIngestor:
                     await self.aflush()
         except asyncio.CancelledError:
             pass
+        except Exception as exc:
+            # A flush failure must not kill the pump *silently*: producers
+            # blocked in _wait_for_space would sleep forever and the task
+            # exception would go unretrieved.  Record the failure (the
+            # submit paths re-raise it as IngestPumpError) and wake every
+            # blocked producer so they observe it.
+            self._pump_error = exc
+            if self._space is None:
+                self._space = asyncio.Event()
+            self._space.set()
 
     async def aclose(self) -> None:
         """Stop the pump, drain the buffer, refuse further submissions."""

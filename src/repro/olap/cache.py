@@ -494,6 +494,9 @@ class ResultCache:
         entry = CacheEntry(key, canonical_core_key(query), materialized, stamped)
         with self._lock:
             self.stats.puts += 1
+            # A new result supersedes any lazy mark left on the key: the
+            # mark priced a *previous* entry's patch, not this one's.
+            self._lazy.discard(key)
             if self._capacity > 0:
                 self._entries[key] = entry
                 self._entries.move_to_end(key)
@@ -533,14 +536,19 @@ class ResultCache:
         The refresh scheduler marks stale-but-patchable entries it chose
         *not* to refresh eagerly; the session's read path then patches a
         marked entry on its next access without re-pricing the decision.
-        Accepts a query or canonical key; returns True when a (stale)
-        in-memory entry currently carries the mark's key.  Marks are
-        dropped when the entry is refreshed, invalidated or evicted.
+        Accepts a query or canonical key; returns True when the mark was
+        recorded.  Only a key with a live in-memory entry is marked — a
+        mark is a decision *about an entry*, and an orphaned mark would
+        ambush a future entry stored under the same key with a refresh
+        that skipped the refresh-vs-scratch pricing.  Marks are dropped
+        when the entry is refreshed, invalidated, evicted or re-``put``.
         """
         key = self._resolve_key(query_or_key)
         with self._lock:
+            if key not in self._entries:
+                return False
             self._lazy.add(key)
-            return key in self._entries
+            return True
 
     def unmark_lazy(self, query_or_key) -> bool:
         """Remove a lazy mark; True when the key was marked."""

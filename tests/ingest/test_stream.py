@@ -8,6 +8,7 @@ from repro.errors import (
     IngestBackpressureError,
     IngestClosedError,
     IngestError,
+    IngestPumpError,
     InvalidTripleError,
 )
 from repro.ingest import StreamIngestor
@@ -81,17 +82,18 @@ class TestBuffering:
 
 
 class TestCoalescing:
-    def test_add_then_remove_cancels_in_the_buffer(self, graph):
+    def test_add_then_remove_coalesces_to_one_remove(self, graph):
         ingestor = StreamIngestor(graph)
         ingestor.add(triple(0))
         ingestor.remove(triple(0))
-        assert ingestor.pending == 0
-        assert ingestor.stats.cancelled_pairs == 1
-        assert ingestor.stats.coalesced == 2
-        assert ingestor.flush(force=True) is None
-        assert graph.version == 0  # nothing ever hit the graph
+        assert ingestor.pending == 1  # the later mutation stands alone
+        assert ingestor.stats.superseded == 1
+        assert ingestor.stats.coalesced == 1
+        batch = ingestor.flush(force=True)
+        assert batch.removes == (triple(0),) and not batch.adds
+        assert graph.version == 0  # the remove was a no-op on the graph
 
-    def test_remove_then_add_cancels_too(self, graph):
+    def test_remove_then_add_coalesces_to_one_add(self, graph):
         graph.add(triple(0))
         version = graph.version
         ingestor = StreamIngestor(graph)
@@ -99,7 +101,34 @@ class TestCoalescing:
         ingestor.add(triple(0))
         ingestor.drain()
         assert triple(0) in graph
-        assert graph.version == version  # coalesced away, no churn
+        assert graph.version == version  # the add was a no-op, no churn
+
+    def test_add_then_remove_of_existing_triple_removes_it(self, graph):
+        """Regression: cancelling the pair outright left the triple behind.
+
+        A pending add of a triple the graph *already holds* is a no-op;
+        the chasing remove must still win and take the triple out, exactly
+        as sequential application would.
+        """
+        graph.add(triple(0))
+        ingestor = StreamIngestor(graph)
+        ingestor.add(triple(0))
+        ingestor.remove(triple(0))
+        ingestor.drain()
+        assert triple(0) not in graph
+
+    def test_remove_then_add_of_absent_triple_inserts_it(self, graph):
+        """Regression: cancelling the pair outright never inserted it.
+
+        A pending remove of a triple the graph *never held* is a no-op;
+        the chasing add must still win and insert the triple, exactly as
+        sequential application would.
+        """
+        ingestor = StreamIngestor(graph)
+        ingestor.remove(triple(0))
+        ingestor.add(triple(0))
+        ingestor.drain()
+        assert triple(0) in graph
 
     def test_duplicate_pending_mutation_is_absorbed(self, graph):
         ingestor = StreamIngestor(graph, capacity=2)
@@ -114,11 +143,14 @@ class TestCoalescing:
         ingestor.add(triple(0))
         ingestor.add(triple(1))
         ingestor.add(triple(2))
-        ingestor.remove(triple(0))  # cancels a mutation already batch-deep
+        ingestor.remove(triple(0))  # supersedes a mutation already batch-deep
         batches = ingestor.drain()
         assert triple(0) not in graph
         assert triple(1) in graph and triple(2) in graph
-        assert sum(len(b) for b in batches) == 2
+        # Three mutations ship (the no-op remove of t0 and both adds); only
+        # the superseded add of t0 never reaches the graph.
+        assert sum(len(b) for b in batches) == 3
+        assert ingestor.stats.superseded == 1
 
 
 class TestBackpressure:
@@ -171,11 +203,53 @@ class TestBackpressure:
 
         run(main())
 
-    def test_coalescing_does_not_consume_capacity(self, graph):
+    def test_pump_failure_wakes_blocked_producers(self, graph):
+        """Regression: a flush failure killed the pump silently and left
+        blocked producers waiting forever for a flush that never comes."""
+
+        async def main():
+            original_add = graph.add
+            broken = [True]
+
+            def flaky_add(t):
+                if broken[0]:
+                    raise RuntimeError("sink down")
+                return original_add(t)
+
+            graph.add = flaky_add
+            ingestor = StreamIngestor(
+                graph, capacity=2, batch_size=2, max_batch_age=0.005, backpressure="block"
+            )
+            ingestor.start_pump(interval=0.005)
+            await ingestor.aadd(triple(0))
+            await ingestor.aadd(triple(1))
+            # Buffer full: this producer blocks; the pump's flush fails.
+            with pytest.raises(IngestPumpError) as excinfo:
+                await asyncio.wait_for(ingestor.aadd(triple(2)), timeout=5.0)
+            assert isinstance(excinfo.value.cause, RuntimeError)
+            assert ingestor.pump_error is excinfo.value.cause
+            assert ingestor.pending == 2  # the failed batch was re-queued
+            # Restarting the pump clears the error and resumes delivery.
+            graph.add = original_add
+            broken[0] = False
+            ingestor.start_pump(interval=0.005)
+            assert ingestor.pump_error is None
+            await ingestor.aadd(triple(2))
+            await ingestor.aclose()
+            assert len(graph) == 3
+
+        run(main())
+
+    def test_superseding_does_not_consume_capacity(self, graph):
         ingestor = StreamIngestor(graph, capacity=1, batch_size=10)
         ingestor.add(triple(0))
-        # Buffer is full, but the opposite mutation shrinks it — admitted.
+        # Buffer is full, but the opposite mutation replaces the pending
+        # slot in place — admitted without growth.
         ingestor.remove(triple(0))
+        assert ingestor.pending == 1
+        with pytest.raises(IngestBackpressureError):
+            ingestor.add(triple(1))  # a *distinct* triple still backpressures
+        ingestor.flush(force=True)
         ingestor.add(triple(1))
         assert ingestor.pending == 1
 
@@ -213,6 +287,22 @@ class TestCadence:
         ingestor.pump()
         ingestor.add(triple(1))
         assert not ingestor.due()  # the new mutation's age starts now
+
+    def test_cut_survivors_keep_their_age(self, graph):
+        """A size-cut batch must not restart the leftovers' age clock."""
+        clock = [0.0]
+        ingestor = StreamIngestor(
+            graph, batch_size=2, max_batch_age=1.0, clock=lambda: clock[0]
+        )
+        for index in range(3):
+            ingestor.add(triple(index))  # all arrive at t=0
+        clock[0] = 0.6
+        batch = ingestor.pump()  # size-due: cuts two, one survives
+        assert batch.reason == "size"
+        assert ingestor.pending == 1
+        clock[0] = 1.1  # the survivor is 1.1s old — past max_batch_age
+        assert ingestor.due()
+        assert ingestor.pump().reason == "age"
 
     def test_async_pump_enforces_age_cadence(self, graph):
         async def main():
@@ -283,6 +373,35 @@ class TestLifecycle:
         assert set(graph) == before
         assert ingestor.stats.failed_batches == 1
         assert ingestor.stats.batches == 0
+        # The failed batch was re-queued: a retry delivers everything.
+        assert ingestor.pending == 2
+        ingestor.drain()
+        assert triple(0) in graph and triple(1) in graph
+
+    def test_failed_batch_requeues_oldest_first_and_newer_wins(self, graph):
+        """Re-queued mutations keep their order; in-flight supersession sticks."""
+        clock = [0.0]
+        ingestor = StreamIngestor(
+            graph, batch_size=2, max_batch_age=100.0, clock=lambda: clock[0]
+        )
+        ingestor.add(triple(0))
+        ingestor.add(triple(1))
+
+        def broken_add(t):
+            raise RuntimeError("sink down")
+
+        original_add = graph.add
+        graph.add = broken_add
+        with pytest.raises(RuntimeError):
+            ingestor.flush(force=True)
+        graph.add = original_add
+        # While "in flight" nothing else arrived: the batch re-queued in
+        # submission order and a later mutation of t0 supersedes in place.
+        ingestor.remove(triple(0))
+        batch = ingestor.flush(force=True)
+        assert batch.removes == (triple(0),)
+        assert batch.adds == (triple(1),)
+        assert triple(0) not in graph and triple(1) in graph
 
 
 class TestServiceSink:
@@ -335,12 +454,13 @@ class TestServiceSink:
                 ingestor = service.stream_ingestor(batch_size=100)
                 await ingestor.aadd(triple(0))
                 # Force malformed input past submit-time validation.
-                ingestor._pending["junk"] = 1
+                ingestor._pending["junk"] = (1, 0.0)
                 before = set(service.generations.writer_graph)
                 with pytest.raises(Exception):
                     await ingestor.aflush(force=True)
                 assert set(service.generations.writer_graph) == before
                 assert ingestor.stats.failed_batches == 1
                 assert service.stats.update_failures == 1
+                assert ingestor.pending == 2  # the failed batch re-queued
 
         run(main())

@@ -61,9 +61,19 @@ def _fresh_fact(draw, counter):
 
 def _draw_mutations(draw, shadow, counter):
     """One stream step: ``(sign, triple)`` pairs for both destinations."""
-    kind = draw(st.sampled_from(["add_fact", "remove", "flicker", "noop_pair"]))
+    kind = draw(
+        st.sampled_from(
+            ["add_fact", "remove", "flicker", "noop_pair", "readd_remove", "ghost_flicker"]
+        )
+    )
     if kind == "add_fact":
         return [(1, triple) for triple in _fresh_fact(draw, counter)]
+    if kind == "ghost_flicker":
+        # Remove a triple that was never present, then add it: the no-op
+        # remove must not swallow the add (last-writer-wins, not
+        # pair-cancellation — a regression case for the coalescer).
+        ghost = Triple(EX.term(f"ghost{next(counter)}"), EX.hasAge, Literal(2))
+        return [(-1, ghost), (1, ghost)]
     triples = sorted(shadow, key=repr)
     if not triples:
         return [(1, triple) for triple in _fresh_fact(draw, counter)]
@@ -71,8 +81,13 @@ def _draw_mutations(draw, shadow, counter):
     if kind == "remove":
         return [(-1, victim)]
     if kind == "flicker":
-        # Remove and immediately re-add: must coalesce away in the buffer.
+        # Remove and immediately re-add: nets to (at most) a no-op add.
         return [(-1, victim), (1, victim)]
+    if kind == "readd_remove":
+        # Add a triple that (per the shadow) already exists, then remove
+        # it: the no-op add must not cancel the remove — the mirror
+        # regression case for the coalescer.
+        return [(1, victim), (-1, victim)]
     # noop_pair: add a fresh triple then retract it before it ever lands.
     phantom = Triple(EX.term(f"phantom{next(counter)}"), EX.hasAge, Literal(1))
     return [(1, phantom), (-1, phantom)]

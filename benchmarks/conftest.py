@@ -23,6 +23,7 @@ from repro.datagen import (
 )
 from repro.datagen.blogger import sites_per_blogger_query, words_per_blogger_query
 from repro.datagen.generic import generic_query
+from repro.datagen.retail import RetailConfig, retail_dataset
 from repro.datagen.videos import views_per_url_query
 from repro.olap import OLAPSession
 
@@ -75,6 +76,22 @@ def video_bench_session(video_bench_dataset):
     query = views_per_url_query(video_bench_dataset.schema)
     session.execute(query)
     return session, query
+
+
+@pytest.fixture(scope="session")
+def retail_bench_dataset(scale_parameters):
+    facts = int(scale_parameters["facts"])
+    return retail_dataset(
+        RetailConfig(
+            sales=facts,
+            stores=max(8, facts // 50),
+            products=max(20, facts // 20),
+            cities=9,
+            regions=3,
+            categories=8,
+            departments=3,
+        )
+    )
 
 
 @pytest.fixture(scope="session")

@@ -36,11 +36,13 @@ from repro.algebra.columnar import ColumnarIdRelation, prepend_key_column, resol
 from repro.algebra.grouping import group_aggregate, group_partial_states
 from repro.algebra.operators import join_on, project, rename, select
 from repro.algebra.relation import Relation, relation_like
+from repro.errors import RewritingError
 from repro.rdf.graph import Graph, GraphShard
 from repro.rdf.statistics import GraphStatistics
 from repro.bgp.evaluator import BGPEvaluator
 from repro.analytics.answer import CubeAnswer, KeyGenerator, MaterializedQueryResults, PartialResult
 from repro.analytics.query import KEY_COLUMN, AnalyticalQuery
+from repro.analytics.rolling import roll_partial
 
 __all__ = ["AnalyticalQueryEvaluator"]
 
@@ -65,6 +67,14 @@ class AnalyticalQueryEvaluator:
         vectorized columnar engine when numpy (the ``[fast]`` extra) is
         installed, honouring a ``REPRO_ENGINE`` override.
     """
+
+    #: Entailment mode marker the planner and calibration read to name
+    #: strategies (``"saturate"`` / ``"rewrite"`` / None).  Plain evaluators
+    #: answer over asserted triples only; the session sets ``"saturate"``
+    #: when the graph is its maintained ρdf closure, and
+    #: :class:`repro.analytics.entailment.EntailmentRewritingEvaluator`
+    #: overrides it with ``"rewrite"``.
+    entailment: Optional[str] = None
 
     def __init__(
         self,
@@ -202,7 +212,16 @@ class AnalyticalQueryEvaluator:
         ``fact_range`` restricts both sides to facts with term ids in the
         given ``(variable, lo, hi)`` interval — the building block of
         per-shard evaluation (see :meth:`shard_results`).
+
+        Rolled-up queries evaluate their base (finest-granularity) query and
+        map the result through the rollup stack (see
+        :mod:`repro.analytics.rolling`); the rolled ``pres`` is decoded.
         """
+        if query.rollup:
+            base_partial = self.partial_result(
+                query.base_query(), key_generator=key_generator, fact_range=fact_range
+            )
+            return roll_partial(base_partial, query, start=0)
         fact = query.fact_variable.name
         classifier_relation = self._classifier_relation(query, fact_range=fact_range)
         keyed_measure = self._extended_measure_relation(query, key_generator, fact_range=fact_range)
@@ -251,6 +270,11 @@ class AnalyticalQueryEvaluator:
         Σ-selection and the keys differ per entry.  Callers own the memo's
         lifetime and must drop it when the graph changes.
         """
+        if query.rollup:
+            raise RewritingError(
+                f"per-fact re-derivation is not defined for rolled-up query {query.name!r}; "
+                "rolled cache entries are invalidated, not patched"
+            )
         fact = query.fact_variable.name
         measure_column = query.measure_variable.name
         columns = (fact, *query.dimension_names, KEY_COLUMN, measure_column)

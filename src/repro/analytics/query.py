@@ -36,10 +36,48 @@ from repro.bgp.query import BGPQuery
 from repro.analytics.schema import AnalyticalSchema
 from repro.analytics.sigma import DimensionRestriction, Sigma
 
-__all__ = ["AnalyticalQuery", "KEY_COLUMN"]
+__all__ = ["AnalyticalQuery", "RollStage", "KEY_COLUMN"]
 
 #: Reserved column name for the ``newk()`` key of extended measure results.
 KEY_COLUMN = "k"
+
+
+class RollStage:
+    """One ROLL-UP step in a query's hierarchy lattice position.
+
+    A rolled-up query remembers *how* it was coarsened: the dimension that
+    was rolled, the hierarchy that mapped its values, and the Σ that was in
+    effect **before** the roll (i.e. at the finer granularity).  The stack
+    of stages identifies the query's position in the hierarchy lattice and
+    lets the planner answer it from any cached finer-grained cube.
+    """
+
+    __slots__ = ("dimension", "hierarchy", "sigma_before")
+
+    def __init__(self, dimension: str, hierarchy: object, sigma_before: Sigma):
+        if not hasattr(hierarchy, "parent") or not hasattr(hierarchy, "canonical_token"):
+            raise QueryDefinitionError(
+                "a RollStage hierarchy must provide parent() and canonical_token() "
+                f"(got {type(hierarchy).__name__})"
+            )
+        self.dimension = dimension
+        self.hierarchy = hierarchy
+        self.sigma_before = sigma_before
+
+    def canonical_token(self) -> str:
+        """Value-based identity token for cache keys (see ``olap.cache``)."""
+        sigma_part = ";".join(
+            f"{name}->{token}" for name, token in self.sigma_before.canonical_tokens()
+        )
+        return f"{self.dimension}^{self.hierarchy.canonical_token()}^sigma[{sigma_part}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RollStage):
+            return NotImplemented
+        return self.canonical_token() == other.canonical_token()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RollStage({self.dimension} via {getattr(self.hierarchy, 'name', '?')})"
 
 
 class AnalyticalQuery:
@@ -72,6 +110,7 @@ class AnalyticalQuery:
         sigma: Optional[Sigma] = None,
         schema: Optional[AnalyticalSchema] = None,
         name: str = "Q",
+        rollup: Tuple["RollStage", ...] = (),
     ):
         if classifier.arity() < 1:
             raise QueryDefinitionError("the classifier must have at least the fact variable in its head")
@@ -118,12 +157,30 @@ class AnalyticalQuery:
             schema.check_homomorphic(classifier)
             schema.check_homomorphic(measure)
 
+        rollup = tuple(rollup)
+        for stage in rollup:
+            if not isinstance(stage, RollStage):
+                raise QueryDefinitionError(
+                    f"rollup stages must be RollStage instances, got {type(stage).__name__}"
+                )
+            if stage.dimension not in dimension_names:
+                raise QueryDefinitionError(
+                    f"rollup stage rolls {stage.dimension!r} which is not a dimension; "
+                    f"dimensions are {dimension_names}"
+                )
+            if tuple(stage.sigma_before.dimensions) != dimension_names:
+                raise QueryDefinitionError(
+                    f"rollup stage Σ ranges over {tuple(stage.sigma_before.dimensions)} "
+                    f"but the classifier dimensions are {dimension_names}"
+                )
+
         self.name = name
         self.classifier = classifier
         self.measure = measure
         self.aggregate = get_aggregate(aggregate)
         self.sigma = sigma
         self.schema = schema
+        self.rollup = rollup
 
     # ------------------------------------------------------------------
     # accessors
@@ -157,6 +214,81 @@ class AnalyticalQuery:
         """True when Σ restricts at least one dimension."""
         return not self.sigma.is_unrestricted()
 
+    def is_rolled(self) -> bool:
+        """True when at least one ROLL-UP stage coarsens this query."""
+        return bool(self.rollup)
+
+    # ------------------------------------------------------------------
+    # hierarchy lattice
+    # ------------------------------------------------------------------
+
+    def base_query(self) -> "AnalyticalQuery":
+        """The finest-granularity query under the rollup stack (self if unrolled)."""
+        if not self.rollup:
+            return self
+        return AnalyticalQuery(
+            self.classifier,
+            self.measure,
+            self.aggregate,
+            sigma=self.rollup[0].sigma_before,
+            schema=self.schema,
+            name=f"{self.name}@base",
+        )
+
+    def rollup_prefix(self, count: int) -> "AnalyticalQuery":
+        """The lattice ancestor after only the first ``count`` rollup stages.
+
+        ``rollup_prefix(0)`` is :meth:`base_query`;
+        ``rollup_prefix(len(self.rollup))`` is the query itself.
+        """
+        if count < 0 or count > len(self.rollup):
+            raise QueryDefinitionError(
+                f"rollup prefix length {count} out of range 0..{len(self.rollup)}"
+            )
+        if count == len(self.rollup):
+            return self
+        return AnalyticalQuery(
+            self.classifier,
+            self.measure,
+            self.aggregate,
+            sigma=self.rollup[count].sigma_before,
+            schema=self.schema,
+            name=f"{self.name}@lvl{count}",
+            rollup=self.rollup[:count],
+        )
+
+    def with_rollup(self, dimension: str, hierarchy: object, name: Optional[str] = None) -> "AnalyticalQuery":
+        """Push a ROLL-UP stage: coarsen ``dimension`` through ``hierarchy``.
+
+        The current Σ is recorded on the stage (it restricts the *finer*
+        values); the new query's Σ resets the rolled dimension to its full
+        (coarse) domain.
+        """
+        if dimension not in self.dimension_names:
+            raise QueryDefinitionError(
+                f"cannot roll up {dimension!r}; dimensions are {self.dimension_names}"
+            )
+        stage = RollStage(dimension, hierarchy, self.sigma)
+        sigma = self.sigma.restrict(dimension, DimensionRestriction.full())
+        return AnalyticalQuery(
+            self.classifier,
+            self.measure,
+            self.aggregate,
+            sigma=sigma,
+            schema=self.schema,
+            name=name or self.name,
+            rollup=self.rollup + (stage,),
+        )
+
+    def without_last_rollup(self, name: Optional[str] = None) -> "AnalyticalQuery":
+        """Pop the top ROLL-UP stage (DRILL-DOWN), restoring the finer Σ."""
+        if not self.rollup:
+            raise QueryDefinitionError(f"query {self.name!r} has no rollup stage to drop")
+        finer = self.rollup_prefix(len(self.rollup) - 1)
+        if name is not None:
+            finer.name = name
+        return finer
+
     # ------------------------------------------------------------------
     # derived queries
     # ------------------------------------------------------------------
@@ -178,6 +310,7 @@ class AnalyticalQuery:
             sigma=sigma,
             schema=self.schema,
             name=name or self.name,
+            rollup=self.rollup,
         )
 
     def with_dimensions(
@@ -192,6 +325,11 @@ class AnalyticalQuery:
         variable as a new dimension).  Every requested dimension must occur
         in the classifier body.
         """
+        if self.rollup:
+            raise QueryDefinitionError(
+                f"query {self.name!r} carries rollup stages; drill down to the base "
+                "granularity before changing its dimensions"
+            )
         head = [self.fact_variable] + [Variable(dimension) for dimension in dimension_names]
         body_variable_names = {variable.name for variable in self.classifier.variables()}
         missing = [dimension for dimension in dimension_names if dimension not in body_variable_names]
@@ -224,6 +362,11 @@ class AnalyticalQuery:
             f"  measure:    {self.measure.to_text()}",
             f"  {self.sigma.describe()}",
         ]
+        for level, stage in enumerate(self.rollup, start=1):
+            lines.append(
+                f"  roll-up[{level}]: {stage.dimension} via "
+                f"{getattr(stage.hierarchy, 'name', 'hierarchy')}"
+            )
         return "\n".join(lines)
 
     def __eq__(self, other: object) -> bool:
@@ -234,6 +377,7 @@ class AnalyticalQuery:
             and self.measure == other.measure
             and self.aggregate.name == other.aggregate.name
             and self.sigma == other.sigma
+            and self.rollup == other.rollup
         )
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -4,6 +4,8 @@
 * :mod:`repro.datagen.videos` — the drill-in scenario of Example 6;
 * :mod:`repro.datagen.generic` — a configurable star-shaped generator for
   scaling / selectivity / fan-out / dimensionality sweeps;
+* :mod:`repro.datagen.retail` — skewed retail sales with multi-level
+  dimension hierarchies and an RDFS schema (entailment workloads);
 * :mod:`repro.datagen.distributions` — seeded random helpers.
 """
 
@@ -23,6 +25,18 @@ from repro.datagen.generic import (
     generic_dataset,
     generic_query,
     generic_schema,
+)
+from repro.datagen.retail import (
+    RetailConfig,
+    RetailDataset,
+    category_department_hierarchy,
+    city_region_hierarchy,
+    region_zone_hierarchy,
+    retail_base_graph,
+    retail_dataset,
+    retail_rdfs_triples,
+    retail_schema,
+    revenue_query,
 )
 from repro.datagen.videos import (
     VideoConfig,
@@ -52,6 +66,16 @@ __all__ = [
     "generic_dataset",
     "generic_schema",
     "generic_query",
+    "RetailConfig",
+    "RetailDataset",
+    "retail_base_graph",
+    "retail_schema",
+    "retail_dataset",
+    "retail_rdfs_triples",
+    "revenue_query",
+    "city_region_hierarchy",
+    "region_zone_hierarchy",
+    "category_department_hierarchy",
     "zipf_index",
     "pick_zipf",
     "pick_uniform",

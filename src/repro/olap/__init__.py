@@ -45,11 +45,21 @@ from repro.olap.hierarchy import (
     roll_up_from_answer_naive,
     roll_up_from_partial,
 )
-from repro.olap.operations import Dice, DrillIn, DrillOut, OLAPOperation, Slice, compose
+from repro.olap.operations import (
+    Dice,
+    DrillDown,
+    DrillIn,
+    DrillOut,
+    OLAPOperation,
+    RollUp,
+    Slice,
+    compose,
+)
 from repro.olap.rewriting import (
     OLAPRewriter,
     RewriteOption,
     RewritingResult,
+    answer_from_rolled_partial,
     drill_in_from_partial,
     drill_out_from_answer_naive,
     drill_out_from_partial,
@@ -64,6 +74,8 @@ __all__ = [
     "Dice",
     "DrillOut",
     "DrillIn",
+    "RollUp",
+    "DrillDown",
     "compose",
     "build_auxiliary_query",
     "auxiliary_join_columns",
@@ -75,6 +87,7 @@ __all__ = [
     "DimensionHierarchy",
     "roll_up_from_partial",
     "roll_up_from_answer_naive",
+    "answer_from_rolled_partial",
     "OLAPRewriter",
     "RewriteOption",
     "RewritingResult",

@@ -135,27 +135,39 @@ def canonical_core_key(query: AnalyticalQuery) -> str:
 
 
 def canonical_query_key(query: AnalyticalQuery) -> str:
-    """The full canonical form: core key plus the Σ value tokens.
+    """The full canonical form: core key, rollup-stage tokens, Σ value tokens.
 
     Display names are deliberately excluded: the session names transformed
     queries after their navigation path (``Q_slice_dage_dice``...), but two
     paths reaching the same analytical query must share cached results.
+
+    Rolled-up queries additionally key on their position in the hierarchy
+    lattice: one token per :class:`~repro.analytics.query.RollStage`
+    (dimension, hierarchy identity and the finer-level Σ), in stack order —
+    two navigation paths reaching the same granularity share the key, while
+    cubes at different levels (or rolled through different hierarchies)
+    never collide.
     """
+    key = canonical_core_key(query)
+    for level, stage in enumerate(query.rollup):
+        key += f"|roll[{level}]:{stage.canonical_token()}"
     sigma = ";".join(f"{name}->{token}" for name, token in query.sigma.canonical_tokens())
-    return canonical_core_key(query) + "|sigma:" + sigma
+    return key + "|sigma:" + sigma
 
 
 def _key_is_persistable(key: str) -> bool:
     """True when the canonical key identifies the query by *value* alone.
 
     Opaque predicate restrictions canonicalize by object identity
-    (``pred@<id>``, see ``DimensionRestriction.canonical_token``).  That is
-    sound while the predicate object is alive in this process, but an ``id``
-    can be recycled after garbage collection or in another process, so such
-    keys must never reach the disk store — a different predicate could
-    collide with a dead one's key and be served the wrong cube.
+    (``pred@<id>``, see ``DimensionRestriction.canonical_token``), and so do
+    hierarchies built from arbitrary ``classify`` functions (``hier@<id>``,
+    see ``DimensionHierarchy.canonical_token``).  That is sound while the
+    predicate/hierarchy object is alive in this process, but an ``id`` can
+    be recycled after garbage collection or in another process, so such keys
+    must never reach the disk store — a different object could collide with
+    a dead one's key and be served the wrong cube.
     """
-    return "pred@" not in key
+    return "pred@" not in key and "hier@" not in key
 
 
 # ---------------------------------------------------------------------------

@@ -185,11 +185,17 @@ def strategy_family(strategy: str) -> Optional[str]:
     """
     if strategy.startswith("plan[") and strategy.endswith("]"):
         strategy = strategy[len("plan[") : -1]
-    if strategy in ("scratch", "auto"):
+    if strategy in ("scratch", "auto") or strategy.startswith("scratch["):
+        # scratch[saturate] / scratch[rewrite]: entailment-aware evaluation
+        # still touches the instance — same pricing family as plain scratch.
         return "instance"
     if strategy == "parallel":
         return "parallel"
-    if strategy.startswith("rewrite[") or strategy.startswith("compat["):
+    if (
+        strategy.startswith("rewrite[")
+        or strategy.startswith("compat[")
+        or strategy == "rollup-from-cached"
+    ):
         return "reuse"
     if strategy in ("cached", "cache", "cache[disk]"):
         return "cached"

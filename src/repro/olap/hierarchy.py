@@ -79,6 +79,10 @@ class DimensionHierarchy:
                     pass
         self._classify = classify
         self._default = default
+        #: ``(low, high, label)`` triples when built by :meth:`banded`; lets
+        #: :meth:`canonical_token` stay content-based for banding closures.
+        self._bands: Optional[Tuple[Tuple[object, object, object], ...]] = None
+        self._band_default: Optional[object] = None
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[Tuple[object, object]], name: str = "hierarchy") -> "DimensionHierarchy":
@@ -110,7 +114,10 @@ class DimensionHierarchy:
                 return default
             raise OLAPError(f"value {value!r} falls outside every band of hierarchy {name!r}")
 
-        return cls(classify=classify, name=name)
+        hierarchy = cls(classify=classify, name=name)
+        hierarchy._bands = tuple(band_list)
+        hierarchy._band_default = default
+        return hierarchy
 
     def parent(self, value: object) -> object:
         """Return the parent of a dimension value."""
@@ -127,6 +134,40 @@ class DimensionHierarchy:
         if self._default is not None:
             return self._default
         raise OLAPError(f"hierarchy {self.name!r} has no parent for value {value!r}")
+
+    def canonical_token(self) -> str:
+        """A value-based identity token for caching (see :mod:`repro.olap.cache`).
+
+        Two hierarchies with equal tokens map every value to the same parent,
+        so cached cubes rolled through one can serve queries rolled through
+        the other:
+
+        * explicit mappings canonicalize by their (order-insensitive)
+          child → parent pairs plus the default;
+        * :meth:`banded` hierarchies canonicalize by their band triples;
+        * arbitrary ``classify`` functions have no inspectable extension, so
+          they canonicalize by object identity (``hier@...`` tokens, which
+          :mod:`repro.olap.cache` refuses to persist to disk).
+        """
+        if self._bands is not None:
+            bands = ";".join(f"({low!r},{high!r})->{label!r}" for low, high, label in self._bands)
+            token = "bands{" + bands + "}"
+            if self._band_default is not None:
+                token += f"|default={self._band_default!r}"
+            return token
+        if self._classify is not None:
+            return f"hier@{id(self)}"
+        entries = []
+        for child, parent in self._mapping.items():
+            try:
+                key = comparable(child)
+            except TypeError:
+                key = child
+            entries.append(f"{key!r}->{parent!r}")
+        token = "map{" + ";".join(sorted(entries)) + "}"
+        if self._default is not None:
+            token += f"|default={self._default!r}"
+        return token
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"DimensionHierarchy({self.name}, {len(self._mapping)} explicit mappings)"

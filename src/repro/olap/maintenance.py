@@ -219,6 +219,10 @@ class DeltaMaintainer:
         """
         if not materialized.has_partial() or not materialized.has_answer():
             return float("inf")
+        if materialized.query.rollup:
+            return float("inf")  # rolled entries invalidate, never patch
+        if getattr(self._evaluator, "entailment", None) == "rewrite":
+            return float("inf")  # delta probes cannot see entailed matches
         query = materialized.query
         # Only (delta triple, body pattern) pairs that actually unify spawn
         # a probe; counting them is O(|delta| · |body|) id comparisons, far
@@ -378,6 +382,18 @@ class DeltaMaintainer:
         the caller only needs to re-stamp its version.
         """
         query = materialized.query
+        if query.rollup:
+            # Rolled entries derive from a *mapped* base pres: per-fact
+            # re-derivation cannot reproduce the hierarchy substitution, so
+            # they invalidate instead of patching (the planner re-rolls them
+            # from a refreshed finer-grained entry instead).
+            return None
+        if getattr(self._evaluator, "entailment", None) == "rewrite":
+            # Under entailment rewriting a delta triple (p, x, y) also
+            # affects patterns over p's superproperties and the classes it
+            # types into — the probe unification below would miss those, so
+            # rewrite-mode entries invalidate instead of patching.
+            return None
         if not materialized.has_partial() or not materialized.has_answer():
             return None
         partial = materialized.partial

@@ -26,7 +26,7 @@ from repro.errors import InvalidOperationError
 from repro.analytics.query import AnalyticalQuery
 from repro.analytics.sigma import DimensionRestriction, Sigma
 
-__all__ = ["OLAPOperation", "Slice", "Dice", "DrillOut", "DrillIn", "compose"]
+__all__ = ["OLAPOperation", "Slice", "Dice", "DrillOut", "DrillIn", "RollUp", "DrillDown", "compose"]
 
 
 class OLAPOperation:
@@ -200,6 +200,72 @@ class DrillIn(OLAPOperation):
 
     def describe(self) -> str:
         return "drill-in " + ", ".join(self.dimensions)
+
+
+class RollUp(OLAPOperation):
+    """ROLL-UP: coarsen one dimension through a concept hierarchy.
+
+    Unlike DRILL-OUT (which removes the dimension entirely), ROLL-UP keeps
+    the dimension but replaces its values by their hierarchy parents.  The
+    transformed query records the stage on its rollup stack (see
+    :class:`~repro.analytics.query.RollStage`), giving it a canonical
+    position in the hierarchy lattice that the planner and cache key on.
+    """
+
+    kind = "roll-up"
+
+    def __init__(self, dimension: str, hierarchy):
+        if not hasattr(hierarchy, "parent") or not hasattr(hierarchy, "canonical_token"):
+            raise InvalidOperationError(
+                "ROLL-UP requires a DimensionHierarchy-like object with parent() "
+                f"and canonical_token(); got {type(hierarchy).__name__}"
+            )
+        self.dimension = dimension
+        self.hierarchy = hierarchy
+
+    def validate(self, query: AnalyticalQuery) -> None:
+        _require_dimensions(query, [self.dimension], "ROLL-UP")
+
+    def apply(self, query: AnalyticalQuery) -> AnalyticalQuery:
+        self.validate(query)
+        return query.with_rollup(
+            self.dimension, self.hierarchy, name=f"{query.name}_rollup_{self.dimension}"
+        )
+
+    def describe(self) -> str:
+        return f"roll-up {self.dimension} via {getattr(self.hierarchy, 'name', 'hierarchy')}"
+
+
+class DrillDown(OLAPOperation):
+    """DRILL-DOWN: undo the most recent ROLL-UP, restoring the finer level.
+
+    Only applicable to queries with at least one rollup stage; when a
+    ``dimension`` is given it must match the top stage's dimension.
+    """
+
+    kind = "drill-down"
+
+    def __init__(self, dimension: Optional[str] = None):
+        self.dimension = dimension
+
+    def validate(self, query: AnalyticalQuery) -> None:
+        if not query.rollup:
+            raise InvalidOperationError(
+                f"DRILL-DOWN requires a rolled-up query; {query.name!r} has no rollup stage"
+            )
+        top = query.rollup[-1]
+        if self.dimension is not None and self.dimension != top.dimension:
+            raise InvalidOperationError(
+                f"DRILL-DOWN on {self.dimension!r} does not match the top rollup stage "
+                f"(which rolled {top.dimension!r}); drill down in stack order"
+            )
+
+    def apply(self, query: AnalyticalQuery) -> AnalyticalQuery:
+        self.validate(query)
+        return query.without_last_rollup(name=f"{query.name}_drilldown")
+
+    def describe(self) -> str:
+        return "drill-down" + (f" {self.dimension}" if self.dimension else "")
 
 
 def compose(query: AnalyticalQuery, operations: Sequence[OLAPOperation]) -> AnalyticalQuery:

@@ -358,8 +358,12 @@ class ParallelExecutor:
 
         Requires the id-space engine (shards merge on shared term ids) and
         a mergeable partial form of the aggregate; anything else falls back
-        to the serial evaluator inside :meth:`evaluate`.
+        to the serial evaluator inside :meth:`evaluate`.  Rolled-up queries
+        are unsupported: their hierarchy objects (often closures) do not
+        survive the worker-process pickle boundary.
         """
+        if query.rollup:
+            return False
         return self._evaluator.id_space and partial_aggregate(query.aggregate) is not None
 
     # -- execution -----------------------------------------------------

@@ -81,7 +81,13 @@ from repro.olap.calibration import CostModel
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
 from repro.olap.operations import OLAPOperation
 from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
-from repro.olap.rewriting import OLAPRewriter, slice_dice_from_answer, transform_partial
+from repro.analytics.rolling import roll_partial
+from repro.olap.rewriting import (
+    OLAPRewriter,
+    answer_from_rolled_partial,
+    slice_dice_from_answer,
+    transform_partial,
+)
 from repro.rdf.graph import GraphDelta
 
 __all__ = ["PlanCandidate", "Plan", "OLAPPlanner"]
@@ -309,10 +315,29 @@ class OLAPPlanner:
             self._compatible_candidates(transformed_query, original_query, materialize_partial)
         )
 
+        rollup_candidates = self._rollup_candidates(
+            transformed_query, original_query, materialize_partial
+        )
+        candidates.extend(rollup_candidates)
+
         if self._parallel is not None and self._parallel.supports(transformed_query):
             candidates.append(self._parallel_candidate(transformed_query, materialize_partial))
 
-        candidates.append(self._scratch_candidate(transformed_query, materialize_partial))
+        # Cached lattice entries reveal the *actual* pres(Q) row count the
+        # scratch evaluation would have to roll (rolling preserves rows);
+        # pricing scratch's rolling pass with the statistics estimate while
+        # the reuse candidates carry actual counts would skew the comparison.
+        pres_rows_hint: Optional[int] = None
+        if transformed_query.rollup:
+            observed = [candidate.input_rows for candidate in rollup_candidates]
+            if origin_materialized is not None and origin_materialized.has_partial():
+                observed.append(len(origin_materialized.partial))
+            if observed:
+                pres_rows_hint = max(observed)
+
+        candidates.append(
+            self._scratch_candidate(transformed_query, materialize_partial, pres_rows_hint)
+        )
         return Plan(operation, transformed_query, candidates)
 
     # ------------------------------------------------------------------
@@ -432,6 +457,10 @@ class OLAPPlanner:
                 continue
             if not entry.materialized.has_answer():
                 continue
+            if tuple(entry.query.rollup) != tuple(transformed_query.rollup):
+                # Entries share the core key across lattice levels; σ-selecting
+                # an answer at a different granularity would be wrong.
+                continue
             if not entry.query.sigma.subsumes(transformed_query.sigma):
                 continue
             rows = len(entry.materialized.answer)
@@ -456,6 +485,67 @@ class OLAPPlanner:
                     self._model.base_cost + rows * self._model.select_row_cost,
                     rows,
                     f"ans({entry.query.name}) with weaker sigma: {rows} rows",
+                    run,
+                )
+            )
+        return candidates
+
+    def _rollup_candidates(
+        self,
+        transformed_query: AnalyticalQuery,
+        original_query: AnalyticalQuery,
+        materialize_partial: bool,
+    ) -> List[PlanCandidate]:
+        """Answer a rolled-up cube from any cached finer-grained cube.
+
+        A cached entry qualifies when it sits *below* the target in the
+        hierarchy lattice: its rollup stack is a prefix of the target's
+        (stage-for-stage, by canonical token) and its Σ subsumes the Σ the
+        target records at the junction level — then σ-selecting the entry's
+        ``pres`` down to the junction Σ and rolling it through the remaining
+        stages yields exactly ``pres(Q_T)`` (Σ-subsumption machinery of the
+        ``compat`` candidates, lifted to lattice levels).  The cached base
+        query itself is the ``level 0`` case.
+        """
+        if not transformed_query.rollup:
+            return []
+        graph = self._evaluator.instance
+        target_key = canonical_query_key(transformed_query)
+        origin_key = canonical_query_key(original_query)
+        stages = transformed_query.rollup
+        candidates = []
+        for entry in self._cache.entries_with_core(transformed_query):
+            if entry.key in (target_key, origin_key):
+                continue  # exact hits and the origin are covered elsewhere
+            if entry.graph_version != graph.version:
+                continue
+            if not entry.materialized.has_partial():
+                continue
+            source = entry.query
+            level = len(source.rollup)
+            if level >= len(stages):
+                continue
+            if tuple(source.rollup) != tuple(stages[:level]):
+                continue
+            junction_sigma = stages[level].sigma_before
+            if not source.sigma.subsumes(junction_sigma):
+                continue
+            rows = len(entry.materialized.partial)
+            remaining = len(stages) - level
+            cost = self._model.base_cost + rows * self._model.group_row_cost * remaining
+
+            def run(mat=entry.materialized, lvl=level):
+                partial = roll_partial(mat.partial, transformed_query, start=lvl)
+                answer = answer_from_rolled_partial(partial, transformed_query)
+                return answer, (partial if materialize_partial else None)
+
+            candidates.append(
+                PlanCandidate(
+                    "rollup-from-cached",
+                    cost,
+                    rows,
+                    f"pres({entry.query.name}) at lattice level {level}: "
+                    f"{rows} rows through {remaining} stage(s)",
                     run,
                 )
             )
@@ -497,9 +587,14 @@ class OLAPPlanner:
         )
 
     def _scratch_candidate(
-        self, transformed_query: AnalyticalQuery, materialize_partial: bool
+        self,
+        transformed_query: AnalyticalQuery,
+        materialize_partial: bool,
+        pres_rows_hint: Optional[int] = None,
     ) -> PlanCandidate:
-        cost = self._model.base_cost + self._estimate_scratch_cost(transformed_query)
+        cost = self._model.base_cost + self._estimate_scratch_cost(
+            transformed_query, pres_rows_hint
+        )
         instance_triples = len(self._evaluator.instance)
 
         def run() -> Tuple[CubeAnswer, Optional[PartialResult]]:
@@ -508,8 +603,12 @@ class OLAPPlanner:
             )
             return materialized.answer, materialized.partial if materialize_partial else None
 
+        # Entailment-aware sessions evaluate scratch over the saturated graph
+        # or through query rewriting; the plan names which, so explain()
+        # shows what "from scratch" actually means in this session.
+        mode = getattr(self._evaluator, "entailment", None)
         return PlanCandidate(
-            "scratch",
+            "scratch" if mode is None else f"scratch[{mode}]",
             cost,
             instance_triples,
             f"instance: {instance_triples} triples, est. {cost:.0f} rows touched",
@@ -520,15 +619,46 @@ class OLAPPlanner:
     # cost estimation helpers
     # ------------------------------------------------------------------
 
-    def _estimate_scratch_cost(self, query: AnalyticalQuery) -> float:
+    def _estimate_scratch_cost(
+        self, query: AnalyticalQuery, pres_rows_hint: Optional[int] = None
+    ) -> float:
         """Estimated rows touched by a from-scratch evaluation of ``query``.
 
         Shared with the refresh-vs-recompute decision (see
         :func:`repro.olap.maintenance.estimate_scratch_cost`) so every
         strategy is priced in the same unit, then scaled by the per-engine
         multiplier (the columnar engine touches rows vectorized).
+
+        Under ``entailment="rewrite"`` every BGP expands into its entailment
+        branches, so scratch pays the branch fan-out; under ``"saturate"``
+        the statistics already describe the (bigger) saturated graph and no
+        extra factor applies.
+
+        A rolled query pays the base-query evaluation *plus* the rolling
+        pass: every pres row goes through every hierarchy stage at the same
+        ``group_row_cost`` the ``rollup-from-cached`` candidate is priced
+        at — otherwise scratch would look artificially cheap exactly where
+        the lattice has a cached shortcut.  Rolling is row-level work
+        regardless of engine, so it lands outside the engine multiplier.
         """
-        return self._engine_multiplier * estimate_scratch_cost(self._statistics, query)
+        cost = self._engine_multiplier * estimate_scratch_cost(self._statistics, query)
+        branch_count = getattr(self._evaluator, "branch_count", None)
+        if branch_count is not None:
+            try:
+                factor = max(branch_count(query.classifier), branch_count(query.measure))
+            except Exception:
+                factor = 1
+            cost *= max(1, factor)
+        if query.rollup:
+            if pres_rows_hint is not None:
+                pres_rows = float(pres_rows_hint)
+            else:
+                # Same pres-rows proxy as the join term of estimate_scratch_cost.
+                pres_rows = self._statistics.estimate_bgp_cardinality(
+                    query.classifier
+                ) + self._statistics.estimate_bgp_cardinality(query.measure)
+            cost += pres_rows * self._model.group_row_cost * len(query.rollup)
+        return cost
 
     def _auxiliary_cost(
         self, original_query: AnalyticalQuery, transformed_query: AnalyticalQuery

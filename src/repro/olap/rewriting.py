@@ -31,14 +31,16 @@ from repro.algebra.relation import IdRelation, Relation
 from repro.bgp.evaluator import BGPEvaluator
 from repro.analytics.answer import CubeAnswer, MaterializedQueryResults, PartialResult
 from repro.analytics.query import AnalyticalQuery
+from repro.analytics.rolling import roll_partial
 from repro.olap.auxiliary import auxiliary_join_columns, build_auxiliary_query
-from repro.olap.operations import Dice, DrillIn, DrillOut, OLAPOperation, Slice
+from repro.olap.operations import Dice, DrillDown, DrillIn, DrillOut, OLAPOperation, RollUp, Slice
 
 __all__ = [
     "slice_dice_from_answer",
     "drill_out_from_partial",
     "drill_in_from_partial",
     "drill_out_from_answer_naive",
+    "answer_from_rolled_partial",
     "transform_partial",
     "OLAPRewriter",
     "RewriteOption",
@@ -200,6 +202,29 @@ def _auxiliary_answer(partial: PartialResult, instance_evaluator: BGPEvaluator, 
 
 
 # ---------------------------------------------------------------------------
+# ROLL-UP from pres(Q): the generalized Algorithm-1 pipeline
+# ---------------------------------------------------------------------------
+
+
+def answer_from_rolled_partial(
+    partial: PartialResult, transformed_query: AnalyticalQuery
+) -> CubeAnswer:
+    """γ-aggregate an already-rolled ``pres(Q_T)`` into ``ans(Q_T)``.
+
+    The partial must already be at the transformed query's granularity and
+    δ-deduplicated (see :func:`repro.analytics.rolling.roll_partial`).
+    """
+    aggregated = group_aggregate(
+        partial.storage,
+        by=partial.dimension_columns,
+        measure=partial.measure_column,
+        function=transformed_query.aggregate,
+        output_column=partial.measure_column,
+    )
+    return CubeAnswer(aggregated, partial.dimension_columns, partial.measure_column)
+
+
+# ---------------------------------------------------------------------------
 # The naive (incorrect in general) drill-out over ans(Q) — Example 5
 # ---------------------------------------------------------------------------
 
@@ -320,6 +345,8 @@ def transform_partial(
             key_column=partial.key_column,
             measure_column=partial.measure_column,
         )
+    if isinstance(operation, RollUp):
+        return roll_partial(partial, transformed_query, start=len(query.rollup))
     raise InvalidOperationError(
         f"no partial-result rewriting is defined for operation {type(operation).__name__}"
     )
@@ -473,6 +500,21 @@ class OLAPRewriter:
                     "drill-in/pres+aux", "partial", rows, cells * 2.0, needs_instance=True
                 ),
             )
+        if isinstance(operation, RollUp):
+            if not materialized.has_partial():
+                return ()
+            rows = len(materialized.partial)
+            return (
+                RewriteOption(
+                    "roll-up/pres",
+                    "partial",
+                    rows,
+                    rows * _sigma_selectivity(transformed_query),
+                ),
+            )
+        # DRILL-DOWN restores a finer granularity that pres(Q) no longer
+        # carries; the planner must answer it from the cache lattice or from
+        # scratch, never from the coarser origin.
         return ()
 
     def answer(
@@ -524,12 +566,24 @@ class OLAPRewriter:
                 materialized.partial, query, transformed_query, self._instance_evaluator
             )
             result = RewritingResult(answer, "drill-in/pres+aux", False, True, True)
+        elif isinstance(operation, RollUp):
+            if not materialized.has_partial():
+                raise MaterializationError(
+                    f"ROLL-UP rewriting needs pres({query.name}) to be materialized"
+                )
+            rolled = roll_partial(
+                materialized.partial, transformed_query, start=len(query.rollup)
+            )
+            answer = answer_from_rolled_partial(rolled, transformed_query)
+            result = RewritingResult(answer, "roll-up/pres", False, True, False)
+            if materialize_partial:
+                result.partial = rolled
         else:
             raise InvalidOperationError(
                 f"no rewriting is defined for operation {type(operation).__name__}"
             )
 
-        if materialize_partial and materialized.has_partial():
+        if materialize_partial and materialized.has_partial() and result.partial is None:
             result.partial = transform_partial(
                 materialized.partial,
                 query,

@@ -37,7 +37,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import MaterializationError, OLAPError
 from repro.rdf.graph import Graph
+from repro.rdf.reasoning import saturate
+from repro.rdf.triples import Triple
 from repro.analytics.answer import CubeAnswer, MaterializedQueryResults
+from repro.analytics.entailment import EntailmentRewritingEvaluator
 from repro.analytics.evaluator import AnalyticalQueryEvaluator
 from repro.analytics.query import AnalyticalQuery
 from repro.analytics.schema import AnalyticalSchema
@@ -46,7 +49,7 @@ from repro.olap.cache import DEFAULT_CAPACITY, CacheEntry, ResultCache
 from repro.olap.calibration import CostModel, fit_cost_model
 from repro.olap.cube import Cube
 from repro.olap.maintenance import DeltaMaintainer, estimate_scratch_cost
-from repro.olap.operations import OLAPOperation
+from repro.olap.operations import DrillDown, OLAPOperation, RollUp
 from repro.olap.parallel import ParallelExecutor, estimate_parallel_cost
 from repro.olap.planner import OLAPPlanner
 from repro.olap.rewriting import OLAPRewriter
@@ -133,6 +136,18 @@ class OLAPSession:
         this session read instead of the static module constants.  Pass a
         fitted model (see :meth:`fit_cost_model`) to replan a workload
         with runtime-calibrated costs; omit it for the static planner.
+    entailment:
+        ``None`` (default) answers queries over the asserted triples only.
+        ``"saturate"`` evaluates every query over the ρdf closure of the
+        instance: the session maintains an internal saturated copy, kept in
+        sync with the source graph — addition-only deltas (including
+        schema-triple additions, which re-trigger the fixpoint) flow into
+        the closure through the change log so cached cubes stay
+        refreshable; removals rebuild it.  ``"rewrite"`` leaves the graph
+        untouched and reformulates every BGP into its entailment branches
+        (see :mod:`repro.analytics.entailment`) — equivalent answers,
+        priced separately by the planner (``scratch[saturate]`` vs.
+        ``scratch[rewrite]`` in ``Plan.explain()``).
 
     Examples
     --------
@@ -168,18 +183,45 @@ class OLAPSession:
         snapshot: Optional[str] = None,
         snapshot_mmap: bool = True,
         cost_model: Optional[CostModel] = None,
+        entailment: Optional[str] = None,
     ):
         if (instance is None) == (snapshot is None):
             raise ValueError(
                 "OLAPSession needs exactly one of instance= or snapshot="
+            )
+        if entailment not in (None, "saturate", "rewrite"):
+            raise OLAPError(
+                f"unknown entailment mode {entailment!r}; expected None, 'saturate' or 'rewrite'"
             )
         if snapshot is not None:
             from repro.storage.snapshot import load_snapshot
 
             instance = load_snapshot(snapshot, mmap=snapshot_mmap)
         self.schema = schema
+        self._entailment = entailment
+        #: The graph handed in by the caller (mutate this one); identical to
+        #: :attr:`instance` except under ``entailment="saturate"``, where
+        #: ``instance`` is the session's internal saturated copy.
+        self.source_instance = instance
+        self._entailment_version: Optional[int] = None
+        if entailment == "saturate":
+            closure = Graph(name=f"{instance.name}+rdfs")
+            closure.add_all(instance)
+            saturate(closure, in_place=True)
+            self._entailment_version = instance.version
+            instance = closure
         self.instance = instance
-        self.evaluator = AnalyticalQueryEvaluator(instance, engine=engine)
+        if entailment == "rewrite":
+            self.evaluator: AnalyticalQueryEvaluator = EntailmentRewritingEvaluator(
+                instance, engine=engine
+            )
+        else:
+            self.evaluator = AnalyticalQueryEvaluator(instance, engine=engine)
+            if entailment == "saturate":
+                # The planner and calibration name strategies off this marker
+                # (scratch[saturate]); evaluation itself is plain — the graph
+                # is already closed.
+                self.evaluator.entailment = "saturate"
         self._rewriter = OLAPRewriter(self.evaluator.bgp_evaluator)
         self._materialize_partial = materialize_partial
         self._cache = ResultCache(cache_capacity, store_dir=cache_dir)
@@ -291,6 +333,42 @@ class OLAPSession:
         return self.evaluator.engine
 
     @property
+    def entailment(self) -> Optional[str]:
+        """The session's entailment mode: None, ``"saturate"`` or ``"rewrite"``."""
+        return self._entailment
+
+    def _sync_entailment(self) -> None:
+        """Re-align the saturated evaluation graph with the source instance.
+
+        Only meaningful under ``entailment="saturate"``: addition-only
+        deltas (instance *or* schema triples) are added to the closure and
+        the fixpoint re-run in place — the closure's own change log then
+        carries the entailed additions, so the delta maintainer can patch
+        cached cubes exactly as it would for asserted triples.  Any removal
+        is non-monotone and rebuilds the closure outright (clearing degrades
+        the change log to the full-invalidation sentinel, which is the
+        honest answer for derived results).
+        """
+        if self._entailment != "saturate":
+            return
+        source = self.source_instance
+        if source.version == self._entailment_version:
+            return
+        delta = source.deltas_since(self._entailment_version)
+        if delta is not None and not delta.removed:
+            decode = source.decode_id
+            for subject_id, predicate_id, object_id in delta.added:
+                self.instance.add(
+                    Triple(decode(subject_id), decode(predicate_id), decode(object_id))
+                )
+            saturate(self.instance, in_place=True)
+        else:
+            self.instance.clear()
+            self.instance.add_all(source)
+            saturate(self.instance, in_place=True)
+        self._entailment_version = source.version
+
+    @property
     def closed(self) -> bool:
         """True once :meth:`close` has run (the session stays queryable
         serially, but the parallel pools are gone for good)."""
@@ -376,6 +454,7 @@ class OLAPSession:
         keep_partial = (
             self._materialize_partial if materialize_partial is None else materialize_partial
         )
+        self._sync_entailment()
         started = time.perf_counter()
         entry = self._cache.get(query, self.instance, require_partial=keep_partial)
         if entry is None:
@@ -403,7 +482,9 @@ class OLAPSession:
                 strategy = "parallel"
             else:
                 materialized = self.evaluator.evaluate(query, materialize_partial=keep_partial)
-                strategy = "scratch"
+                strategy = (
+                    "scratch" if self._entailment is None else f"scratch[{self._entailment}]"
+                )
             self._cache.put(query, materialized, self.instance, version=observed_version)
             input_rows = len(self.instance)
         elapsed = time.perf_counter() - started
@@ -438,6 +519,7 @@ class OLAPSession:
         was never executed here or its cache entry has been evicted or
         invalidated by an instance mutation.
         """
+        self._sync_entailment()
         resolved = self._resolve_query(query)
         entry = self._cache.get(resolved, self.instance)
         if entry is None:
@@ -516,6 +598,7 @@ class OLAPSession:
             raise OLAPError(
                 f"unknown strategy {strategy!r}; expected plan, auto, rewrite or scratch"
             )
+        self._sync_entailment()
         original_query = self._resolve_query(query)
         transformed_query = operation.apply(original_query)
         origin_entry = self._cache.get(original_query, self.instance)
@@ -641,7 +724,8 @@ class OLAPSession:
         answer = transformed_answer_from_scratch(
             self.evaluator, original_query, operation, transformed_query
         )
-        return answer, "scratch", len(self.instance)
+        used = "scratch" if self._entailment is None else f"scratch[{self._entailment}]"
+        return answer, used, len(self.instance)
 
     def _store_transformed(
         self,
@@ -686,35 +770,48 @@ class OLAPSession:
         dimension: str,
         hierarchy,
         aggregate: Optional[str] = None,
+        strategy: str = "plan",
     ) -> Cube:
-        """Roll a materialized cube up along a dimension hierarchy.
+        """Roll a cube up along a dimension hierarchy.
 
-        Uses ``pres(Q)`` (required) via
-        :func:`repro.olap.hierarchy.roll_up_from_partial`; the result keeps
-        the same dimensions with the rolled-up dimension's values replaced by
-        their parents.
+        A thin wrapper over :meth:`transform` with a
+        :class:`~repro.olap.operations.RollUp` operation, so roll-ups go
+        through the standard history path: the record carries the
+        plan/execute timing split and the planner's ``estimated_cost``
+        (feeding :meth:`fit_cost_model` and the advisor), and the rolled
+        cube is materialized in the cache — a subsequent coarser roll-up
+        can be answered from it (the ``rollup-from-cached`` lattice
+        candidate), and :meth:`drill_down` can navigate back.
+
+        The returned cube is bound to the *rolled* query (its rollup stack
+        records the hierarchy stage), not the origin query.
         """
-        from repro.olap.hierarchy import roll_up_from_partial
-
-        materialized = self.materialized(query)
-        original_query = materialized.query
-        started = time.perf_counter()
-        answer = roll_up_from_partial(
-            materialized.partial, original_query, dimension, hierarchy, aggregate
-        )
-        elapsed = time.perf_counter() - started
-        self.history.append(
-            TransformationRecord(
-                query_name=original_query.name,
-                operation=f"roll-up {dimension} by {getattr(hierarchy, 'name', 'hierarchy')}",
-                strategy="rewrite[roll-up/pres]",
-                seconds=elapsed,
-                input_rows=len(materialized.partial),
-                output_cells=len(answer),
-                execute_seconds=elapsed,
+        original_query = self._resolve_query(query)
+        if aggregate is not None and aggregate != getattr(original_query.aggregate, "name", None):
+            raise OLAPError(
+                f"session roll-up keeps the query's own aggregate "
+                f"({getattr(original_query.aggregate, 'name', '?')}); for ad-hoc "
+                f"re-aggregation use repro.olap.hierarchy.roll_up_from_partial"
             )
-        )
-        return Cube(answer, original_query)
+        return self.transform(original_query, RollUp(dimension, hierarchy), strategy=strategy)
+
+    def drill_down(
+        self,
+        query: Union[str, AnalyticalQuery],
+        dimension: Optional[str] = None,
+        strategy: str = "plan",
+    ) -> Cube:
+        """Undo the most recent roll-up of a rolled query (inverse navigation).
+
+        ``dimension`` optionally asserts which dimension the popped stage
+        rolled (validation only).  Routed through :meth:`transform` like
+        every other operation: the planner typically serves the finer cube
+        straight from the cache (it was materialized on the way up) or
+        re-rolls it from a cached ancestor; scratch evaluation is the
+        always-available fallback.
+        """
+        original_query = self._resolve_query(query)
+        return self.transform(original_query, DrillDown(dimension), strategy=strategy)
 
     # ------------------------------------------------------------------
     # comparisons (used by examples / tests / benches)

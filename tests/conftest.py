@@ -24,9 +24,11 @@ from repro.analytics import AnalyticalQuery, AnalyticalSchema
 from repro.datagen import (
     BloggerConfig,
     GenericConfig,
+    RetailConfig,
     VideoConfig,
     blogger_dataset,
     generic_dataset,
+    retail_dataset,
     video_dataset,
 )
 
@@ -256,6 +258,14 @@ def small_blogger_dataset():
 @pytest.fixture(scope="session")
 def small_video_dataset():
     return video_dataset(VideoConfig(videos=60, websites=15, seed=5))
+
+
+@pytest.fixture(scope="session")
+def small_retail_dataset():
+    return retail_dataset(
+        RetailConfig(sales=90, stores=8, products=16, cities=6, regions=3,
+                     categories=6, departments=2, seed=17)
+    )
 
 
 @pytest.fixture(scope="session")

@@ -21,7 +21,7 @@ import os
 import pytest
 
 from repro.rdf import EX, Literal, RDF, Triple
-from repro.olap import Dice, DrillIn, DrillOut, OLAPSession, Slice
+from repro.olap import Dice, DimensionHierarchy, DrillIn, DrillOut, OLAPSession, RollUp, Slice
 from repro.persistence import _decode_cell, _encode_cell
 
 from tests.conftest import make_sites_query, make_views_query, make_words_query
@@ -69,6 +69,23 @@ def _video_query(dataset):
     from repro.datagen.videos import views_per_url_query
 
     return views_per_url_query(dataset.schema)
+
+
+def _retail_query(dataset):
+    from repro.datagen.retail import revenue_query
+
+    return revenue_query(dataset.schema)
+
+
+AGE_BANDS = DimensionHierarchy.banded(
+    [(0, 29, "young"), (30, 120, "senior")], name="age bands"
+)
+
+
+def _retail_city_rollup(dataset):
+    from repro.datagen.retail import city_region_hierarchy
+
+    return RollUp("dcity", city_region_hierarchy(dataset.config))
 
 
 CASES = {
@@ -153,6 +170,84 @@ UPDATE_CASES = {
         _blogger_workload_update_batch,
     ),
 }
+
+
+#: Hierarchy-lattice cases: name -> (fixture, query builder, operation builder).
+#: Kept out of CASES because rolled queries are (by design) outside the
+#: shard-parallel executor's supported fragment.
+ROLLUP_CASES = {
+    "example2_agebands_rollup": (
+        "example2_instance",
+        lambda fixture: make_sites_query(),
+        lambda fixture: RollUp("dage", AGE_BANDS),
+    ),
+    "blogger_workload_agebands_rollup": (
+        "small_blogger_dataset",
+        _blogger_query,
+        lambda fixture: RollUp("dage", AGE_BANDS),
+    ),
+    "retail_workload_region_rollup": (
+        "small_retail_dataset",
+        _retail_query,
+        _retail_city_rollup,
+    ),
+}
+
+
+def _retail_update_batch(instance):
+    """Scripted retail update: two new sales at existing stores (one typed
+    only via a subclass, so its effect differs between plain and entailed
+    sessions), one new ρdf axiom, and one removed amount."""
+    from repro.rdf import RDFS
+
+    for tag, sale_type, store, product, amount in (
+        ("upd_sale1", EX.Sale, "store/s0", "product/p1", 111),
+        ("upd_sale2", EX.OnlineSale, "store/s2", "product/p3", 77),
+    ):
+        sale = EX.term(f"sale/{tag}")
+        instance.add(Triple(sale, RDF_TYPE, sale_type))
+        instance.add(Triple(sale, EX.atStore, EX.term(store)))
+        instance.add(Triple(sale, EX.ofProduct, EX.term(product)))
+        instance.add(Triple(sale, EX.hasAmount, Literal(amount)))
+    # A schema-triple delta: re-saturation must pick the new rule up.
+    instance.add(Triple(EX.FlashSale, RDFS.term("subClassOf"), EX.OnlineSale))
+    flash = EX.term("sale/upd_flash")
+    instance.add(Triple(flash, RDF_TYPE, EX.FlashSale))
+    instance.add(Triple(flash, EX.atStore, EX.term("store/s1")))
+    instance.add(Triple(flash, EX.ofProduct, EX.term("product/p0")))
+    instance.add(Triple(flash, EX.hasAmount, Literal(55)))
+    amounts = sorted(
+        (triple for triple in instance if triple.predicate == EX.hasAmount),
+        key=repr,
+    )
+    instance.remove(amounts[0])
+
+
+#: Entailment cases: every mode must reproduce cells written by the
+#: *pre-saturated plain scratch* oracle — a broken saturation sync or a
+#: wrong rewrite expansion can never canonize its own answer.
+ENTAILED_CASES = {
+    "retail_workload_root_entailed": ("small_retail_dataset", _retail_query, None),
+    "retail_workload_region_rollup_entailed": (
+        "small_retail_dataset",
+        _retail_query,
+        _retail_city_rollup,
+    ),
+}
+
+ENTAILMENT_MODES = ("saturate", "rewrite")
+
+
+def _presaturated_oracle_cube(instance, query):
+    from repro.rdf import Graph
+    from repro.rdf.reasoning import saturate
+    from repro.analytics.evaluator import AnalyticalQueryEvaluator
+    from repro.olap import Cube
+
+    closure = Graph(name="golden+rdfs")
+    closure.add_all(instance)
+    saturate(closure, in_place=True)
+    return Cube(AnalyticalQueryEvaluator(closure).answer(query), query)
 
 
 #: Datagen workload cases: name -> (dataset fixture, query builder, operation or None)
@@ -267,6 +362,101 @@ def test_workload_golden_cubes(name, strategy, request, update_golden):
     _check_against_golden(name, cube)
 
 
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("name", sorted(ROLLUP_CASES))
+def test_rollup_golden_cubes(name, strategy, request, update_golden):
+    """Every answering strategy reproduces the golden *rolled* cube."""
+    fixture_name, query_builder, operation_builder = ROLLUP_CASES[name]
+    fixture = request.getfixturevalue(fixture_name)
+    if hasattr(fixture, "instance"):
+        instance, schema = fixture.instance, fixture.schema
+    else:
+        instance, schema = fixture, None
+    session = OLAPSession(instance, schema)
+    query = query_builder(fixture)
+    session.execute(query)
+    cube = session.transform(query, operation_builder(fixture), strategy=strategy)
+    if update_golden:
+        if strategy == "scratch":
+            _write_golden(name, cube)
+        return
+    _check_against_golden(name, cube)
+
+
+@pytest.mark.parametrize("mode", ["warm", "scratch"])
+def test_rollup_after_update_golden_cubes(mode, small_retail_dataset, update_golden):
+    """A rolled cache entry survives an instance update correctly: whether
+    the session invalidates it or patches it, the re-served rolled cube
+    must equal a cold evaluation on the updated instance."""
+    name = "retail_workload_rollup_after_update"
+    instance = small_retail_dataset.instance.copy()
+    query = _retail_query(small_retail_dataset)
+    operation = _retail_city_rollup(small_retail_dataset)
+
+    if mode == "scratch":
+        _retail_update_batch(instance)
+        session = OLAPSession(instance, small_retail_dataset.schema)
+        session.execute(query)
+        cube = session.transform(query, operation, strategy="scratch")
+    else:
+        session = OLAPSession(instance, small_retail_dataset.schema)
+        session.execute(query)
+        stale = session.transform(query, operation)
+        _retail_update_batch(instance)
+        cube = session.transform(query, operation)
+        assert cube.query.name == stale.query.name
+    if update_golden:
+        if mode == "scratch":
+            _write_golden(name, cube)
+        return
+    _check_against_golden(name, cube)
+
+
+@pytest.mark.parametrize("mode", ENTAILMENT_MODES)
+@pytest.mark.parametrize("name", sorted(ENTAILED_CASES))
+def test_entailed_golden_cubes(name, mode, request, update_golden):
+    """Both entailment regimes reproduce cells written by the pre-saturated
+    plain scratch oracle (which is also the only writer)."""
+    fixture_name, query_builder, operation_builder = ENTAILED_CASES[name]
+    dataset = request.getfixturevalue(fixture_name)
+    query = query_builder(dataset)
+    target_query = query
+    if operation_builder is not None:
+        target_query = operation_builder(dataset).apply(query)
+    if update_golden:
+        if mode == ENTAILMENT_MODES[0]:
+            _write_golden(name, _presaturated_oracle_cube(dataset.instance, target_query))
+        return
+    session = OLAPSession(dataset.instance, dataset.schema, entailment=mode)
+    if operation_builder is None:
+        cube = session.execute(query)
+    else:
+        session.execute(query)
+        cube = session.transform(query, operation_builder(dataset))
+    _check_against_golden(name, cube)
+
+
+@pytest.mark.parametrize("mode", ENTAILMENT_MODES)
+def test_entailed_after_update_golden_cubes(mode, small_retail_dataset, update_golden):
+    """A warmed entailed session absorbs an update batch that includes a
+    schema-triple delta (new ``rdfs:subClassOf`` axiom) and reproduces the
+    oracle's cells on the updated graph — the saturate mode through its
+    closure sync, the rewrite mode through re-expansion."""
+    name = "retail_workload_after_update_entailed"
+    source = small_retail_dataset.instance.copy()
+    query = _retail_query(small_retail_dataset)
+    if update_golden:
+        if mode == ENTAILMENT_MODES[0]:
+            _retail_update_batch(source)
+            _write_golden(name, _presaturated_oracle_cube(source, query))
+        return
+    session = OLAPSession(source, small_retail_dataset.schema, entailment=mode)
+    session.execute(query)
+    _retail_update_batch(source)
+    cube = session.execute(query)
+    _check_against_golden(name, cube)
+
+
 @pytest.mark.parametrize("mode", ["refresh", "scratch"])
 @pytest.mark.parametrize("name", sorted(UPDATE_CASES))
 def test_after_update_golden_cubes(name, mode, request, update_golden):
@@ -359,5 +549,13 @@ def test_workload_golden_cubes_parallel(name, request, update_golden):
 
 def test_golden_fixtures_exist():
     """Every case has its committed fixture (catches forgotten --update-golden)."""
-    for name in list(CASES) + list(WORKLOAD_CASES) + list(UPDATE_CASES):
+    names = (
+        list(CASES)
+        + list(WORKLOAD_CASES)
+        + list(UPDATE_CASES)
+        + list(ROLLUP_CASES)
+        + list(ENTAILED_CASES)
+        + ["retail_workload_rollup_after_update", "retail_workload_after_update_entailed"]
+    )
+    for name in names:
         assert os.path.exists(_golden_path(name)), f"missing golden fixture for {name}"

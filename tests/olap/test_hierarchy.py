@@ -135,8 +135,52 @@ class TestSessionRollUp:
         rolled = session.roll_up(sites_query, "dage", AGE_BANDS)
         assert isinstance(rolled, Cube)
         assert rolled.cell("young", EX.term("Madrid")) == 3
-        assert session.history[-1].strategy == "rewrite[roll-up/pres]"
-        assert "roll-up dage" in session.history[-1].operation
+        # Roll-up goes through the standard transform/history path: the
+        # record is a planned one (with the plan/execute split and the
+        # estimated cost that feeds calibration), not a side channel.
+        record = session.history[-1]
+        assert record.strategy.startswith("plan[")
+        assert "roll-up dage" in record.operation
+        assert record.details.get("estimated_cost") is not None
+        assert record.details.get("plan") is not None
+        assert record.execute_seconds <= record.seconds
+        # The rolled cube is materialized under its own canonical key, so it
+        # can be served from cache and drilled back down.
+        assert rolled.query.is_rolled()
+        assert session.materialized(rolled.query) is not None
+
+    def test_roll_up_records_feed_calibration_and_advisor(self, example2_instance, sites_query):
+        """Roll-ups ride the planned history path, so their (estimated cost,
+        execute seconds) pairs are calibration samples like any other
+        transformation — the regression this guards: the legacy side-channel
+        roll_up produced records the fit silently dropped."""
+        from repro.olap.calibration import samples_from_history, strategy_family
+
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        session.roll_up(sites_query, "dage", AGE_BANDS)
+        rolled = session.history[-1]
+        samples = samples_from_history(session.history)
+        assert any(sample.strategy == rolled.strategy for sample in samples)
+        assert strategy_family(rolled.strategy) in ("instance", "reuse", "cached")
+        fitted = session.fit_cost_model()
+        assert fitted.source == "fitted"
+        assert fitted.samples >= len(samples) > 0
+        # The advisor mines the same history without choking on rolled records.
+        report = session.advise()
+        assert report.cost_model.source == "fitted"
+
+    def test_session_drill_down_restores_finer_cube(self, example2_instance, sites_query):
+        session = OLAPSession(example2_instance)
+        session.execute(sites_query)
+        rolled = session.roll_up(sites_query, "dage", AGE_BANDS)
+        drilled = session.drill_down(rolled.query)
+        assert not drilled.query.is_rolled()
+        base = Cube(session.materialized(sites_query).answer, sites_query)
+        assert drilled.same_cells(base)
+        assert session.history[-1].strategy.startswith("plan[")
+        with pytest.raises(OLAPError):
+            session.drill_down(sites_query)  # nothing to drill down from
 
     def test_session_roll_up_on_generated_dataset(self, small_blogger_dataset):
         from repro.datagen.blogger import sites_per_blogger_query
